@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+The :class:`repro.harness.Lab` memoises every compile+simulate result, so
+the four table/figure benches share one session-scoped instance and each
+measurement is paid once.
+"""
+
+import pytest
+
+from repro.harness import Lab
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    return Lab()

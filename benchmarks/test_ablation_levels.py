@@ -1,0 +1,48 @@
+"""Ablation: how much boosting depth is really necessary?
+
+Sweeps the maximum boosting level of a single-shadow-file machine from 1 to
+7 on two level-hungry workloads (awk and eqntott) and reports the
+cycle-count improvement over global scheduling at each depth.  This is the
+design-space question Section 4 poses — the answer (diminishing returns
+after 2-3 levels) is the reason MinBoost3 exists.
+"""
+
+from repro.harness.pipeline import CompileConfig, SCALAR_CONFIG, compile_minic
+from repro.sched.boostmodel import BoostModel
+from repro.sched.machine import SUPERSCALAR
+from repro.workloads import get
+
+LEVELS = (1, 2, 3, 5, 7)
+WORKLOADS = ("awk", "eqntott")
+
+
+def _improvements(wname: str) -> dict[int, float]:
+    w = get(wname)
+    base_cfg = CompileConfig(machine=SUPERSCALAR)
+    base = compile_minic(w.source, base_cfg, w.train).run(w.eval).cycle_count
+    out = {}
+    for level in LEVELS:
+        model = BoostModel(f"MinBoost{level}", max_level=level,
+                           boost_stores=False, multi_shadow_files=False)
+        cfg = CompileConfig(machine=SUPERSCALAR, model=model)
+        cycles = compile_minic(w.source, cfg, w.train).run(w.eval).cycle_count
+        out[level] = (base / cycles - 1.0) * 100.0
+    return out
+
+
+def test_boost_level_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {w: _improvements(w) for w in WORKLOADS},
+        rounds=1, iterations=1, warmup_rounds=0)
+    print("\nAblation: % improvement over global scheduling vs boost depth")
+    header = " ".join(f"{f'B{lvl}':>7s}" for lvl in LEVELS)
+    print(f"  {'':8s} {header}")
+    for wname, impr in results.items():
+        cells = " ".join(f"{impr[lvl]:>6.1f}%" for lvl in LEVELS)
+        print(f"  {wname:8s} {cells}")
+
+    for wname, impr in results.items():
+        # Depth never hurts materially ...
+        assert impr[7] >= impr[1] - 1.0, (wname, impr)
+        # ... and the step from 3 to 7 levels is small (MinBoost3's thesis).
+        assert impr[7] - impr[3] < 4.0, (wname, impr)

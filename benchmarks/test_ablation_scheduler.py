@@ -1,0 +1,44 @@
+"""Ablation: where do the cycles come from?
+
+Decomposes MinBoost3's advantage on one workload into the scheduler's
+ingredients by toggling them: issue width (scalar vs 2-issue), scheduling
+scope (basic-block vs global), and speculation hardware (none vs MinBoost3).
+Mirrors the paper's narrative arc across Figures 8/9 and Table 2.
+"""
+
+from repro.harness.pipeline import CompileConfig, SCALAR_CONFIG, compile_minic
+from repro.sched.boostmodel import MINBOOST3, NO_BOOST
+from repro.sched.machine import SUPERSCALAR
+from repro.workloads import get
+
+STEPS = [
+    ("scalar", SCALAR_CONFIG),
+    ("2-issue bb", CompileConfig(machine=SUPERSCALAR, scheduler="bb")),
+    ("2-issue global", CompileConfig(machine=SUPERSCALAR, model=NO_BOOST)),
+    ("2-issue global+MinBoost3",
+     CompileConfig(machine=SUPERSCALAR, model=MINBOOST3)),
+]
+
+
+def _ladder(wname: str):
+    w = get(wname)
+    out = []
+    for name, cfg in STEPS:
+        cp = compile_minic(w.source, cfg, w.train)
+        out.append((name, cp.run(w.eval).cycle_count))
+    return out
+
+
+def test_cycle_ladder(benchmark):
+    ladder = benchmark.pedantic(lambda: _ladder("nroff"),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    scalar = ladder[0][1]
+    print("\nAblation ladder (nroff): cycles and speedup vs scalar")
+    for name, cycles in ladder:
+        print(f"  {name:26s} {cycles:>9,}  {scalar / cycles:5.2f}x")
+    cycles = [c for _, c in ladder]
+    # Each rung must not regress, and the whole ladder must climb.
+    assert cycles[1] <= cycles[0]
+    assert cycles[2] <= cycles[1]
+    assert cycles[3] <= cycles[2]
+    assert scalar / cycles[3] > 1.3

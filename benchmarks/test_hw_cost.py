@@ -1,0 +1,32 @@
+"""Bench: Figure 7 / Section 4.3.2 hardware-cost figures.
+
+Regenerates the decoder transistor-count comparison the paper quotes:
+Boost1 costs ~33% more decode transistors than a plain 64-register file,
+MinBoost3 ~50% more, and the full Boost7 multi-file design is out of scale.
+"""
+
+import pytest
+
+from repro.hw.cost import boosting_file, plain_file, section_432_comparison
+from repro.sched.boostmodel import BOOST1, BOOST7, MINBOOST3, SQUASHING
+
+
+def test_hw_cost(benchmark):
+    ratios = benchmark.pedantic(
+        section_432_comparison, rounds=1, iterations=1, warmup_rounds=0)
+    base = plain_file(64)
+    print("\nSection 4.3.2 register-file decoder costs:")
+    print(f"  {'design':14s} {'rows':>5s} {'inputs':>7s} "
+          f"{'transistors':>12s} {'vs plain 64':>12s}")
+    print(f"  {'plain-64':14s} {base.rows:>5d} {base.gate_inputs:>7d} "
+          f"{base.decoder:>12d} {'—':>12s}")
+    for model in (SQUASHING, BOOST1, MINBOOST3, BOOST7):
+        cost = boosting_file(model)
+        print(f"  {cost.name:14s} {cost.rows:>5d} {cost.gate_inputs:>7d} "
+              f"{cost.decoder:>12d} {100 * cost.overhead_vs(base):>+11.1f}%")
+
+    assert ratios["Boost1"] == pytest.approx(1 / 3, abs=0.01)
+    assert ratios["MinBoost3"] == pytest.approx(0.5, abs=0.01)
+    assert boosting_file(BOOST7).overhead_vs(base) > 1.0  # "unreasonable"
+    # One added gate on the access path — the paper's cycle-time argument.
+    assert boosting_file(MINBOOST3).access_path_gates == 1

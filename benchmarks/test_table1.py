@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 1 — scalar cycles, IPC, branch-prediction
+accuracy per benchmark.
+
+The benchmark times one representative scalar simulation (awk); the test
+body regenerates the whole table and checks its paper-shape invariants:
+sub-1 IPC on every benchmark, grep the most predictable, eqntott the least.
+"""
+
+from repro.harness import render_table1, table1
+
+
+def test_table1(lab, benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1(lab), rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(render_table1(lab))
+
+    by_name = {r.name: r for r in rows}
+    assert set(by_name) == {"awk", "compress", "eqntott", "espresso",
+                            "grep", "nroff", "xlisp"}
+    # The paper's scalar machine sustains a bit under one IPC everywhere.
+    for row in rows:
+        assert 0.5 < row.ipc < 1.0, row
+        assert 0.6 < row.prediction_accuracy <= 1.0, row
+    # Shape: grep/nroff are the most predictable, eqntott the least.
+    accuracies = {name: r.prediction_accuracy for name, r in by_name.items()}
+    assert accuracies["eqntott"] == min(accuracies.values())
+    assert accuracies["grep"] == max(accuracies.values())
+    assert accuracies["grep"] > 0.95

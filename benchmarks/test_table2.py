@@ -1,0 +1,31 @@
+"""Bench: regenerate Table 2 — % improvement over global scheduling for the
+four boosting hardware models.
+
+Paper shape (GM): Squashing 9.9% < Boost1 17.0% ≤ MinBoost3 19.3% ≤ Boost7
+20.5%, with Boost7 adding little over MinBoost3 — the paper's headline
+claim that minimal boosting hardware captures most of the benefit.
+"""
+
+from repro.harness import render_table2, table2
+
+
+def test_table2(lab, benchmark):
+    rows, means = benchmark.pedantic(
+        lambda: table2(lab), rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(render_table2(lab))
+
+    assert len(rows) == 7
+    # Every hardware model improves on pure global scheduling in the mean.
+    for key in ("squashing", "boost1", "minboost3", "boost7"):
+        assert means[key] > 0, (key, means)
+    # Ordering: more hardware never loses in the geometric mean...
+    assert means["boost7"] >= means["minboost3"] - 0.5
+    assert means["minboost3"] >= means["squashing"] - 0.5
+    # ...and the paper's punchline: Boost7's huge hardware adds almost
+    # nothing over MinBoost3.
+    assert means["boost7"] - means["minboost3"] < 5.0
+    # Per-benchmark sanity: no model may *hurt* by more than noise.
+    for row in rows:
+        for key, value in row.improvements.items():
+            assert value > -3.0, (row.name, key, value)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Boosted exceptions, squash, and precise recovery (Section 2.3).
+
+Builds a program whose *predicted* path loads through a pointer that is
+sometimes null.  The global scheduler boosts that load above its branch
+(the motion is unsafe — exactly the case boosting hardware exists for), and
+the demo then shows the three behaviours of the exception machinery:
+
+1. wrong path taken  → the speculative fault is squashed, nothing happens;
+2. right path, valid pointer → the boosted load commits normally;
+3. right path, null pointer → the machine pays the ~10-cycle recovery
+   overhead, runs the compiler-generated recovery code, and the fault
+   re-occurs *precisely* on a sequential instruction.
+
+Run:  python examples/exception_recovery.py
+"""
+
+from repro import ProcBuilder, Program, Reg, SUPERSCALAR, MINBOOST3
+from repro.hw.superscalar import SuperscalarSim
+from repro.isa import ZERO
+from repro.sched.globalsched import schedule_program_global
+
+T0, T1, T2, T3, T4 = (Reg.named(f"t{i}") for i in range(5))
+
+
+def build(take_branch: int, pointer_symbol: str | None) -> Program:
+    program = Program()
+    program.data.words("value", [31415])
+    b = ProcBuilder("main", data=program.data)
+    b.label("entry")
+    b.li(T4, take_branch)
+    if pointer_symbol is None:
+        b.li(T0, 0)                  # null pointer
+    else:
+        b.la(T0, pointer_symbol)     # valid pointer
+    b.bne(T4, ZERO, "cold")
+    b.label("hot")
+    b.lw(T2, T0, 0)                  # unsafe: boosted above the bne
+    b.print_(T2)
+    b.halt()
+    b.label("cold")
+    b.li(T3, -1)
+    b.print_(T3)
+    b.halt()
+    program.add(b.build())
+    program.proc("main").block("entry").terminator.predict_taken = False
+    return program
+
+
+def main() -> None:
+    # --- 1. wrong path: the boosted fault evaporates --------------------
+    program = build(take_branch=1, pointer_symbol=None)
+    sched, stats = schedule_program_global(program, SUPERSCALAR, MINBOOST3)
+    print(f"compiler boosted {stats.boosted} instruction(s); recovery "
+          f"blocks: {sum(len(p.recovery) for p in sched.procedures.values())}")
+    sim = SuperscalarSim(sched)
+    result = sim.run()
+    print(f"[mispredicted path]  output={result.output}  trap={result.trap}  "
+          f"recoveries={sim.recovery_invocations}")
+
+    # --- 2. right path, valid pointer: normal commit ---------------------
+    program = build(take_branch=0, pointer_symbol="value")
+    sched, _ = schedule_program_global(program, SUPERSCALAR, MINBOOST3)
+    sim = SuperscalarSim(sched)
+    result = sim.run()
+    print(f"[valid pointer]      output={result.output}  "
+          f"cycles={result.cycle_count}  recoveries={sim.recovery_invocations}")
+
+    # --- 3. right path, null pointer: precise fault through recovery -----
+    program = build(take_branch=0, pointer_symbol=None)
+    sched, _ = schedule_program_global(program, SUPERSCALAR, MINBOOST3)
+    faults = []
+    sim = SuperscalarSim(sched, trap_handler=lambda t: faults.append(t) or 0)
+    result = sim.run()
+    print(f"[null pointer]       output={result.output}  "
+          f"cycles={result.cycle_count}  recoveries={sim.recovery_invocations}")
+    print(f"                     precise fault: {faults[0]}")
+    print("\nthe recovery code the compiler generated:")
+    for uid, recov in sim.sched.proc("main").recovery.items():
+        print(f"  on commit of branch {uid} -> resume at {recov.resume_label}:")
+        for instr in recov.instructions:
+            print(f"      {instr}")
+
+
+if __name__ == "__main__":
+    main()

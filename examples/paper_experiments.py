@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (Section 4.3).
+
+Runs the seven workloads through all machine configurations — the scalar
+baseline, basic-block and global scheduling on the 2-issue superscalar, the
+four boosting hardware models, the infinite-register variants, and the
+dynamically-scheduled comparator — and prints Table 1, Figure 8, Table 2,
+and Figure 9 side by side with the paper's published numbers.
+
+This is the full evaluation: expect a few minutes of simulation.
+
+Run:  python examples/paper_experiments.py [workload ...]
+"""
+
+import sys
+import time
+
+from repro import Lab, all_workloads, render_all
+
+
+def main() -> None:
+    selected = sys.argv[1:]
+    workloads = all_workloads()
+    if selected:
+        workloads = [w for w in workloads if w.name in selected]
+        if not workloads:
+            names = ", ".join(w.name for w in all_workloads())
+            raise SystemExit(f"unknown workload; choose from: {names}")
+    t0 = time.time()
+    lab = Lab(workloads)
+    print(render_all(lab))
+    print(f"\n[{time.time() - t0:.0f}s of simulation]")
+
+
+if __name__ == "__main__":
+    main()

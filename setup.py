@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package can be installed in environments without the `wheel` package (and
+without network access) via `python setup.py develop` or
+`pip install -e . --no-build-isolation`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Efficient Superscalar Performance Through
+Boosting" (Smith, Horowitz, Lam; ASPLOS 1992).
+
+The package builds the paper's whole system from scratch:
+
+* a MIPS-R2000-like ISA with the ``.Bn`` boosting annotation
+  (:mod:`repro.isa`);
+* the Minic front end, classic optimizations, and a round-robin register
+  allocator (:mod:`repro.frontend`, :mod:`repro.opt`);
+* the trace-based global scheduler with boosting, duplication, and
+  recovery-code generation (:mod:`repro.sched`);
+* cycle-level machine models: the scalar baseline, the 2-issue
+  statically-scheduled superscalar with shadow register files / shadow
+  store buffer / exception shift buffer, and the dynamically-scheduled
+  Tomasulo+ROB comparator (:mod:`repro.hw`);
+* the seven Table-1 workloads and the experiment harness regenerating
+  every table and figure of the paper (:mod:`repro.workloads`,
+  :mod:`repro.harness`).
+
+Quick start::
+
+    from repro import CompileConfig, compile_minic, MINBOOST3, SUPERSCALAR
+
+    source = "func main() { print(6 * 7); }"
+    cp = compile_minic(source, CompileConfig(machine=SUPERSCALAR,
+                                             model=MINBOOST3))
+    result = cp.run()
+    print(result.output, result.cycle_count)
+"""
+
+from repro.frontend import compile_source, parse
+from repro.harness import (
+    CompileConfig, CompiledProgram, Lab, SCALAR_CONFIG, compile_ir,
+    compile_minic, render_all,
+)
+from repro.hw import (
+    DynamicSim, ExecutionResult, FunctionalSim, SuperscalarSim, Trap,
+    TrapKind, run_dynamic, run_functional, run_scheduled,
+)
+from repro.isa import Instruction, Opcode, Reg
+from repro.program import ProcBuilder, Program, parse_program
+from repro.sched import (
+    ALL_MODELS, BOOST1, BOOST7, BoostModel, MINBOOST3, NO_BOOST, SCALAR,
+    SQUASHING, SUPERSCALAR, schedule_program_bb, schedule_program_global,
+)
+from repro.workloads import Workload, all_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODELS", "BOOST1", "BOOST7", "BoostModel", "CompileConfig",
+    "CompiledProgram", "DynamicSim", "ExecutionResult", "FunctionalSim",
+    "Instruction", "Lab", "MINBOOST3", "NO_BOOST", "Opcode", "ProcBuilder",
+    "Program", "Reg", "SCALAR", "SCALAR_CONFIG", "SQUASHING", "SUPERSCALAR",
+    "SuperscalarSim", "Trap", "TrapKind", "Workload", "all_workloads",
+    "compile_ir", "compile_minic", "compile_source", "parse", "parse_program",
+    "render_all", "run_dynamic", "run_functional", "run_scheduled",
+    "schedule_program_bb", "schedule_program_global",
+]

@@ -1,0 +1,20 @@
+"""Dataflow analyses: liveness, dominators, equivalence, regions, aliasing."""
+
+from repro.analysis.dataflow import DataflowResult, solve_backward, solve_forward
+from repro.analysis.dominators import Dominators, PostDominators
+from repro.analysis.equivalence import (
+    ControlEquivalence, conflicts_with, data_equivalent_over,
+)
+from repro.analysis.liveness import (
+    CALL_DEFS, CALL_USES, RETURN_LIVE, Liveness, instr_defs, instr_uses,
+)
+from repro.analysis.memdep import access_size, base_reg, may_alias
+from repro.analysis.regions import Region, RegionTree
+
+__all__ = [
+    "CALL_DEFS", "CALL_USES", "ControlEquivalence", "DataflowResult",
+    "Dominators", "Liveness", "PostDominators", "RETURN_LIVE", "Region",
+    "RegionTree", "access_size", "base_reg", "conflicts_with",
+    "data_equivalent_over", "instr_defs", "instr_uses", "may_alias",
+    "solve_backward", "solve_forward",
+]

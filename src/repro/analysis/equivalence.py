@@ -1,0 +1,62 @@
+"""Control equivalence (Section 3.2.2).
+
+Two blocks are *control equivalent* iff the execution of one implies the
+execution of the other.  For blocks on a path from ``A`` down to ``D`` this
+is ``A dominates D`` **and** ``D postdominates A``.  *Data equivalence with
+respect to a moving instruction* — no data dependence with any instruction on
+any path between the pair — is checked separately by the code-motion engine,
+which knows the instruction being moved; this module supplies the control
+half plus a helper for the path-dependence test on a trace segment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import Dominators, PostDominators
+from repro.isa.instruction import Instruction
+from repro.program.cfg import CFG
+from repro.analysis.liveness import instr_defs, instr_uses
+
+
+class ControlEquivalence:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.dom = Dominators(cfg)
+        self.pdom = PostDominators(cfg)
+
+    def equivalent(self, upper: str, lower: str) -> bool:
+        """True iff ``upper`` and ``lower`` are control equivalent, with
+        ``upper`` the earlier block on the path."""
+        return (self.dom.dominates(upper, lower)
+                and self.pdom.postdominates(lower, upper))
+
+
+def conflicts_with(moving: Instruction, other: Instruction) -> bool:
+    """True if ``other`` imposes a data dependence on ``moving`` —
+    moving ``moving`` above ``other`` would be incorrect.
+
+    Covers RAW, WAR and WAW register dependences and conservative memory
+    dependences (refined by :mod:`repro.analysis.memdep` at the DDG level).
+    """
+    m_defs, m_uses = set(instr_defs(moving)), set(instr_uses(moving))
+    o_defs, o_uses = set(instr_defs(other)), set(instr_uses(other))
+    if m_uses & o_defs:      # RAW
+        return True
+    if m_defs & o_uses:      # WAR
+        return True
+    if m_defs & o_defs:      # WAW
+        return True
+    if moving.writes_memory() and (other.reads_memory() or other.writes_memory()):
+        return True
+    if moving.reads_memory() and other.writes_memory():
+        return True
+    if other.op.is_call and (moving.op.is_mem or m_defs or m_uses):
+        # Calls are scheduling barriers.
+        return True
+    return False
+
+
+def data_equivalent_over(moving: Instruction, between: list[Instruction]) -> bool:
+    """True if ``moving`` has no data dependence with any instruction in
+    ``between`` (the instructions on the path between a control-equivalent
+    pair)."""
+    return not any(conflicts_with(moving, other) for other in between)

@@ -1,0 +1,47 @@
+"""Simple static memory disambiguation.
+
+Two memory accesses provably do not alias when they use the *same base
+register* (with no intervening redefinition of that register between them)
+and their access ranges ``[imm, imm+size)`` do not overlap.  Anything else is
+conservatively assumed to alias — the paper itself notes that "better memory
+disambiguation" is future work (Section 4.3.2).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+_SIZES = {
+    Opcode.LW: 4, Opcode.SW: 4,
+    Opcode.LB: 1, Opcode.LBU: 1, Opcode.SB: 1,
+}
+
+
+def access_size(instr: Instruction) -> int:
+    return _SIZES.get(instr.op, 4)
+
+
+def base_reg(instr: Instruction):
+    """Base-address register of a memory instruction."""
+    if instr.op.is_load:
+        return instr.srcs[0]
+    if instr.op.is_store:
+        return instr.srcs[1]
+    raise ValueError(f"{instr} is not a memory access")
+
+
+def may_alias(a: Instruction, b: Instruction, same_base_value: bool) -> bool:
+    """Whether accesses ``a`` and ``b`` may touch overlapping bytes.
+
+    ``same_base_value`` must be True only when the caller has proven that the
+    base registers hold the same value at both accesses (same register, no
+    intervening redefinition).
+    """
+    if not (a.op.is_mem and b.op.is_mem):
+        raise ValueError("may_alias expects memory instructions")
+    if not same_base_value or base_reg(a) is not base_reg(b):
+        return True
+    a_lo, a_hi = a.imm or 0, (a.imm or 0) + access_size(a)
+    b_lo, b_hi = b.imm or 0, (b.imm or 0) + access_size(b)
+    return a_lo < b_hi and b_lo < a_hi

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE`` — compile a Minic source file and print the scheduled
+  program (cycle rows, boost labels, recovery code);
+* ``run FILE`` — compile and simulate, printing the program output and the
+  cycle statistics;
+* ``bench [WORKLOAD ...]`` — regenerate the paper's tables and figures;
+* ``workloads`` — list the Table-1 workload suite;
+* ``models`` — list the boosting hardware models and their parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.harness.experiments import Lab
+from repro.harness.pipeline import CompileConfig, compile_minic
+from repro.harness.report import render_all
+from repro.sched.boostmodel import ALL_MODELS, BY_NAME
+from repro.sched.machine import SCALAR, SUPERSCALAR
+from repro.workloads import all_workloads
+
+
+def _build_config(args: argparse.Namespace) -> CompileConfig:
+    machine = SCALAR if args.machine == "scalar" else SUPERSCALAR
+    model = BY_NAME[args.model]
+    return CompileConfig(
+        machine=machine,
+        model=model,
+        scheduler=args.scheduler,
+        regalloc=args.regalloc,
+        unroll=args.unroll,
+    )
+
+
+def _load_inputs(spec: Optional[str]) -> Optional[dict]:
+    """Inputs come as JSON: {"name": [ints] | int | "bytes-as-string"}."""
+    if spec is None:
+        return None
+    raw = json.loads(spec)
+    return {k: (v.encode() if isinstance(v, str) else v)
+            for k, v in raw.items()}
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    config = _build_config(args)
+    cp = compile_minic(source, config, _load_inputs(args.train))
+    print(f"# {config.describe()}")
+    if cp.stats is not None:
+        print(f"# traces={cp.stats.traces} boosted={cp.stats.boosted} "
+              f"duplicates={cp.stats.duplicates} "
+              f"compensation-blocks={cp.stats.split_blocks}")
+    print(cp.sched.dump())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    config = _build_config(args)
+    train = _load_inputs(args.train)
+    inputs = _load_inputs(args.input) or train
+    cp = compile_minic(source, config, train)
+    result = cp.run(inputs)
+    reference = cp.run_functional(inputs)
+    status = "OK" if result.output == reference.output else "MISMATCH"
+    for value in result.output:
+        print(value)
+    print(f"# [{config.describe()}] cycles={result.cycle_count:,} "
+          f"instructions={result.instr_count:,} ipc={result.ipc:.3f} "
+          f"branches={result.branch_count:,} "
+          f"pred-acc={result.prediction_accuracy * 100:.1f}% "
+          f"oracle={status}", file=sys.stderr)
+    return 0 if status == "OK" else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    workloads = all_workloads()
+    if args.workloads:
+        known = {w.name for w in workloads}
+        unknown = set(args.workloads) - known
+        if unknown:
+            print(f"unknown workloads: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        workloads = [w for w in workloads if w.name in args.workloads]
+    t0 = time.time()
+    lab = Lab(workloads)
+    print(render_all(lab))
+    print(f"\n[{time.time() - t0:.0f}s of simulation]")
+    if args.write_experiments:
+        from repro.harness.report import write_experiments_md
+        write_experiments_md(lab, args.write_experiments)
+        print(f"wrote {args.write_experiments}")
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'stands in for':22s} description")
+    for w in all_workloads():
+        print(f"{w.name:10s} {w.paper_benchmark:22s} {w.description}")
+    return 0
+
+
+def cmd_models(_args: argparse.Namespace) -> int:
+    print(f"{'model':10s} {'max level':>9s} {'stores':>7s} "
+          f"{'multi-file':>10s} {'squash-only':>11s}")
+    for m in ALL_MODELS:
+        print(f"{m.name:10s} {m.max_level:>9d} "
+              f"{'yes' if m.boost_stores else 'no':>7s} "
+              f"{'yes' if m.multi_shadow_files else 'no':>10s} "
+              f"{'yes' if m.squash_only else 'no':>11s}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Boosting (ASPLOS'92) reproduction: compile, simulate, "
+                    "and benchmark.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_compile_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="Minic source file")
+        p.add_argument("--machine", choices=["scalar", "superscalar"],
+                       default="superscalar")
+        p.add_argument("--model", choices=sorted(BY_NAME), default="MinBoost3")
+        p.add_argument("--scheduler", choices=["bb", "global"],
+                       default="global")
+        p.add_argument("--regalloc", choices=["round_robin", "infinite"],
+                       default="round_robin")
+        p.add_argument("--unroll", type=int, default=1)
+        p.add_argument("--train", help="JSON training inputs "
+                       "(profile source)", default=None)
+
+    p = sub.add_parser("compile", help="print the scheduled program")
+    add_compile_opts(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and simulate")
+    add_compile_opts(p)
+    p.add_argument("--input", help="JSON evaluation inputs (defaults to "
+                   "--train)", default=None)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("bench", help="regenerate the paper's tables/figures")
+    p.add_argument("workloads", nargs="*",
+                   help="subset of workloads (default: all seven)")
+    p.add_argument("--write-experiments", metavar="PATH",
+                   help="also write an EXPERIMENTS.md-style report")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("workloads", help="list the workload suite")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("models", help="list the boosting hardware models")
+    p.set_defaults(fn=cmd_models)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

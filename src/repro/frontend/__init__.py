@@ -1,0 +1,10 @@
+"""Minic front end: lexer, parser, AST, and IR code generation."""
+
+from repro.frontend.codegen import CodegenError, compile_module, compile_source
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.parser import ParseError, parse
+
+__all__ = [
+    "CodegenError", "LexError", "ParseError", "Token", "compile_module",
+    "compile_source", "parse", "tokenize",
+]

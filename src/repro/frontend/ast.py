@@ -1,0 +1,161 @@
+"""Abstract syntax tree for Minic, the small C-like workload language.
+
+Minic exists so the benchmark programs (Section 4.3's awk/compress/.../xlisp
+equivalents) can be written readably and compiled through the same optimizer
+and scheduler path the paper's SUIF-generated assembly went through.
+
+The language: 32-bit signed integers only; global scalars and arrays (word or
+byte); functions with up to four parameters; ``if``/``while``/``for``/
+``break``/``continue``/``return``; C operator set with short-circuit ``&&``
+and ``||``; builtins for raw memory access and output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ----------------------------------------------------------------- expressions
+
+
+@dataclass
+class IntLit:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Unary:
+    op: str                 # '-', '!', '~'
+    operand: "Expr"
+
+
+@dataclass
+class Binary:
+    op: str                 # '+','-','*','/','%','&','|','^','<<','>>',
+    lhs: "Expr"             # '<','<=','>','>=','==','!=','&&','||'
+    rhs: "Expr"
+
+
+@dataclass
+class Call:
+    name: str
+    args: list["Expr"]
+
+
+@dataclass
+class Index:
+    """``name[index]`` — element load from a global array."""
+
+    name: str
+    index: "Expr"
+
+
+Expr = Union[IntLit, Var, Unary, Binary, Call, Index]
+
+# ------------------------------------------------------------------ statements
+
+
+@dataclass
+class VarDecl:
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expr
+
+
+@dataclass
+class IndexAssign:
+    """``name[index] = value`` — element store to a global array."""
+
+    name: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list["Stmt"]
+    orelse: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: list["Stmt"]
+
+
+@dataclass
+class Return:
+    value: Optional[Expr]
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+Stmt = Union[VarDecl, Assign, IndexAssign, If, While, For, Return, Break,
+             Continue, ExprStmt]
+
+# ------------------------------------------------------------------ top level
+
+
+@dataclass
+class GlobalDecl:
+    """A global: scalar (size None), word array, or byte buffer.
+
+    ``init`` may be an int (scalar), a list of ints (word array), or a
+    ``bytes`` value (byte array, e.g. from a string literal).
+    """
+
+    name: str
+    size: Optional[int] = None          # element count for arrays
+    is_bytes: bool = False
+    init: Union[int, list[int], bytes, None] = None
+
+
+@dataclass
+class Function:
+    name: str
+    params: list[str]
+    body: list[Stmt]
+
+
+@dataclass
+class Module:
+    globals_: list[GlobalDecl] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

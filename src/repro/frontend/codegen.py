@@ -1,0 +1,583 @@
+"""Minic → IR code generator.
+
+Conventions:
+
+* All scalar locals and expression temporaries live in *virtual* registers;
+  register allocation later maps them onto the 24 allocatable physical
+  registers (or leaves them virtual under the infinite-register model).
+* Calling convention is caller-saves-everything: up to four arguments in
+  ``$a0..$a3``, result in ``$v0``; the caller spills every live virtual
+  register (named locals + in-flight temporaries) to its frame around a call.
+* ``main`` ends in ``halt``; other functions return with ``jr $ra``.
+
+Builtins: ``print(v)``, ``addr(g)``, ``size(g)``, ``loadw(a)``, ``loadb(a)``,
+``loadbu(a)``, ``storew(a, v)``, ``storeb(a, v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast
+from repro.frontend.parser import parse
+from repro.isa import A0, A1, A2, A3, RA, SP, V0, ZERO, Instruction, Opcode, Reg
+from repro.program import DataSegment, ProcBuilder, Program
+from repro.program.procedure import FrameInfo
+
+_ARG_REGS = (A0, A1, A2, A3)
+_BUILTINS = {"print", "addr", "size", "loadw", "loadb", "loadbu",
+             "storew", "storeb"}
+
+
+class CodegenError(ValueError):
+    pass
+
+
+class _FunctionContext:
+    """Per-function code generation state."""
+
+    def __init__(self, fn: ast.Function, module: ast.Module,
+                 data: DataSegment) -> None:
+        self.fn = fn
+        self.module = module
+        self.data = data
+        self.builder = ProcBuilder(fn.name, data=data)
+        self.locals: dict[str, Reg] = {}
+        self.temps: list[Reg] = []          # in-flight expression temporaries
+        self.loop_stack: list[tuple[str, str]] = []  # (continue_l, break_l)
+        self.label_n = 0
+        self.max_spill = 0
+        self.has_calls = self._contains_call(fn.body)
+        self.globals = {g.name: g for g in module.globals_}
+        self.functions = {f.name for f in module.functions}
+        self._prologue_addi: Optional[Instruction] = None
+        self._epilogue_addis: list[Instruction] = []
+
+    # --------------------------------------------------------------- helpers
+    def _contains_call(self, stmts) -> bool:
+        found = False
+
+        def walk_expr(e) -> None:
+            nonlocal found
+            if isinstance(e, ast.Call) and e.name not in _BUILTINS:
+                found = True
+            for attr in ("operand", "lhs", "rhs", "index", "value"):
+                sub = getattr(e, attr, None)
+                if sub is not None and not isinstance(sub, (str, int)):
+                    walk_expr(sub)
+            for sub in getattr(e, "args", ()):
+                walk_expr(sub)
+
+        def walk_stmt(s) -> None:
+            for attr in ("init", "cond", "step", "value", "index", "expr"):
+                sub = getattr(s, attr, None)
+                if sub is None or isinstance(sub, (str, int)):
+                    continue
+                if isinstance(sub, (ast.VarDecl, ast.Assign, ast.IndexAssign,
+                                    ast.ExprStmt)):
+                    walk_stmt(sub)
+                else:
+                    walk_expr(sub)
+            for body_attr in ("then", "orelse", "body"):
+                for sub in getattr(s, body_attr, ()):
+                    walk_stmt(sub)
+
+        for s in stmts:
+            walk_stmt(s)
+        return found
+
+    def fresh_label(self, hint: str) -> str:
+        self.label_n += 1
+        return f"{hint}{self.label_n}"
+
+    @property
+    def is_main(self) -> bool:
+        return self.fn.name == "main"
+
+    # ------------------------------------------------------------ generation
+    def generate(self) -> None:
+        b = self.builder
+        b.label("entry")
+        if self.has_calls or not self.is_main:
+            self._prologue_addi = b.addi(SP, SP, 0)  # backpatched
+            if self.has_calls:
+                b.sw(RA, SP, 0)
+        for i, param in enumerate(self.fn.params):
+            reg = b.vreg()
+            self.locals[param] = reg
+            b.move(reg, _ARG_REGS[i])
+        self.gen_stmts(self.fn.body)
+        if self.current_open():
+            self.gen_epilogue(None)
+        frame = 4 * (1 + self.max_spill)
+        if self._prologue_addi is not None:
+            self._prologue_addi.imm = -frame
+        for addi in self._epilogue_addis:
+            addi.imm = frame
+        self.builder.proc.frame = FrameInfo(
+            prologue=self._prologue_addi,
+            epilogues=list(self._epilogue_addis),
+            base_slots=(1 + self.max_spill
+                        if self._prologue_addi is not None else 0))
+
+    def current_open(self) -> bool:
+        cur = self.builder._current
+        return cur is None or not cur.is_terminated
+
+    def gen_epilogue(self, value: Optional[Reg]) -> None:
+        b = self.builder
+        if value is not None:
+            b.move(V0, value)
+        if self.is_main:
+            b.halt()
+            return
+        if self.has_calls:
+            b.lw(RA, SP, 0)
+        self._epilogue_addis.append(b.addi(SP, SP, 0))
+        b.ret()
+
+    # ------------------------------------------------------------ statements
+    def gen_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt) -> None:  # noqa: C901 - dispatch
+        b = self.builder
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in self.locals:
+                raise CodegenError(f"duplicate local {stmt.name!r}")
+            reg = b.vreg()
+            self.locals[stmt.name] = reg
+            if stmt.init is not None:
+                value = self.eval(stmt.init)
+                b.move(reg, value)
+            else:
+                b.li(reg, 0)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            if stmt.name in self.locals:
+                b.move(self.locals[stmt.name], value)
+            elif stmt.name in self.globals:
+                g = self.globals[stmt.name]
+                if g.size is not None:
+                    raise CodegenError(f"assigning to array {stmt.name!r}")
+                addr = b.vreg()
+                b.li(addr, self.data.address_of(stmt.name))
+                b.sw(value, addr, 0)
+            else:
+                raise CodegenError(f"unknown variable {stmt.name!r}")
+        elif isinstance(stmt, ast.IndexAssign):
+            self.gen_index_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value) if stmt.value is not None else None
+            self.gen_epilogue(value)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside loop")
+            b.j(self.loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside loop")
+            b.j(self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.ExprStmt):
+            self.eval(stmt.expr)
+        else:
+            raise CodegenError(f"unknown statement {stmt!r}")
+
+    def gen_index_assign(self, stmt: ast.IndexAssign) -> None:
+        b = self.builder
+        g = self.globals.get(stmt.name)
+        if g is None or g.size is None:
+            raise CodegenError(f"{stmt.name!r} is not a global array")
+        value = self.eval(stmt.value)
+        self.temps.append(value)
+        addr = self.element_address(g, stmt.index)
+        self.temps.pop()
+        if g.is_bytes:
+            b.sb(value, addr, 0)
+        else:
+            b.sw(value, addr, 0)
+
+    def element_address(self, g: ast.GlobalDecl, index: ast.Expr) -> Reg:
+        b = self.builder
+        base_addr = self.data.address_of(g.name)
+        if isinstance(index, ast.IntLit):
+            scale = 1 if g.is_bytes else 4
+            addr = b.vreg()
+            b.li(addr, base_addr + scale * index.value)
+            return addr
+        idx = self.eval(index)
+        addr = b.vreg()
+        if g.is_bytes:
+            b.addi(addr, idx, base_addr)
+        else:
+            scaled = b.vreg()
+            b.sll(scaled, idx, 2)
+            b.addi(addr, scaled, base_addr)
+        return addr
+
+    def gen_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        then_l = self.fresh_label("then")
+        else_l = self.fresh_label("else") if stmt.orelse else None
+        end_l = self.fresh_label("endif")
+        self.emit_cond(stmt.cond, then_l, else_l or end_l)
+        b.label(then_l)
+        self.gen_stmts(stmt.then)
+        if stmt.orelse:
+            if self.current_open():
+                b.j(end_l)
+            b.label(else_l)
+            self.gen_stmts(stmt.orelse)
+        b.label(end_l)
+
+    def gen_while(self, stmt: ast.While) -> None:
+        b = self.builder
+        head_l = self.fresh_label("while")
+        body_l = self.fresh_label("body")
+        exit_l = self.fresh_label("endwhile")
+        b.label(head_l)
+        self.emit_cond(stmt.cond, body_l, exit_l)
+        b.label(body_l)
+        self.loop_stack.append((head_l, exit_l))
+        self.gen_stmts(stmt.body)
+        self.loop_stack.pop()
+        if self.current_open():
+            b.j(head_l)
+        b.label(exit_l)
+
+    def gen_for(self, stmt: ast.For) -> None:
+        b = self.builder
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        head_l = self.fresh_label("for")
+        body_l = self.fresh_label("body")
+        step_l = self.fresh_label("step")
+        exit_l = self.fresh_label("endfor")
+        b.label(head_l)
+        if stmt.cond is not None:
+            self.emit_cond(stmt.cond, body_l, exit_l)
+        b.label(body_l)
+        self.loop_stack.append((step_l, exit_l))
+        self.gen_stmts(stmt.body)
+        self.loop_stack.pop()
+        b.label(step_l)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        if self.current_open():
+            b.j(head_l)
+        b.label(exit_l)
+
+    # ------------------------------------------------------------ conditions
+    _INVERT = {"==": "!=", "!=": "==", "<": ">=", ">=": "<", ">": "<=",
+               "<=": ">"}
+
+    def emit_cond(self, expr: ast.Expr, tlabel: str, flabel: str) -> None:
+        """Branch to ``tlabel``/``flabel`` on the truth of ``expr``.
+
+        The *true* path is emitted as the fall-through: the caller must place
+        ``tlabel`` immediately after this call.
+        """
+        b = self.builder
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            mid = self.fresh_label("not")
+            self.emit_cond(expr.operand, mid, tlabel)
+            b.label(mid)
+            b.j(flabel)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self.fresh_label("and")
+            self.emit_cond(expr.lhs, mid, flabel)
+            b.label(mid)
+            self.emit_cond(expr.rhs, tlabel, flabel)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self.fresh_label("or")
+            rhs_l = self.fresh_label("orrhs")
+            # lhs true -> tlabel; need branch-if-true, so invert the usual
+            # fall-through sense by testing lhs with swapped labels.
+            self.emit_cond(ast.Unary("!", expr.lhs), rhs_l, tlabel)
+            b.label(rhs_l)
+            self.emit_cond(expr.rhs, tlabel, flabel)
+            del mid
+            return
+        if isinstance(expr, ast.Binary) and expr.op in self._INVERT:
+            # Branch to flabel when the *inverted* comparison holds.
+            self._emit_compare_branch(self._INVERT[expr.op], expr.lhs,
+                                      expr.rhs, flabel)
+            return
+        value = self.eval(expr)
+        b.beq(value, ZERO, flabel)
+
+    def _emit_compare_branch(self, op: str, lhs: ast.Expr, rhs: ast.Expr,
+                             target: str) -> None:
+        """Branch to ``target`` when ``lhs op rhs`` holds."""
+        b = self.builder
+        a = self.eval(lhs)
+        self.temps.append(a)
+        c = self.eval(rhs)
+        self.temps.pop()
+        if op == "==":
+            b.beq(a, c, target)
+            return
+        if op == "!=":
+            b.bne(a, c, target)
+            return
+        t = b.vreg()
+        if op == "<":
+            b.slt(t, a, c)
+            b.bne(t, ZERO, target)
+        elif op == ">=":
+            b.slt(t, a, c)
+            b.beq(t, ZERO, target)
+        elif op == ">":
+            b.slt(t, c, a)
+            b.bne(t, ZERO, target)
+        elif op == "<=":
+            b.slt(t, c, a)
+            b.beq(t, ZERO, target)
+        else:
+            raise CodegenError(f"bad comparison {op!r}")
+
+    # ----------------------------------------------------------- expressions
+    _BINOPS = {
+        "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV,
+        "%": Opcode.REM, "&": Opcode.AND, "|": Opcode.OR, "^": Opcode.XOR,
+        "<<": Opcode.SLLV, ">>": Opcode.SRAV,
+    }
+
+    def eval(self, expr: ast.Expr) -> Reg:  # noqa: C901 - dispatch
+        b = self.builder
+        if isinstance(expr, ast.IntLit):
+            t = b.vreg()
+            b.li(t, expr.value)
+            return t
+        if isinstance(expr, ast.Var):
+            if expr.name in self.locals:
+                return self.locals[expr.name]
+            if expr.name in self.globals:
+                g = self.globals[expr.name]
+                if g.size is not None:
+                    raise CodegenError(
+                        f"array {expr.name!r} used without index (use addr())")
+                addr = b.vreg()
+                b.li(addr, self.data.address_of(expr.name))
+                t = b.vreg()
+                b.lw(t, addr, 0)
+                return t
+            raise CodegenError(f"unknown variable {expr.name!r}")
+        if isinstance(expr, ast.Unary):
+            return self.eval_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.eval_binary(expr)
+        if isinstance(expr, ast.Index):
+            g = self.globals.get(expr.name)
+            if g is None or g.size is None:
+                raise CodegenError(f"{expr.name!r} is not a global array")
+            addr = self.element_address(g, expr.index)
+            t = b.vreg()
+            if g.is_bytes:
+                b.lbu(t, addr, 0)
+            else:
+                b.lw(t, addr, 0)
+            return t
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        raise CodegenError(f"unknown expression {expr!r}")
+
+    def eval_unary(self, expr: ast.Unary) -> Reg:
+        b = self.builder
+        if expr.op == "!":
+            # Truth value as 0/1 without control flow: x == 0.
+            v = self.eval(expr.operand)
+            t = b.vreg()
+            b.sltiu(t, v, 1)
+            return t
+        v = self.eval(expr.operand)
+        t = b.vreg()
+        if expr.op == "-":
+            b.sub(t, ZERO, v)
+        elif expr.op == "~":
+            b.nor(t, v, ZERO)
+        else:
+            raise CodegenError(f"bad unary {expr.op!r}")
+        return t
+
+    def eval_binary(self, expr: ast.Binary) -> Reg:
+        b = self.builder
+        if expr.op in ("&&", "||"):
+            # Value context: materialise 0/1 through control flow, keeping
+            # the short-circuit semantics.
+            t = b.vreg()
+            true_l = self.fresh_label("bt")
+            false_l = self.fresh_label("bf")
+            end_l = self.fresh_label("bend")
+            self.emit_cond(expr, true_l, false_l)
+            b.label(true_l)
+            b.li(t, 1)
+            b.j(end_l)
+            b.label(false_l)
+            b.li(t, 0)
+            b.label(end_l)
+            return t
+        a = self.eval(expr.lhs)
+        self.temps.append(a)
+        c = self.eval(expr.rhs)
+        self.temps.pop()
+        t = b.vreg()
+        if expr.op in self._BINOPS:
+            op = self._BINOPS[expr.op]
+            if op is Opcode.ADD and isinstance(expr.rhs, ast.IntLit):
+                pass  # constant folding happens in the optimizer
+            b.emit(Instruction(op, dst=t, srcs=(a, c)))
+            return t
+        if expr.op == "<":
+            b.slt(t, a, c)
+        elif expr.op == ">":
+            b.slt(t, c, a)
+        elif expr.op == "<=":
+            b.slt(t, c, a)
+            u = b.vreg()
+            b.xori(u, t, 1)
+            return u
+        elif expr.op == ">=":
+            b.slt(t, a, c)
+            u = b.vreg()
+            b.xori(u, t, 1)
+            return u
+        elif expr.op == "==":
+            x = b.vreg()
+            b.xor(x, a, c)
+            b.sltiu(t, x, 1)
+        elif expr.op == "!=":
+            x = b.vreg()
+            b.xor(x, a, c)
+            b.sltu(t, ZERO, x)
+        else:
+            raise CodegenError(f"bad binary {expr.op!r}")
+        return t
+
+    # ----------------------------------------------------------------- calls
+    def eval_call(self, expr: ast.Call) -> Reg:
+        b = self.builder
+        name = expr.name
+        if name in _BUILTINS:
+            return self.eval_builtin(expr)
+        if name not in self.functions:
+            raise CodegenError(f"unknown function {name!r}")
+        if len(expr.args) > 4:
+            raise CodegenError(f"call to {name!r}: more than 4 arguments")
+
+        argv: list[Reg] = []
+        for arg in expr.args:
+            reg = self.eval(arg)
+            argv.append(reg)
+            self.temps.append(reg)
+        for _ in argv:
+            self.temps.pop()
+
+        # Spill every live virtual register: named locals plus in-flight
+        # temporaries.  Pure argument temporaries die at the call and are
+        # exempt, but an argument that is a named local stays live (e.g.
+        # around an enclosing loop) and must be saved like any other.
+        named = set(self.locals.values())
+        spills: list[Reg] = []
+        seen: set[Reg] = {reg for reg in argv if reg not in named}
+        for reg in list(self.locals.values()) + self.temps:
+            if reg not in seen:
+                seen.add(reg)
+                spills.append(reg)
+        self.max_spill = max(self.max_spill, len(spills))
+        for i, reg in enumerate(spills):
+            b.sw(reg, SP, 4 * (1 + i))
+        for i, reg in enumerate(argv):
+            b.move(_ARG_REGS[i], reg)
+        b.jal(name)
+        b.label(self.fresh_label("ret"))
+        result = b.vreg()
+        b.move(result, V0)
+        for i, reg in enumerate(spills):
+            b.lw(reg, SP, 4 * (1 + i))
+        return result
+
+    def eval_builtin(self, expr: ast.Call) -> Reg:
+        b = self.builder
+        name, args = expr.name, expr.args
+        if name == "print":
+            self._expect_args(expr, 1)
+            b.print_(self.eval(args[0]))
+            return ZERO
+        if name == "addr":
+            self._expect_args(expr, 1)
+            g = self._global_arg(args[0])
+            t = b.vreg()
+            b.li(t, self.data.address_of(g.name))
+            return t
+        if name == "size":
+            self._expect_args(expr, 1)
+            g = self._global_arg(args[0])
+            t = b.vreg()
+            nbytes = self.data.size_of(g.name)
+            b.li(t, nbytes if g.is_bytes else nbytes // 4)
+            return t
+        if name in ("loadw", "loadb", "loadbu"):
+            self._expect_args(expr, 1)
+            addr = self.eval(args[0])
+            t = b.vreg()
+            {"loadw": b.lw, "loadb": b.lb, "loadbu": b.lbu}[name](t, addr, 0)
+            return t
+        if name in ("storew", "storeb"):
+            self._expect_args(expr, 2)
+            addr = self.eval(args[0])
+            self.temps.append(addr)
+            value = self.eval(args[1])
+            self.temps.pop()
+            (b.sw if name == "storew" else b.sb)(value, addr, 0)
+            return ZERO
+        raise CodegenError(f"unknown builtin {name!r}")
+
+    def _expect_args(self, expr: ast.Call, n: int) -> None:
+        if len(expr.args) != n:
+            raise CodegenError(f"{expr.name} expects {n} argument(s)")
+
+    def _global_arg(self, arg: ast.Expr) -> ast.GlobalDecl:
+        if not isinstance(arg, ast.Var) or arg.name not in self.globals:
+            raise CodegenError("addr()/size() need a global name")
+        return self.globals[arg.name]
+
+
+def compile_module(module: ast.Module) -> Program:
+    """Lower a parsed Minic module to an IR :class:`Program`."""
+    program = Program()
+    for g in module.globals_:
+        if g.size is None:
+            init = g.init if isinstance(g.init, int) else 0
+            program.data.words(g.name, [init])
+        elif g.is_bytes:
+            if isinstance(g.init, bytes):
+                padded = g.init + b"\0" * (g.size - len(g.init))
+                program.data.bytes_(g.name, padded)
+            else:
+                program.data.zeros(g.name, g.size)
+        else:
+            values = list(g.init) if isinstance(g.init, list) else []
+            values += [0] * (g.size - len(values))
+            program.data.words(g.name, values)
+    if not any(fn.name == "main" for fn in module.functions):
+        raise CodegenError("no main function")
+    for fn in module.functions:
+        ctx = _FunctionContext(fn, module, program.data)
+        ctx.generate()
+        program.add(ctx.builder.build())
+    return program
+
+
+def compile_source(source: str) -> Program:
+    """Parse and lower Minic source text."""
+    return compile_module(parse(source))

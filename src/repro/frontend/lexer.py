@@ -1,0 +1,93 @@
+"""Tokenizer for Minic."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "global", "bytes", "func", "var", "if", "else", "while", "for",
+    "return", "break", "continue",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=(){}\[\],;])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+class LexError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'int' | 'name' | 'keyword' | 'string' | 'op' | 'eof'
+    text: str
+    value: int = 0
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _unescape(body: str) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            esc = body[i]
+            if esc not in _ESCAPES:
+                raise LexError(f"unknown escape \\{esc}")
+            out.append(_ESCAPES[esc])
+        else:
+            out.append(ord(ch))
+        i += 1
+    return bytes(out)
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos, line = 0, 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(f"line {line}: bad character {source[pos]!r}")
+        text = m.group(0)
+        if m.lastgroup == "ws":
+            line += text.count("\n")
+        elif m.lastgroup == "int":
+            tokens.append(Token("int", text, int(text, 0), line))
+        elif m.lastgroup == "char":
+            raw = _unescape(text[1:-1])
+            if len(raw) != 1:
+                raise LexError(f"line {line}: bad char literal {text}")
+            tokens.append(Token("int", text, raw[0], line))
+        elif m.lastgroup == "string":
+            tokens.append(Token("string", text, 0, line))
+        elif m.lastgroup == "name":
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, 0, line))
+        else:
+            tokens.append(Token("op", text, 0, line))
+        pos = m.end()
+    tokens.append(Token("eof", "", 0, line))
+    return tokens
+
+
+def string_bytes(token: Token) -> bytes:
+    """The byte content of a string literal token (no NUL terminator)."""
+    if token.kind != "string":
+        raise LexError(f"not a string token: {token}")
+    return _unescape(token.text[1:-1])

@@ -1,0 +1,256 @@
+"""Recursive-descent parser for Minic."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast
+from repro.frontend.lexer import Token, string_bytes, tokenize
+
+
+class ParseError(ValueError):
+    pass
+
+
+# Binary precedence levels, lowest first.  && and || are handled separately
+# (short-circuit) at the lowest levels.
+_LEVELS: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- primitives
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        return self.cur.kind == kind and (text is None or self.cur.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"line {self.cur.line}: expected {want!r}, got {self.cur.text!r}")
+        return self.advance()
+
+    # -------------------------------------------------------------- top level
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while not self.check("eof"):
+            if self.check("keyword", "global") or self.check("keyword", "bytes"):
+                module.globals_.append(self.parse_global())
+            elif self.check("keyword", "func"):
+                module.functions.append(self.parse_function())
+            else:
+                raise ParseError(
+                    f"line {self.cur.line}: expected declaration, got "
+                    f"{self.cur.text!r}")
+        return module
+
+    def parse_global(self) -> ast.GlobalDecl:
+        is_bytes = self.advance().text == "bytes"
+        name = self.expect("name").text
+        size: Optional[int] = None
+        if self.accept("op", "["):
+            size = self.expect("int").value
+            self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            if self.check("string"):
+                init = string_bytes(self.advance())
+                if not is_bytes:
+                    raise ParseError(f"string initialiser on non-bytes {name}")
+            elif self.accept("op", "{"):
+                values = [self._signed_int()]
+                while self.accept("op", ","):
+                    values.append(self._signed_int())
+                self.expect("op", "}")
+                init = bytes(v & 0xFF for v in values) if is_bytes else values
+            else:
+                init = self._signed_int()
+        self.expect("op", ";")
+        if size is None:
+            if isinstance(init, bytes):
+                size = len(init)
+            elif isinstance(init, list):
+                size = len(init)
+            elif is_bytes:
+                raise ParseError(f"bytes global {name} needs a size or initialiser")
+        return ast.GlobalDecl(name=name, size=size, is_bytes=is_bytes, init=init)
+
+    def _signed_int(self) -> int:
+        if self.accept("op", "-"):
+            return -self.expect("int").value
+        return self.expect("int").value
+
+    def parse_function(self) -> ast.Function:
+        self.expect("keyword", "func")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("name").text)
+            while self.accept("op", ","):
+                params.append(self.expect("name").text)
+        self.expect("op", ")")
+        if len(params) > 4:
+            raise ParseError(f"function {name}: more than 4 parameters")
+        body = self.parse_block()
+        return ast.Function(name=name, params=params, body=body)
+
+    # ------------------------------------------------------------- statements
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        if self.accept("keyword", "var"):
+            name = self.expect("name").text
+            init = self.parse_expr() if self.accept("op", "=") else None
+            self.expect("op", ";")
+            return ast.VarDecl(name, init)
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return ast.While(cond, self.parse_block())
+        if self.accept("keyword", "for"):
+            return self.parse_for()
+        if self.accept("keyword", "return"):
+            value = None if self.check("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return ast.Break()
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return ast.Continue()
+        stmt = self.parse_simple()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_if(self) -> ast.If:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_block()
+        orelse: list[ast.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond, then, orelse)
+
+    def parse_for(self) -> ast.For:
+        self.expect("op", "(")
+        init = None if self.check("op", ";") else self.parse_simple_or_decl()
+        self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.parse_simple()
+        self.expect("op", ")")
+        return ast.For(init, cond, step, self.parse_block())
+
+    def parse_simple_or_decl(self) -> ast.Stmt:
+        if self.accept("keyword", "var"):
+            name = self.expect("name").text
+            self.expect("op", "=")
+            return ast.VarDecl(name, self.parse_expr())
+        return self.parse_simple()
+
+    def parse_simple(self) -> ast.Stmt:
+        """Assignment, indexed assignment, or expression statement."""
+        if self.check("name"):
+            name_tok = self.advance()
+            if self.accept("op", "="):
+                return ast.Assign(name_tok.text, self.parse_expr())
+            if self.check("op", "["):
+                save = self.pos
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                if self.accept("op", "="):
+                    return ast.IndexAssign(name_tok.text, index, self.parse_expr())
+                self.pos = save  # it was an expression like xs[i] + 1;
+            self.pos -= 1  # un-consume the name, reparse as expression
+        return ast.ExprStmt(self.parse_expr())
+
+    # ------------------------------------------------------------ expressions
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(_LEVELS):
+            return self.parse_unary()
+        expr = self.parse_expr(level + 1)
+        ops = _LEVELS[level]
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance().text
+            rhs = self.parse_expr(level + 1)
+            expr = ast.Binary(op, expr, rhs)
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        if self.cur.kind == "op" and self.cur.text in ("-", "!", "~"):
+            op = self.advance().text
+            return ast.Unary(op, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        if self.check("int"):
+            return ast.IntLit(self.advance().value)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if self.check("name"):
+            name = self.advance().text
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.Call(name, args)
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.Index(name, index)
+            return ast.Var(name)
+        raise ParseError(
+            f"line {self.cur.line}: expected expression, got {self.cur.text!r}")
+
+
+def parse(source: str) -> ast.Module:
+    return Parser(source).parse_module()

@@ -1,0 +1,23 @@
+"""Experiment harness: compile pipeline, experiment drivers, reporting."""
+
+from repro.harness.experiments import (
+    CONFIGS, Figure8Row, Figure9Row, Lab, Table1Row, Table2Row,
+    figure8, figure9, geometric_mean, table1, table2,
+)
+from repro.harness.pipeline import (
+    CompileConfig, CompiledProgram, SCALAR_CONFIG, annotate_predictions,
+    compile_ir, compile_minic, make_input_image,
+)
+from repro.harness.report import (
+    render_all, render_figure8, render_figure9, render_table1, render_table2,
+    write_experiments_md,
+)
+
+__all__ = [
+    "CONFIGS", "CompileConfig", "CompiledProgram", "Figure8Row", "Figure9Row",
+    "Lab", "SCALAR_CONFIG", "Table1Row", "Table2Row", "annotate_predictions",
+    "compile_ir", "compile_minic", "figure8", "figure9", "geometric_mean",
+    "make_input_image", "render_all", "render_figure8", "render_figure9",
+    "render_table1", "render_table2", "table1", "table2",
+    "write_experiments_md",
+]

@@ -1,0 +1,224 @@
+"""Experiment drivers: regenerate every table and figure of Section 4.3.
+
+All experiments share a :class:`Lab`, which memoises the expensive
+compile+simulate steps per (workload, configuration):
+
+* **Table 1** — per-benchmark scalar cycles, scalar IPC, and static
+  branch-prediction accuracy (profile trained on the *train* input,
+  measured on the *eval* input);
+* **Figure 8** — speedup of the base 2-issue superscalar over the scalar
+  machine, basic-block scheduling vs global scheduling (no boosting), with
+  register allocation before scheduling and under the infinite register
+  model;
+* **Table 2** — percentage cycle-count improvement over global scheduling
+  for the Squashing / Boost1 / MinBoost3 / Boost7 hardware models;
+* **Figure 9** — speedup over scalar of MinBoost3 (32 regs / infinite regs)
+  versus the dynamically-scheduled machine (without / with register
+  renaming).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.harness.pipeline import (
+    CompileConfig, CompiledProgram, SCALAR_CONFIG, compile_minic,
+    make_input_image,
+)
+from repro.hw.dynamic import DynamicConfig, DynamicSim
+from repro.hw.exceptions import ExecutionResult
+from repro.sched.boostmodel import (
+    BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING,
+)
+from repro.sched.machine import SUPERSCALAR
+from repro.workloads import Workload, all_workloads
+
+#: named configurations used by the experiments
+CONFIGS: dict[str, CompileConfig] = {
+    "scalar": SCALAR_CONFIG,
+    "bb": CompileConfig(machine=SUPERSCALAR, model=NO_BOOST, scheduler="bb"),
+    "global": CompileConfig(machine=SUPERSCALAR, model=NO_BOOST),
+    "global_inf": CompileConfig(machine=SUPERSCALAR, model=NO_BOOST,
+                                regalloc="infinite"),
+    "squashing": CompileConfig(machine=SUPERSCALAR, model=SQUASHING),
+    "boost1": CompileConfig(machine=SUPERSCALAR, model=BOOST1),
+    "minboost3": CompileConfig(machine=SUPERSCALAR, model=MINBOOST3),
+    "boost7": CompileConfig(machine=SUPERSCALAR, model=BOOST7),
+    "minboost3_inf": CompileConfig(machine=SUPERSCALAR, model=MINBOOST3,
+                                   regalloc="infinite"),
+}
+
+
+def geometric_mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Lab:
+    """Memoising compile-and-measure service shared by all experiments."""
+
+    def __init__(self, workloads: Optional[list[Workload]] = None) -> None:
+        self.workloads = workloads if workloads is not None else all_workloads()
+        self._compiled: dict[tuple[str, str], CompiledProgram] = {}
+        self._measured: dict[tuple[str, str], ExecutionResult] = {}
+        self._reference: dict[str, list[int]] = {}
+
+    def workload(self, name: str) -> Workload:
+        for w in self.workloads:
+            if w.name == name:
+                return w
+        raise KeyError(name)
+
+    def compiled(self, wname: str, config_key: str) -> CompiledProgram:
+        key = (wname, config_key)
+        if key not in self._compiled:
+            w = self.workload(wname)
+            self._compiled[key] = compile_minic(w.source, CONFIGS[config_key],
+                                                w.train)
+        return self._compiled[key]
+
+    def reference_output(self, wname: str) -> list[int]:
+        if wname not in self._reference:
+            w = self.workload(wname)
+            cp = self.compiled(wname, "scalar")
+            self._reference[wname] = cp.run_functional(w.eval).output
+        return self._reference[wname]
+
+    def measure(self, wname: str, config_key: str) -> ExecutionResult:
+        """Run one configuration on the eval input, checking correctness
+        against the functional reference."""
+        key = (wname, config_key)
+        if key in self._measured:
+            return self._measured[key]
+        w = self.workload(wname)
+        if config_key in ("dynamic", "dynamic_rename"):
+            base = self.compiled(wname, "scalar")
+            image = make_input_image(base.program, w.eval)
+            config = DynamicConfig(rename=(config_key == "dynamic_rename"))
+            result = DynamicSim(base.program, config=config,
+                                input_image=image).run()
+        else:
+            cp = self.compiled(wname, config_key)
+            result = cp.run(w.eval)
+        expected = self.reference_output(wname)
+        if result.output != expected:
+            raise AssertionError(
+                f"{wname}/{config_key}: output mismatch "
+                f"(got {result.output[:4]}..., want {expected[:4]}...)")
+        self._measured[key] = result
+        return result
+
+    def speedup(self, wname: str, config_key: str) -> float:
+        """Cycle-count speedup of a configuration over the scalar machine."""
+        scalar = self.measure(wname, "scalar")
+        other = self.measure(wname, config_key)
+        return scalar.cycle_count / other.cycle_count
+
+
+# ------------------------------------------------------------------ Table 1
+@dataclass
+class Table1Row:
+    name: str
+    cycles: int
+    ipc: float
+    prediction_accuracy: float
+
+
+def table1(lab: Lab) -> list[Table1Row]:
+    rows = []
+    for w in lab.workloads:
+        res = lab.measure(w.name, "scalar")
+        rows.append(Table1Row(
+            name=w.name,
+            cycles=res.cycle_count,
+            ipc=res.ipc,
+            prediction_accuracy=res.prediction_accuracy,
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------- Figure 8
+@dataclass
+class Figure8Row:
+    name: str
+    bb_speedup: float
+    global_speedup: float
+    global_inf_speedup: float
+
+
+def figure8(lab: Lab) -> tuple[list[Figure8Row], dict[str, float]]:
+    rows = []
+    for w in lab.workloads:
+        rows.append(Figure8Row(
+            name=w.name,
+            bb_speedup=lab.speedup(w.name, "bb"),
+            global_speedup=lab.speedup(w.name, "global"),
+            global_inf_speedup=lab.speedup(w.name, "global_inf"),
+        ))
+    means = {
+        "bb": geometric_mean([r.bb_speedup for r in rows]),
+        "global": geometric_mean([r.global_speedup for r in rows]),
+        "global_inf": geometric_mean([r.global_inf_speedup for r in rows]),
+    }
+    return rows, means
+
+
+# ------------------------------------------------------------------ Table 2
+TABLE2_MODELS = ("squashing", "boost1", "minboost3", "boost7")
+
+
+@dataclass
+class Table2Row:
+    name: str
+    improvements: dict[str, float]  # model key -> % improvement over global
+
+
+def table2(lab: Lab) -> tuple[list[Table2Row], dict[str, float]]:
+    rows = []
+    for w in lab.workloads:
+        base = lab.measure(w.name, "global").cycle_count
+        improvements = {}
+        for key in TABLE2_MODELS:
+            cycles = lab.measure(w.name, key).cycle_count
+            improvements[key] = (base / cycles - 1.0) * 100.0
+        rows.append(Table2Row(name=w.name, improvements=improvements))
+    means = {
+        key: (geometric_mean(
+            [1.0 + r.improvements[key] / 100.0 for r in rows]) - 1.0) * 100.0
+        for key in TABLE2_MODELS
+    }
+    return rows, means
+
+
+# ----------------------------------------------------------------- Figure 9
+@dataclass
+class Figure9Row:
+    name: str
+    minboost3_speedup: float
+    minboost3_inf_speedup: float
+    dynamic_speedup: float
+    dynamic_rename_speedup: float
+
+
+def figure9(lab: Lab) -> tuple[list[Figure9Row], dict[str, float]]:
+    rows = []
+    for w in lab.workloads:
+        rows.append(Figure9Row(
+            name=w.name,
+            minboost3_speedup=lab.speedup(w.name, "minboost3"),
+            minboost3_inf_speedup=lab.speedup(w.name, "minboost3_inf"),
+            dynamic_speedup=lab.speedup(w.name, "dynamic"),
+            dynamic_rename_speedup=lab.speedup(w.name, "dynamic_rename"),
+        ))
+    means = {
+        "minboost3": geometric_mean([r.minboost3_speedup for r in rows]),
+        "minboost3_inf": geometric_mean(
+            [r.minboost3_inf_speedup for r in rows]),
+        "dynamic": geometric_mean([r.dynamic_speedup for r in rows]),
+        "dynamic_rename": geometric_mean(
+            [r.dynamic_rename_speedup for r in rows]),
+    }
+    return rows, means

@@ -1,0 +1,268 @@
+"""Human-readable rendering of the experiment results, in the same shape as
+the paper's tables and figures."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import (
+    Lab, TABLE2_MODELS, figure8, figure9, table1, table2,
+)
+
+#: the paper's published values, for side-by-side comparison
+PAPER_TABLE1 = {
+    "awk": (0.89, 82.0), "compress": (0.87, 82.7), "eqntott": (0.95, 72.1),
+    "espresso": (0.89, 75.7), "grep": (0.81, 97.9), "nroff": (0.82, 96.7),
+    "xlisp": (0.89, 83.5),
+}
+PAPER_TABLE2 = {
+    "awk": (11.2, 16.4, 17.2, 18.1),
+    "compress": (9.1, 10.6, 10.6, 10.6),
+    "eqntott": (8.0, 14.4, 16.0, 16.0),
+    "espresso": (9.8, 18.0, 21.3, 23.0),
+    "grep": (15.4, 27.7, 40.8, 40.8),
+    "nroff": (11.4, 24.4, 31.7, 36.6),
+    "xlisp": (6.7, 13.3, 12.5, 14.2),
+}
+PAPER_TABLE2_GM = (9.9, 17.0, 19.3, 20.5)
+PAPER_FIGURE8_GM = {"bb": 1.14, "global": 1.24}
+
+
+def render_table1(lab: Lab) -> str:
+    lines = [
+        "Table 1: benchmark programs and their simulation information",
+        f"{'':10s} {'Total Cycles':>13s} {'IPC':>6s} {'Pred.Acc':>9s} "
+        f"{'paper IPC':>10s} {'paper acc':>10s}",
+    ]
+    for row in table1(lab):
+        p_ipc, p_acc = PAPER_TABLE1[row.name]
+        lines.append(
+            f"{row.name:10s} {row.cycles:>13,} {row.ipc:>6.2f} "
+            f"{row.prediction_accuracy * 100:>8.1f}% "
+            f"{p_ipc:>10.2f} {p_acc:>9.1f}%")
+    return "\n".join(lines)
+
+
+def _speedup_bar(value: float, full: float = 2.5, width: int = 30) -> str:
+    """A one-line bar for a speedup value (the paper's figures are bars)."""
+    filled = max(0, min(width, round((value - 1.0) / (full - 1.0) * width)))
+    return "█" * filled + "·" * (width - filled)
+
+
+def render_figure8(lab: Lab) -> str:
+    rows, means = figure8(lab)
+    lines = [
+        "Figure 8: speedup over scalar without speculative-execution hardware",
+        f"{'':10s} {'bb sched':>9s} {'global':>8s} {'global+∞regs':>13s}",
+    ]
+    for row in rows:
+        lines.append(f"{row.name:10s} {row.bb_speedup:>9.2f} "
+                     f"{row.global_speedup:>8.2f} "
+                     f"{row.global_inf_speedup:>13.2f}")
+    lines.append(
+        f"{'G.M.':10s} {means['bb']:>9.2f} {means['global']:>8.2f} "
+        f"{means['global_inf']:>13.2f}")
+    lines.append(
+        f"{'paper G.M.':10s} {PAPER_FIGURE8_GM['bb']:>9.2f} "
+        f"{PAPER_FIGURE8_GM['global']:>8.2f} {'—':>13s}")
+    lines.append("")
+    for row in rows:
+        lines.append(f"  {row.name:10s} bb     {_speedup_bar(row.bb_speedup)}"
+                     f" {row.bb_speedup:.2f}x")
+        lines.append(f"  {'':10s} global {_speedup_bar(row.global_speedup)}"
+                     f" {row.global_speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def render_table2(lab: Lab) -> str:
+    rows, means = table2(lab)
+    header = " ".join(f"{m:>10s}" for m in
+                      ("Squashing", "Boost1", "MinBoost3", "Boost7"))
+    lines = [
+        "Table 2: % improvement over global scheduling",
+        f"{'':10s} {header}",
+    ]
+    for row in rows:
+        cells = " ".join(f"{row.improvements[k]:>9.1f}%" for k in TABLE2_MODELS)
+        paper = PAPER_TABLE2[row.name]
+        lines.append(f"{row.name:10s} {cells}   (paper: "
+                     + "/".join(f"{v:.1f}" for v in paper) + ")")
+    cells = " ".join(f"{means[k]:>9.1f}%" for k in TABLE2_MODELS)
+    lines.append(f"{'G.M.':10s} {cells}   (paper: "
+                 + "/".join(f"{v:.1f}" for v in PAPER_TABLE2_GM) + ")")
+    return "\n".join(lines)
+
+
+def render_figure9(lab: Lab) -> str:
+    rows, means = figure9(lab)
+    lines = [
+        "Figure 9: speedup over scalar — MinBoost3 vs dynamic scheduler",
+        f"{'':10s} {'MinBoost3':>10s} {'MB3+∞regs':>10s} "
+        f"{'dynamic':>9s} {'dyn+rename':>11s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:10s} {row.minboost3_speedup:>10.2f} "
+            f"{row.minboost3_inf_speedup:>10.2f} "
+            f"{row.dynamic_speedup:>9.2f} "
+            f"{row.dynamic_rename_speedup:>11.2f}")
+    lines.append(
+        f"{'G.M.':10s} {means['minboost3']:>10.2f} "
+        f"{means['minboost3_inf']:>10.2f} {means['dynamic']:>9.2f} "
+        f"{means['dynamic_rename']:>11.2f}")
+    lines.append(f"{'paper':10s} {'≈1.5x':>10s} {'':>10s} {'≈1.5x':>9s}")
+    lines.append("")
+    for row in rows:
+        lines.append(f"  {row.name:10s} MinBoost3 "
+                     f"{_speedup_bar(row.minboost3_speedup)} "
+                     f"{row.minboost3_speedup:.2f}x")
+        lines.append(f"  {'':10s} dynamic   "
+                     f"{_speedup_bar(row.dynamic_speedup)} "
+                     f"{row.dynamic_speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def render_all(lab: Lab) -> str:
+    return "\n\n".join([
+        render_table1(lab),
+        render_figure8(lab),
+        render_table2(lab),
+        render_figure9(lab),
+    ])
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    out.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(out)
+
+
+def write_experiments_md(lab: Lab, path: str) -> str:
+    """Generate EXPERIMENTS.md: measured-vs-paper for every table/figure."""
+    from repro.harness.experiments import TABLE2_MODELS
+
+    t1 = table1(lab)
+    f8_rows, f8_means = figure8(lab)
+    t2_rows, t2_means = table2(lab)
+    f9_rows, f9_means = figure9(lab)
+
+    parts = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `repro.harness.report.write_experiments_md` "
+        "(`python examples/paper_experiments.py` prints the same data).",
+        "",
+        "Absolute numbers differ from the paper — the workloads are "
+        "reimplementations sized for cycle-level simulation in Python, and "
+        "the substrate is our own compiler and machine models — so the "
+        "comparison to read is the *shape*: orderings, rough ratios, and "
+        "where returns diminish.",
+        "",
+        "## Table 1 — benchmark programs and simulation information",
+        "",
+    ]
+    rows = []
+    for r in t1:
+        p_ipc, p_acc = PAPER_TABLE1[r.name]
+        rows.append([r.name, f"{r.cycles:,}", f"{r.ipc:.2f}", f"{p_ipc:.2f}",
+                     f"{100 * r.prediction_accuracy:.1f}%", f"{p_acc:.1f}%"])
+    parts.append(_md_table(
+        ["benchmark", "cycles (measured)", "IPC", "IPC (paper)",
+         "pred. acc.", "pred. acc. (paper)"], rows))
+    parts += [
+        "",
+        "Shape check: every benchmark sustains a bit under one IPC on the "
+        "scalar machine; grep/nroff are the most predictable and eqntott "
+        "the least, as in the paper.",
+        "",
+        "## Figure 8 — speedup without speculative-execution hardware",
+        "",
+    ]
+    rows = [[r.name, f"{r.bb_speedup:.2f}x", f"{r.global_speedup:.2f}x",
+             f"{r.global_inf_speedup:.2f}x"] for r in f8_rows]
+    rows.append(["**G.M.**", f"**{f8_means['bb']:.2f}x**",
+                 f"**{f8_means['global']:.2f}x**",
+                 f"**{f8_means['global_inf']:.2f}x**"])
+    rows.append(["paper G.M.", "1.14x", "1.24x", "—"])
+    parts.append(_md_table(
+        ["benchmark", "bb sched", "global sched", "global + ∞ regs"], rows))
+    parts += [
+        "",
+        "Shape check: global scheduling beats basic-block scheduling on "
+        "every benchmark; the infinite-register model bounds what an "
+        "integrated allocator/scheduler could add.",
+        "",
+        "## Table 2 — % improvement over global scheduling",
+        "",
+    ]
+    rows = []
+    for r in t2_rows:
+        paper = PAPER_TABLE2[r.name]
+        rows.append([r.name]
+                    + [f"{r.improvements[k]:.1f}%" for k in TABLE2_MODELS]
+                    + ["/".join(f"{v:.1f}" for v in paper)])
+    rows.append(["**G.M.**"]
+                + [f"**{t2_means[k]:.1f}%**" for k in TABLE2_MODELS]
+                + ["/".join(f"{v:.1f}" for v in PAPER_TABLE2_GM)])
+    parts.append(_md_table(
+        ["benchmark", "Squashing", "Boost1", "MinBoost3", "Boost7",
+         "paper (Sq/B1/MB3/B7)"], rows))
+    parts += [
+        "",
+        "Shape check: every model improves on global scheduling; the "
+        "ordering Squashing ≤ Boost1 ≤ MinBoost3 ≤ Boost7 holds in the "
+        "mean; and the paper's punchline survives — Boost7's 'obviously "
+        "unreasonable' hardware adds almost nothing over MinBoost3.",
+        "",
+        "## Figure 9 — MinBoost3 vs the dynamically-scheduled machine",
+        "",
+    ]
+    rows = [[r.name, f"{r.minboost3_speedup:.2f}x",
+             f"{r.minboost3_inf_speedup:.2f}x",
+             f"{r.dynamic_speedup:.2f}x",
+             f"{r.dynamic_rename_speedup:.2f}x"] for r in f9_rows]
+    rows.append(["**G.M.**", f"**{f9_means['minboost3']:.2f}x**",
+                 f"**{f9_means['minboost3_inf']:.2f}x**",
+                 f"**{f9_means['dynamic']:.2f}x**",
+                 f"**{f9_means['dynamic_rename']:.2f}x**"])
+    rows.append(["paper", "≈1.5x", "—", "≈1.5x", "—"])
+    parts.append(_md_table(
+        ["benchmark", "MinBoost3", "MinBoost3 + ∞ regs", "dynamic",
+         "dynamic + rename"], rows))
+    parts += [
+        "",
+        "Shape check: both machines land in the same band — the "
+        "statically-scheduled machine with minimal boosting hardware keeps "
+        "pace with the reservation-station/reorder-buffer/BTB design.",
+        "",
+        "## Figure 7 / §4.3.2 — hardware cost",
+        "",
+    ]
+    from repro.hw.cost import section_432_comparison
+    ratios = section_432_comparison()
+    parts.append(_md_table(
+        ["design", "decoder overhead vs plain 64-reg file", "paper"],
+        [["Boost1", f"+{100 * ratios['Boost1']:.0f}%", "+33%"],
+         ["MinBoost3", f"+{100 * ratios['MinBoost3']:.0f}%", "+50%"]]))
+    parts += [
+        "",
+        "## Known deviations",
+        "",
+        "* Workloads are reimplementations: prediction accuracies track the "
+        "paper's ordering but sit a few points higher on compress/espresso "
+        "(real SPEC inputs are messier than our generators).",
+        "* The scalar baseline models a load-interlocked pipeline rather "
+        "than undefined stale reads, and `li` is a single-cycle "
+        "pseudo-instruction; both shift absolute IPC slightly.",
+        "* Traces stop at loop back edges (the paper extends them one block "
+        "for lookahead); cross-iteration boosting is therefore absent, "
+        "which mostly compresses the Squashing→Boost7 spread on "
+        "loop-bound workloads.",
+        "* The dynamic comparator is execution-driven with a 1-cycle taken-"
+        "fetch bubble and 2-cycle mispredict restart (Johnson-style), not "
+        "the authors' trace-driven simulator.",
+        "",
+    ]
+    text = "\n".join(parts)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text

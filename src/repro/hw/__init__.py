@@ -1,0 +1,37 @@
+"""Hardware models: memory, traps, shadow state, and the machine simulators."""
+
+from repro.hw.alu import MASK32, branch_taken, execute_alu, s32, u32
+from repro.hw.btb import BranchTargetBuffer
+from repro.hw.cost import (
+    RegisterFileCost, boosting_file, decoder_transistors, plain_file,
+    section_432_comparison, select_inputs,
+)
+from repro.hw.dynamic import DynamicConfig, DynamicSim, run_dynamic
+from repro.hw.exceptions import (
+    ExceptionShiftBuffer, ExecutionResult, PendingBoostException, Trap,
+    TrapKind,
+)
+from repro.hw.functional import (
+    BranchProfile, EXIT_TOKEN, FuelExhausted, FunctionalSim, profile_program,
+    run_functional,
+)
+from repro.hw.memory import Memory
+from repro.hw.shadow import (
+    MultiLevelShadowFile, NullShadowFile, ShadowConflictError,
+    SingleShadowFile, make_shadow_file,
+)
+from repro.hw.storebuf import ShadowStoreBuffer, StoreBufferError
+from repro.hw.superscalar import SimulationError, SuperscalarSim, run_scheduled
+
+__all__ = [
+    "BranchProfile", "BranchTargetBuffer", "DynamicConfig", "DynamicSim",
+    "EXIT_TOKEN", "ExceptionShiftBuffer", "ExecutionResult", "FuelExhausted",
+    "FunctionalSim", "MASK32", "Memory", "MultiLevelShadowFile",
+    "NullShadowFile", "PendingBoostException", "RegisterFileCost",
+    "ShadowConflictError", "ShadowStoreBuffer", "SimulationError",
+    "SingleShadowFile", "StoreBufferError", "SuperscalarSim", "Trap",
+    "TrapKind", "boosting_file", "branch_taken", "decoder_transistors",
+    "execute_alu", "make_shadow_file", "plain_file", "profile_program",
+    "run_dynamic", "run_functional", "run_scheduled", "s32",
+    "section_432_comparison", "select_inputs", "u32",
+]

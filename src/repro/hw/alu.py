@@ -1,0 +1,111 @@
+"""Shared operation semantics for all machine models.
+
+Register values are kept as unsigned 32-bit integers (0 .. 2**32-1); signed
+operations convert on the way in and out.  Divide truncates toward zero and
+traps on a zero divisor (C semantics on the R2000's runtime).
+"""
+
+from __future__ import annotations
+
+from repro.hw.exceptions import Trap, TrapKind
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(x: int) -> int:
+    return x & MASK32
+
+
+def s32(x: int) -> int:
+    x &= MASK32
+    return x - 0x100000000 if x >= 0x80000000 else x
+
+
+def execute_alu(instr: Instruction, a: int = 0, b: int = 0) -> int:
+    """Compute the result of a non-memory, non-branch instruction.
+
+    ``a``/``b`` are the source register values (unsigned 32-bit); the
+    immediate is taken from the instruction.  Raises :class:`Trap` for
+    divide-by-zero.
+    """
+    op = instr.op
+    imm = instr.imm or 0
+    if op is Opcode.ADD:
+        return u32(a + b)
+    if op is Opcode.ADDI:
+        return u32(a + imm)
+    if op is Opcode.SUB:
+        return u32(a - b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.ANDI:
+        return a & u32(imm)
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.ORI:
+        return a | u32(imm)
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.XORI:
+        return a ^ u32(imm)
+    if op is Opcode.NOR:
+        return u32(~(a | b))
+    if op is Opcode.SLT:
+        return 1 if s32(a) < s32(b) else 0
+    if op is Opcode.SLTI:
+        return 1 if s32(a) < imm else 0
+    if op is Opcode.SLTU:
+        return 1 if a < b else 0
+    if op is Opcode.SLTIU:
+        return 1 if a < u32(imm) else 0
+    if op is Opcode.LUI:
+        return u32(imm << 16)
+    if op is Opcode.LI:
+        return u32(imm)
+    if op is Opcode.MOVE:
+        return a
+    if op is Opcode.SLL:
+        return u32(a << (imm & 31))
+    if op is Opcode.SRL:
+        return a >> (imm & 31)
+    if op is Opcode.SRA:
+        return u32(s32(a) >> (imm & 31))
+    if op is Opcode.SLLV:
+        return u32(a << (b & 31))
+    if op is Opcode.SRLV:
+        return a >> (b & 31)
+    if op is Opcode.SRAV:
+        return u32(s32(a) >> (b & 31))
+    if op is Opcode.MUL:
+        return u32(s32(a) * s32(b))
+    if op is Opcode.DIV:
+        if b == 0:
+            raise Trap(TrapKind.DIV_ZERO, instr_uid=instr.uid)
+        q = abs(s32(a)) // abs(s32(b))
+        return u32(-q if (s32(a) < 0) != (s32(b) < 0) else q)
+    if op is Opcode.REM:
+        if b == 0:
+            raise Trap(TrapKind.DIV_ZERO, instr_uid=instr.uid)
+        q = abs(s32(a)) % abs(s32(b))
+        return u32(-q if s32(a) < 0 else q)
+    raise ValueError(f"execute_alu cannot evaluate {instr}")
+
+
+def branch_taken(instr: Instruction, a: int = 0, b: int = 0) -> bool:
+    """Evaluate a conditional branch's condition."""
+    op = instr.op
+    if op is Opcode.BEQ:
+        return a == b
+    if op is Opcode.BNE:
+        return a != b
+    if op is Opcode.BLEZ:
+        return s32(a) <= 0
+    if op is Opcode.BGTZ:
+        return s32(a) > 0
+    if op is Opcode.BLTZ:
+        return s32(a) < 0
+    if op is Opcode.BGEZ:
+        return s32(a) >= 0
+    raise ValueError(f"{instr} is not a conditional branch")

@@ -1,0 +1,81 @@
+"""Branch target buffer: 2048 entries, 4-way set associative (Section 4.3.2).
+
+Each entry holds a tag, a predicted target, and a 2-bit saturating direction
+counter.  LRU replacement within a set.  The dynamically-scheduled machine
+uses it for conditional-branch direction prediction and for indirect-jump
+(return) target prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class _Way:
+    tag: int = -1
+    target: int = 0
+    counter: int = 0        # 0..3; >=2 predicts taken
+    lru: int = 0
+
+
+class BranchTargetBuffer:
+    def __init__(self, entries: int = 2048, ways: int = 4) -> None:
+        if entries % ways != 0:
+            raise ValueError("entries must divide evenly into ways")
+        self.sets = entries // ways
+        self.ways = ways
+        self._table: list[list[_Way]] = [
+            [_Way() for _ in range(ways)] for _ in range(self.sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.sets
+
+    def _tag(self, pc: int) -> int:
+        return pc >> 2
+
+    def _find(self, pc: int) -> Optional[_Way]:
+        tag = self._tag(pc)
+        for way in self._table[self._index(pc)]:
+            if way.tag == tag:
+                return way
+        return None
+
+    # ----------------------------------------------------------------- lookup
+    def lookup(self, pc: int) -> Optional[tuple[bool, int]]:
+        """(predict_taken, predicted_target) on a hit, else None (machines
+        fall through on a miss)."""
+        self._tick += 1
+        way = self._find(pc)
+        if way is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        way.lru = self._tick
+        return (way.counter >= 2, way.target)
+
+    # ------------------------------------------------------------------ train
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        """Train on a resolved branch (or an indirect jump, taken=True)."""
+        self._tick += 1
+        way = self._find(pc)
+        if way is None:
+            if not taken:
+                return  # only taken branches allocate
+            ways = self._table[self._index(pc)]
+            way = min(ways, key=lambda w: w.lru)
+            way.tag = self._tag(pc)
+            way.counter = 2
+            way.target = target
+            way.lru = self._tick
+            return
+        way.lru = self._tick
+        if taken:
+            way.counter = min(3, way.counter + 1)
+            way.target = target
+        else:
+            way.counter = max(0, way.counter - 1)

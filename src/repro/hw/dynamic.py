@@ -1,0 +1,523 @@
+"""The dynamically-scheduled superscalar comparator of Figure 9.
+
+Configuration straight from Section 4.3.2: fetch/decode two instructions per
+cycle, 30 reservation-station locations, a 16-entry reorder buffer
+implementing speculative out-of-order execution with in-order commit, a
+2048-entry 4-way set-associative branch target buffer, the same functional
+units as the statically-scheduled machine (two integer ALUs, one shifter,
+one branch unit, one multiply/divide unit, one memory port), and up to six
+instructions issued to units per cycle.  Register renaming is optional —
+Figure 9 reports the machine with and without it; without renaming a
+register may have only one write in flight, so anti- and output-dependences
+stall dispatch.
+
+The machine consumes the optimized, register-allocated IR directly (the
+same input the static schedulers see).  It has no architectural delay
+slots — branch effects are handled by speculative fetch plus flush on
+misprediction, with stores, PRINTs, and traps deferred to commit so
+wrong-path execution can never become architectural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.btb import BranchTargetBuffer
+from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
+from repro.hw.functional import EXIT_TOKEN
+from repro.hw.memory import Memory
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FU, Opcode
+from repro.isa.registers import RA, SP, Reg
+from repro.program.procedure import Program
+
+_TOKEN_STRIDE = 16
+_PC_BASE = 0x0040_0000
+_FAR_FUTURE = 1 << 60
+
+
+@dataclass
+class DynamicConfig:
+    fetch_width: int = 2
+    commit_width: int = 2
+    issue_width: int = 6              # dispatch-to-FU per cycle
+    rob_entries: int = 16
+    reservation_stations: int = 30
+    rename: bool = True
+    fetch_buffer: int = 8
+    btb_entries: int = 2048
+    btb_ways: int = 4
+    #: fetch bubble after any taken (non-sequential) control transfer —
+    #: the single-ported instruction fetch of the era cannot follow a
+    #: redirect in the same cycle
+    taken_fetch_bubble: int = 1
+    #: front-end refill after a misprediction flush
+    mispredict_restart: int = 2
+
+
+@dataclass
+class _Entry:
+    seq: int
+    idx: int                          # flat instruction index
+    instr: Instruction
+    dispatch_cycle: int
+    src_entries: list[Optional["_Entry"]]
+    src_values: list[Optional[int]]
+    started: bool = False
+    done: bool = False
+    complete_cycle: int = _FAR_FUTURE
+    value: Optional[int] = None
+    addr: Optional[int] = None        # resolved memory address
+    mem_size: int = 4
+    store_data: Optional[int] = None
+    trap: Optional[Trap] = None
+    predicted_next: Optional[int] = None
+    actual_next: Optional[int] = None
+    flushed: bool = False
+
+
+class DynamicSim:
+    """Execution-driven speculative Tomasulo + ROB simulator."""
+
+    def __init__(self, program: Program, config: Optional[DynamicConfig] = None,
+                 max_cycles: int = 100_000_000,
+                 input_image: Optional[list[tuple[int, bytes]]] = None) -> None:
+        self.program = program
+        self.config = config or DynamicConfig()
+        self.max_cycles = max_cycles
+
+        # Flatten the program: one global instruction array, 4 bytes per pc.
+        self.flat: list[Instruction] = []
+        self.entry_idx: dict[str, int] = {}
+        self.block_idx: dict[tuple[str, str], int] = {}
+        for proc in program.procedures.values():
+            self.entry_idx[proc.name] = len(self.flat)
+            for block in proc.blocks:
+                self.block_idx[(proc.name, block.label)] = len(self.flat)
+                for instr in block.instructions():
+                    self.flat.append(instr)
+        self._proc_of_idx: dict[int, str] = {}
+        for proc in program.procedures.values():
+            self._proc_of_idx[self.entry_idx[proc.name]] = proc.name
+        # Branch targets are resolved within the owning procedure.
+        self._owner: list[str] = []
+        for proc in program.procedures.values():
+            n = sum(1 for b in proc.blocks for _ in b.instructions())
+            self._owner.extend([proc.name] * n)
+
+        nregs = max(program.max_register_index() + 1, 32)
+        self.arch_regs = [0] * nregs
+        self.mem = Memory(program.mem_size)
+        self.mem.write_image(program.data.initial_image())
+        if input_image:
+            self.mem.write_image(input_image)
+        self.arch_regs[SP.index] = program.mem_size - 64
+        self.arch_regs[RA.index] = EXIT_TOKEN
+
+        self.btb = BranchTargetBuffer(self.config.btb_entries,
+                                      self.config.btb_ways)
+        self.rename: dict[int, _Entry] = {}
+        self.rob: list[_Entry] = []
+        self.fetch_queue: list[_Entry] = []
+        self.fetch_idx: Optional[int] = self.entry_idx[program.entry]
+        self.fetch_stalled_on: Optional[_Entry] = None  # unresolved jr
+        self._tokens: dict[int, int] = {}
+        self._next_token = EXIT_TOKEN + _TOKEN_STRIDE
+        self._seq = 0
+        self.cycle = 0
+        self._fetch_resume = 0
+        self.halted = False
+        self.result = ExecutionResult()
+        # multiply/divide unit is unpipelined
+        self._muldiv_free = 0
+        self._mem_free = 0
+
+    # ------------------------------------------------------------ helpers
+    def _pc(self, idx: int) -> int:
+        return _PC_BASE + 4 * idx
+
+    def _target_idx(self, idx: int, label: str) -> int:
+        return self.block_idx[(self._owner[idx], label)]
+
+    def _read_operand(self, reg: Reg) -> tuple[Optional[_Entry], Optional[int]]:
+        if reg.is_zero:
+            return (None, 0)
+        producer = self.rename.get(reg.index)
+        if producer is None:
+            return (None, self.arch_regs[reg.index])
+        if producer.done:
+            return (None, producer.value if producer.value is not None
+                    else self.arch_regs[reg.index])
+        return (producer, None)
+
+    # ---------------------------------------------------------------- fetch
+    def _predict_next(self, entry: _Entry) -> Optional[int]:
+        """Where fetch continues after this instruction; None = stall."""
+        instr = entry.instr
+        idx = entry.idx
+        op = instr.op
+        if not instr.is_terminator:
+            return idx + 1
+        if op is Opcode.HALT:
+            return None
+        if op is Opcode.J:
+            return self._target_idx(idx, instr.target)
+        if op is Opcode.JAL:
+            return self.entry_idx[instr.target]
+        if op.is_cond_branch:
+            hit = self.btb.lookup(self._pc(idx))
+            taken_target = self._target_idx(idx, instr.target)
+            if hit is None:
+                entry.predicted_next = idx + 1  # fall through on a miss
+            else:
+                predict_taken, _ = hit
+                entry.predicted_next = taken_target if predict_taken else idx + 1
+            return entry.predicted_next
+        if op is Opcode.JR:
+            hit = self.btb.lookup(self._pc(idx))
+            if hit is None:
+                entry.predicted_next = None
+                self.fetch_stalled_on = entry
+                return None
+            entry.predicted_next = hit[1]
+            return entry.predicted_next
+        raise ValueError(f"unhandled terminator {instr}")
+
+    def _fetch(self) -> None:
+        if self.cycle < self._fetch_resume:
+            return
+        for _ in range(self.config.fetch_width):
+            if self.fetch_idx is None or self.fetch_stalled_on is not None:
+                return
+            if len(self.fetch_queue) >= self.config.fetch_buffer:
+                return
+            idx = self.fetch_idx
+            if idx >= len(self.flat):
+                self.fetch_idx = None
+                return
+            instr = self.flat[idx]
+            self._seq += 1
+            entry = _Entry(seq=self._seq, idx=idx, instr=instr,
+                           dispatch_cycle=-1, src_entries=[], src_values=[])
+            self.fetch_queue.append(entry)
+            self.fetch_idx = self._predict_next(entry)
+            if self.fetch_idx is not None and self.fetch_idx != idx + 1:
+                # Redirected fetch: pay the taken-branch bubble.
+                self._fetch_resume = (self.cycle + 1
+                                      + self.config.taken_fetch_bubble)
+                return
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self) -> None:
+        cfg = self.config
+        for _ in range(cfg.fetch_width):
+            if not self.fetch_queue:
+                return
+            if len(self.rob) >= cfg.rob_entries:
+                return
+            in_flight = sum(1 for e in self.rob if not e.done)
+            if in_flight >= cfg.reservation_stations:
+                return
+            entry = self.fetch_queue[0]
+            instr = entry.instr
+            if not cfg.rename:
+                # Without renaming: one outstanding write per register.
+                for d in instr.defs():
+                    if d.index in self.rename and not self.rename[d.index].done:
+                        return
+            self.fetch_queue.pop(0)
+            entry.dispatch_cycle = self.cycle
+            for reg in instr.srcs:
+                producer, value = self._read_operand(reg)
+                entry.src_entries.append(producer)
+                entry.src_values.append(value)
+            for d in instr.defs():
+                self.rename[d.index] = entry
+            self.rob.append(entry)
+
+    # ----------------------------------------------------------------- issue
+    def _operands_ready(self, entry: _Entry) -> bool:
+        for i, producer in enumerate(entry.src_entries):
+            if producer is None:
+                continue
+            if producer.flushed:
+                # Producer was squashed after we captured it; its register
+                # now comes from the architectural file.
+                reg = entry.instr.srcs[i]
+                entry.src_entries[i] = None
+                entry.src_values[i] = self.arch_regs[reg.index]
+                continue
+            if not producer.done or producer.complete_cycle > self.cycle:
+                return False
+            entry.src_values[i] = producer.value
+            entry.src_entries[i] = None
+        return True
+
+    def _earlier_stores_resolved(self, entry: _Entry) -> Optional[int]:
+        """None if the load must wait; else the forwarded value or -1 for
+        'read memory'."""
+        for other in self.rob:
+            if other.seq >= entry.seq:
+                break
+            if not other.instr.op.is_store:
+                continue
+            if other.addr is None:
+                return None  # unknown earlier store address
+        value = None
+        for other in self.rob:
+            if other.seq >= entry.seq:
+                break
+            if not other.instr.op.is_store or other.addr is None:
+                continue
+            o_lo, o_hi = other.addr, other.addr + other.mem_size
+            lo, hi = entry.addr, entry.addr + entry.mem_size
+            if o_hi <= lo or hi <= o_lo:
+                continue
+            if other.addr == entry.addr and other.mem_size == entry.mem_size:
+                value = other.store_data
+            else:
+                return None  # partial overlap: wait for commit
+        return -1 if value is None else value
+
+    def _issue(self) -> None:
+        issued = 0
+        fu_used = {FU.ALU: 0, FU.SHIFT: 0, FU.BRANCH: 0}
+        for entry in self.rob:
+            if issued >= self.config.issue_width:
+                return
+            if entry.started or entry.done:
+                continue
+            if entry.dispatch_cycle >= self.cycle:
+                continue
+            if not self._operands_ready(entry):
+                continue
+            if not self._try_execute(entry, fu_used):
+                continue
+            issued += 1
+
+    def _try_execute(self, entry: _Entry, fu_used: dict) -> bool:
+        instr = entry.instr
+        op = instr.op
+        fu = op.fu
+        if fu is FU.ALU and fu_used[FU.ALU] >= 2:
+            return False
+        if fu is FU.SHIFT and fu_used[FU.SHIFT] >= 1:
+            return False
+        if fu is FU.BRANCH and fu_used[FU.BRANCH] >= 1:
+            return False
+        if fu is FU.MULDIV and self._muldiv_free > self.cycle:
+            return False
+        if fu is FU.MEM and self._mem_free > self.cycle:
+            return False
+
+        vals = entry.src_values
+        if op.is_mem:
+            base = vals[0] if op.is_load else vals[1]
+            entry.addr = (base + (instr.imm or 0)) & 0xFFFFFFFF
+            entry.mem_size = 4 if op in (Opcode.LW, Opcode.SW) else 1
+            if op.is_store:
+                entry.store_data = vals[0]
+                try:
+                    self.mem.check(entry.addr, entry.mem_size)
+                except Trap as trap:
+                    entry.trap = trap
+                self._finish(entry, 1)
+                self._mem_free = self.cycle + 1
+                return True
+            fwd = self._earlier_stores_resolved(entry)
+            if fwd is None:
+                return False
+            try:
+                self.mem.check(entry.addr, entry.mem_size)
+            except Trap as trap:
+                entry.trap = trap
+                self._finish(entry, op.latency)
+                self._mem_free = self.cycle + 1
+                return True
+            if fwd != -1:
+                value = fwd & (0xFFFFFFFF if entry.mem_size == 4 else 0xFF)
+            else:
+                raw = self.mem.read_bytes(entry.addr, entry.mem_size)
+                value = int.from_bytes(raw, "little")
+            if op is Opcode.LB and value >= 0x80:
+                value -= 0x100
+            entry.value = value & 0xFFFFFFFF
+            self._finish(entry, op.latency)
+            self._mem_free = self.cycle + 1
+            return True
+
+        if op.is_cond_branch:
+            taken = branch_taken(instr, *vals)
+            entry.actual_next = (self._target_idx(entry.idx, instr.target)
+                                 if taken else entry.idx + 1)
+            entry.value = int(taken)
+            self._finish(entry, 1)
+            fu_used[FU.BRANCH] += 1
+            return True
+        if op is Opcode.JAL:
+            token = self._next_token
+            self._next_token += _TOKEN_STRIDE
+            self._tokens[token] = entry.idx + 1
+            entry.value = token
+            self._finish(entry, 1)
+            fu_used[FU.BRANCH] += 1
+            return True
+        if op is Opcode.JR:
+            addr = vals[0]
+            entry.actual_next = (self._tokens.get(addr, -1)
+                                 if addr != EXIT_TOKEN else -2)
+            self._finish(entry, 1)
+            fu_used[FU.BRANCH] += 1
+            return True
+        if op in (Opcode.J, Opcode.HALT, Opcode.NOP, Opcode.PRINT):
+            # J resolves at fetch; HALT/PRINT act at commit.
+            if vals:
+                entry.value = vals[0]
+            self._finish(entry, 1)
+            if op.fu is FU.BRANCH:
+                fu_used[FU.BRANCH] += 1
+            elif op.fu is FU.ALU:
+                fu_used[FU.ALU] += 1
+            return True
+
+        try:
+            entry.value = execute_alu(instr, *vals)
+        except Trap as trap:
+            entry.trap = trap
+        latency = op.latency
+        self._finish(entry, latency)
+        if fu is FU.MULDIV:
+            self._muldiv_free = self.cycle + latency
+        elif fu is FU.SHIFT:
+            fu_used[FU.SHIFT] += 1
+        else:
+            fu_used[FU.ALU] += 1
+        return True
+
+    def _finish(self, entry: _Entry, latency: int) -> None:
+        entry.started = True
+        entry.complete_cycle = self.cycle + latency
+        entry.done = True
+
+    # -------------------------------------------------------------- writeback
+    def _writeback(self) -> None:
+        """Verify resolved control flow; flush on mispredictions."""
+        for entry in self.rob:
+            if not entry.done or entry.complete_cycle != self.cycle:
+                continue
+            instr = entry.instr
+            if instr.op.is_cond_branch:
+                self.result.branch_count += 1
+                taken = bool(entry.value)
+                self.btb.update(self._pc(entry.idx), taken,
+                                self._target_idx(entry.idx, instr.target))
+                if entry.predicted_next != entry.actual_next:
+                    self.result.mispredict_count += 1
+                    self._flush_after(entry)
+                    return
+            elif instr.op is Opcode.JR:
+                if entry.actual_next == -2:
+                    continue  # program exit; handled at commit
+                self.btb.update(self._pc(entry.idx), True,
+                                entry.actual_next if entry.actual_next >= 0
+                                else 0)
+                if self.fetch_stalled_on is entry:
+                    self.fetch_stalled_on = None
+                    self.fetch_idx = (entry.actual_next
+                                      if entry.actual_next >= 0 else None)
+                    self._fetch_resume = (self.cycle + 1
+                                          + self.config.taken_fetch_bubble)
+                elif entry.predicted_next != entry.actual_next:
+                    self.result.mispredict_count += 1
+                    self._flush_after(entry)
+                    return
+
+    def _flush_after(self, entry: _Entry) -> None:
+        keep: list[_Entry] = []
+        for other in self.rob:
+            if other.seq <= entry.seq:
+                keep.append(other)
+            else:
+                other.flushed = True
+        self.rob = keep
+        for e in self.fetch_queue:
+            e.flushed = True
+        self.fetch_queue.clear()
+        self.fetch_stalled_on = None
+        # Rebuild the rename table from the surviving entries.
+        self.rename = {}
+        for other in self.rob:
+            for d in other.instr.defs():
+                self.rename[d.index] = other
+        self.fetch_idx = entry.actual_next if entry.actual_next is not None \
+            and entry.actual_next >= 0 else None
+        self._fetch_resume = self.cycle + self.config.mispredict_restart
+
+    # ----------------------------------------------------------------- commit
+    def _commit(self) -> None:
+        for _ in range(self.config.commit_width):
+            if not self.rob:
+                return
+            entry = self.rob[0]
+            if not entry.done or entry.complete_cycle >= self.cycle:
+                return
+            instr = entry.instr
+            if entry.trap is not None:
+                entry.trap.instr_uid = instr.uid
+                self.result.trap = entry.trap
+                self.result.cycle_count = self.cycle
+                raise entry.trap
+            op = instr.op
+            if op is Opcode.HALT or (op is Opcode.JR
+                                     and entry.actual_next == -2):
+                self.halted = True
+                return
+            if op is Opcode.JR and entry.actual_next == -1:
+                trap = Trap(TrapKind.ADDRESS_ERROR, addr=entry.src_values[0])
+                self.result.trap = trap
+                raise trap
+            self.rob.pop(0)
+            if op is Opcode.PRINT:
+                self.result.output.append(s32(entry.value))
+            elif op.is_store:
+                data = (entry.store_data & 0xFFFFFFFF).to_bytes(4, "little")
+                for i in range(entry.mem_size):
+                    self.mem.store_byte(entry.addr + i, data[i])
+            elif entry.value is not None and instr.dst is not None \
+                    and not instr.dst.is_zero:
+                self.arch_regs[instr.dst.index] = entry.value
+            for d in instr.defs():
+                if self.rename.get(d.index) is entry:
+                    del self.rename[d.index]
+            if op is not Opcode.NOP:
+                self.result.instr_count += 1
+            else:
+                self.result.nop_count += 1
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> ExecutionResult:
+        while not self.halted:
+            self.cycle += 1
+            if self.cycle > self.max_cycles:
+                raise RuntimeError(f"exceeded {self.max_cycles} cycles")
+            self._commit()
+            if self.halted:
+                break
+            self._writeback()
+            self._issue()
+            self._dispatch()
+            self._fetch()
+            if (not self.rob and not self.fetch_queue
+                    and self.fetch_idx is None
+                    and self.fetch_stalled_on is None):
+                break
+        self.result.cycle_count = self.cycle
+        return self.result
+
+
+def run_dynamic(program: Program, rename: bool = True,
+                **kwargs) -> ExecutionResult:
+    config = DynamicConfig(rename=rename)
+    return DynamicSim(program, config=config, **kwargs).run()

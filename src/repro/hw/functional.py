@@ -1,0 +1,230 @@
+"""Functional instruction-set simulator — the reference semantics.
+
+This machine executes the IR directly (no schedule, no timing).  Every other
+machine model in :mod:`repro.hw` must produce exactly the same observable
+behaviour (PRINT stream, final trap if any); the test suite enforces this
+invariant on every workload.
+
+The simulator also doubles as the *profiler*: with ``profile=True`` it counts
+per-branch taken/not-taken outcomes and per-block execution counts, which the
+compiler turns into static predictions and trace probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
+from repro.hw.memory import Memory
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RA, SP, Reg
+from repro.program.procedure import Procedure, Program
+
+EXIT_TOKEN = 0x4000_0000
+_TOKEN_STRIDE = 16
+
+
+class FuelExhausted(RuntimeError):
+    """The step budget ran out — almost certainly an infinite loop."""
+
+
+@dataclass
+class BranchProfile:
+    """Dynamic branch statistics collected by a profiling run."""
+
+    taken: dict[int, int] = field(default_factory=dict)
+    not_taken: dict[int, int] = field(default_factory=dict)
+    block_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, uid: int, taken: bool) -> None:
+        book = self.taken if taken else self.not_taken
+        book[uid] = book.get(uid, 0) + 1
+
+    def taken_prob(self, uid: int) -> Optional[float]:
+        t = self.taken.get(uid, 0)
+        n = self.not_taken.get(uid, 0)
+        if t + n == 0:
+            return None
+        return t / (t + n)
+
+
+class FunctionalSim:
+    """Reference interpreter over the IR."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int = 50_000_000,
+        profile: bool = False,
+        trap_handler: Optional[Callable[[Trap], Optional[int]]] = None,
+        input_image: Optional[list[tuple[int, bytes]]] = None,
+    ) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.profile = BranchProfile() if profile else None
+        self.trap_handler = trap_handler
+
+        nregs = max(program.max_register_index() + 1, 32)
+        self.regs = [0] * nregs
+        self.mem = Memory(program.mem_size)
+        self.mem.write_image(program.data.initial_image())
+        if input_image:
+            self.mem.write_image(input_image)
+        self.regs[SP.index] = program.mem_size - 64
+        self.regs[RA.index] = EXIT_TOKEN
+
+        self._tokens: dict[int, tuple[Procedure, int]] = {}
+        self._next_token = EXIT_TOKEN + _TOKEN_STRIDE
+        self.result = ExecutionResult()
+        self._block_index: dict[str, dict[str, int]] = {
+            name: {b.label: i for i, b in enumerate(p.blocks)}
+            for name, p in program.procedures.items()
+        }
+
+    # --------------------------------------------------------------- plumbing
+    def _read(self, reg: Reg) -> int:
+        return 0 if reg.is_zero else self.regs[reg.index]
+
+    def _write(self, reg: Reg, value: int) -> None:
+        if not reg.is_zero:
+            self.regs[reg.index] = value & 0xFFFFFFFF
+
+    def _handle_trap(self, trap: Trap, instr: Instruction) -> bool:
+        """Returns True if the handler resumed execution with a value."""
+        trap.instr_uid = instr.uid
+        if self.trap_handler is not None:
+            fix = self.trap_handler(trap)
+            if fix is not None:
+                if instr.dst is not None:
+                    self._write(instr.dst, fix)
+                return True
+        self.result.trap = trap
+        raise trap
+
+    # -------------------------------------------------------------- execution
+    def run(self, entry: Optional[str] = None) -> ExecutionResult:
+        proc = self.program.proc(entry or self.program.entry)
+        block_idx = 0
+        fuel = self.max_steps
+        result = self.result
+        profile = self.profile
+
+        while True:
+            block = proc.blocks[block_idx]
+            if profile is not None:
+                key = (proc.name, block.label)
+                profile.block_counts[key] = profile.block_counts.get(key, 0) + 1
+
+            for instr in block.body:
+                fuel -= 1
+                if fuel < 0:
+                    raise FuelExhausted(f"exceeded {self.max_steps} steps")
+                result.instr_count += 1
+                try:
+                    self._execute_straightline(instr)
+                except Trap as trap:
+                    self._handle_trap(trap, instr)
+
+            term = block.terminator
+            if term is None:
+                block_idx += 1
+                if block_idx >= len(proc.blocks):
+                    return result
+                continue
+
+            fuel -= 1
+            if fuel < 0:
+                raise FuelExhausted(f"exceeded {self.max_steps} steps")
+            result.instr_count += 1
+            op = term.op
+            if op is Opcode.HALT:
+                return result
+            if op.is_cond_branch:
+                srcs = term.srcs
+                a = self._read(srcs[0])
+                b = self._read(srcs[1]) if len(srcs) > 1 else 0
+                taken = branch_taken(term, a, b)
+                result.branch_count += 1
+                if term.predict_taken is not None and taken != term.predict_taken:
+                    result.mispredict_count += 1
+                if profile is not None:
+                    profile.record(term.uid, taken)
+                if taken:
+                    block_idx = self._block_index[proc.name][term.target]
+                else:
+                    block_idx += 1
+                continue
+            if op is Opcode.J:
+                block_idx = self._block_index[proc.name][term.target]
+                continue
+            if op is Opcode.JAL:
+                token = self._next_token
+                self._next_token += _TOKEN_STRIDE
+                self._tokens[token] = (proc, block_idx + 1)
+                self._write(RA, token)
+                proc = self.program.proc(term.target)
+                block_idx = 0
+                continue
+            if op is Opcode.JR:
+                addr = self._read(term.srcs[0])
+                if addr == EXIT_TOKEN:
+                    return result
+                frame = self._tokens.get(addr)
+                if frame is None:
+                    trap = Trap(TrapKind.ADDRESS_ERROR, addr=addr,
+                                instr_uid=term.uid)
+                    self._handle_trap(trap, term)
+                    return result
+                proc, block_idx = frame
+                continue
+            if op is Opcode.JALR:
+                raise NotImplementedError("indirect calls use jal in this IR")
+            raise ValueError(f"unhandled terminator {term}")
+
+    def _execute_straightline(self, instr: Instruction) -> None:
+        op = instr.op
+        if op is Opcode.NOP:
+            self.result.nop_count += 1
+            self.result.instr_count -= 1
+            return
+        if op is Opcode.PRINT:
+            self.result.output.append(s32(self._read(instr.srcs[0])))
+            return
+        if op.is_load:
+            addr = (self._read(instr.srcs[0]) + (instr.imm or 0)) & 0xFFFFFFFF
+            if op is Opcode.LW:
+                value = self.mem.load_word(addr)
+            elif op is Opcode.LB:
+                value = self.mem.load_byte(addr, signed=True)
+            else:
+                value = self.mem.load_byte(addr, signed=False)
+            self._write(instr.dst, value)
+            return
+        if op.is_store:
+            value = self._read(instr.srcs[0])
+            addr = (self._read(instr.srcs[1]) + (instr.imm or 0)) & 0xFFFFFFFF
+            if op is Opcode.SW:
+                self.mem.store_word(addr, value)
+            else:
+                self.mem.store_byte(addr, value)
+            return
+        a = self._read(instr.srcs[0]) if instr.srcs else 0
+        b = self._read(instr.srcs[1]) if len(instr.srcs) > 1 else 0
+        self._write(instr.dst, execute_alu(instr, a, b))
+
+
+def run_functional(program: Program, **kwargs) -> ExecutionResult:
+    """Convenience wrapper: run ``program`` from its entry to completion."""
+    return FunctionalSim(program, **kwargs).run()
+
+
+def profile_program(program: Program, max_steps: int = 50_000_000,
+                    input_image=None) -> BranchProfile:
+    """Run a profiling pass and return the branch statistics."""
+    sim = FunctionalSim(program, max_steps=max_steps, profile=True,
+                        input_image=input_image)
+    sim.run()
+    return sim.profile

@@ -1,0 +1,66 @@
+"""Byte-addressable memory with faulting semantics.
+
+Low addresses (below the data base) are unmapped so that dereferencing a null
+or wild pointer raises an addressing exception — the behaviour that makes
+speculative loads *unsafe* (Section 2.1, Figure 1c) and motivates boosting's
+exception postponement.
+"""
+
+from __future__ import annotations
+
+from repro.hw.exceptions import Trap, TrapKind
+from repro.program.procedure import DATA_BASE, DEFAULT_MEM_SIZE
+
+_MASK32 = 0xFFFFFFFF
+
+
+class Memory:
+    def __init__(self, size: int = DEFAULT_MEM_SIZE, base: int = DATA_BASE) -> None:
+        self.size = size
+        self.base = base
+        self._mem = bytearray(size)
+
+    # ----------------------------------------------------------------- checks
+    def check(self, addr: int, nbytes: int) -> None:
+        """Raise the :class:`Trap` an access of ``nbytes`` at ``addr`` would
+        take, if any."""
+        if addr < self.base or addr + nbytes > self.size:
+            raise Trap(TrapKind.ADDRESS_ERROR, addr=addr)
+        if nbytes == 4 and addr % 4 != 0:
+            raise Trap(TrapKind.UNALIGNED, addr=addr)
+
+    _check = check
+
+    def valid(self, addr: int, nbytes: int = 4) -> bool:
+        return (self.base <= addr and addr + nbytes <= self.size
+                and (nbytes != 4 or addr % 4 == 0))
+
+    # ------------------------------------------------------------------ loads
+    def load_word(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self._mem[addr:addr + 4], "little")
+
+    def load_byte(self, addr: int, signed: bool = True) -> int:
+        self._check(addr, 1)
+        value = self._mem[addr]
+        if signed and value >= 0x80:
+            value -= 0x100
+        return value & _MASK32
+
+    # ----------------------------------------------------------------- stores
+    def store_word(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self._mem[addr:addr + 4] = (value & _MASK32).to_bytes(4, "little")
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self._mem[addr] = value & 0xFF
+
+    # ------------------------------------------------------------------- misc
+    def write_image(self, image: list[tuple[int, bytes]]) -> None:
+        for addr, raw in image:
+            self._mem[addr:addr + len(raw)] = raw
+
+    def read_bytes(self, addr: int, nbytes: int) -> bytes:
+        self._check(addr, 1)
+        return bytes(self._mem[addr:addr + nbytes])

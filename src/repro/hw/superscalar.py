@@ -1,0 +1,330 @@
+"""The statically-scheduled pipeline simulator.
+
+Executes a :class:`~repro.sched.schedprog.ScheduledProgram` — cycle rows of
+issue slots — with the boosting hardware of the schedule's machine model:
+
+* operands are read at issue (register file reads before writes in a cycle);
+* boosted results go to the shadow register file / shadow store buffer;
+* a conditional branch resolves at the end of its cycle; the following delay
+  cycle always executes; at the end of the block the branch's outcome
+  commits (correct prediction) or squashes (misprediction) the speculative
+  state;
+* exceptions on boosted instructions are deferred through the one-bit shift
+  buffer; when a deferred fault commits, the machine discards speculative
+  state, pays the recovery overhead, and executes the compiler-generated
+  recovery code, where the fault re-occurs precisely (Section 2.3);
+* a scoreboard interlock stalls an issue row until its operands are ready,
+  so cross-block latency violations cost cycles instead of corrupting state
+  (the schedulers fill delay slots; the interlock only catches the
+  boundaries).
+
+The same simulator runs the scalar R2000-like baseline: a width-1 schedule
+with the NO_BOOST model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.exceptions import ExecutionResult, ExceptionShiftBuffer, Trap, TrapKind
+from repro.hw.functional import EXIT_TOKEN
+from repro.hw.memory import Memory
+from repro.hw.shadow import make_shadow_file
+from repro.hw.storebuf import ShadowStoreBuffer
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RA, SP, Reg
+from repro.sched.schedprog import ScheduledProcedure, ScheduledProgram
+
+_TOKEN_STRIDE = 16
+
+
+class SimulationError(RuntimeError):
+    """The schedule asked the hardware for something it cannot do."""
+
+
+class SuperscalarSim:
+    def __init__(
+        self,
+        sched: ScheduledProgram,
+        max_cycles: int = 100_000_000,
+        trap_handler: Optional[Callable[[Trap], Optional[int]]] = None,
+        input_image: Optional[list[tuple[int, bytes]]] = None,
+    ) -> None:
+        self.sched = sched
+        self.program = sched.program
+        self.model = sched.model
+        self.machine = sched.machine
+        self.max_cycles = max_cycles
+        self.trap_handler = trap_handler
+
+        nregs = max(self.program.max_register_index() + 1, 32)
+        self.regs = [0] * nregs
+        self.mem = Memory(self.program.mem_size)
+        self.mem.write_image(self.program.data.initial_image())
+        if input_image:
+            self.mem.write_image(input_image)
+        self.regs[SP.index] = self.program.mem_size - 64
+        self.regs[RA.index] = EXIT_TOKEN
+
+        self.shadow = make_shadow_file(self.model.max_level,
+                                       self.model.multi_shadow_files)
+        self.storebuf = (ShadowStoreBuffer(self.model.max_level)
+                         if self.model.max_level > 0 and self.model.boost_stores
+                         else None)
+        self.shiftbuf = ExceptionShiftBuffer(max(self.model.max_level, 1))
+
+        self._ready: dict[int, int] = {}
+        self._tokens: dict[int, tuple[ScheduledProcedure, int]] = {}
+        self._next_token = EXIT_TOKEN + _TOKEN_STRIDE
+        self._block_index = {
+            name: {b.label: i for i, b in enumerate(p.blocks)}
+            for name, p in sched.procedures.items()
+        }
+        self.result = ExecutionResult()
+        self.recovery_invocations = 0
+        self.boosted_executed = 0
+        self.boosted_squashed = 0
+        self._ctl: Optional[tuple] = None
+        self.now = 0
+
+    # ------------------------------------------------------------- primitives
+    def _read(self, reg: Reg, level: int) -> int:
+        if reg.is_zero:
+            return 0
+        if level > 0:
+            hit = self.shadow.read(reg.index, level)
+            if hit is not None:
+                return hit
+        return self.regs[reg.index]
+
+    def _write(self, instr: Instruction, value: int) -> None:
+        reg = instr.dst
+        if reg is None or reg.is_zero:
+            return
+        if instr.boost > 0:
+            self.shadow.write(reg.index, instr.boost, value & 0xFFFFFFFF)
+        else:
+            self.regs[reg.index] = value & 0xFFFFFFFF
+        self._ready[reg.index] = self.now + instr.op.latency
+
+    def _trap(self, trap: Trap, instr: Instruction) -> Optional[int]:
+        """Handle a fault at issue.  For boosted instructions the fault is
+        deferred; for sequential ones it is precise."""
+        trap.instr_uid = instr.uid
+        if instr.boost > 0:
+            self.shiftbuf.record(instr.boost, trap, branch_uid=0)
+            return None
+        if self.trap_handler is not None:
+            fix = self.trap_handler(trap)
+            if fix is not None:
+                return fix
+        self.result.trap = trap
+        raise trap
+
+    # -------------------------------------------------------------- execution
+    def run(self, entry: Optional[str] = None) -> ExecutionResult:
+        proc = self.sched.proc(entry or self.program.entry)
+        block_idx = 0
+        while True:
+            if self.now > self.max_cycles:
+                raise SimulationError(f"exceeded {self.max_cycles} cycles")
+            block = proc.blocks[block_idx]
+            self._ctl = None
+            self._cur = (proc, block_idx)
+            for row in block.cycles:
+                self._issue_row(row)
+            nxt = self._block_end(proc, block_idx, block)
+            if nxt is None:
+                self.result.cycle_count = self.now
+                return self.result
+            proc, block_idx = nxt
+
+    def _issue_row(self, row: list[Optional[Instruction]]) -> None:
+        instrs = [i for i in row if i is not None]
+        # Scoreboard interlock: the whole issue packet waits for operands.
+        t = self.now
+        for instr in instrs:
+            for reg in instr.srcs:
+                if not reg.is_zero:
+                    t = max(t, self._ready.get(reg.index, 0))
+        self.now = t
+        # Phase 1: all operands read before any result is written.
+        values = [tuple(self._read(r, instr.boost) for r in instr.srcs)
+                  for instr in instrs]
+        # Phase 2: execute.
+        for instr, vals in zip(instrs, values):
+            self._execute(instr, vals)
+        self.now += 1
+
+    def _execute(self, instr: Instruction, vals: tuple[int, ...]) -> None:
+        op = instr.op
+        result = self.result
+        if op is Opcode.NOP:
+            result.nop_count += 1
+            return
+        result.instr_count += 1
+        if instr.boost > 0:
+            self.boosted_executed += 1
+        if op is Opcode.PRINT:
+            result.output.append(s32(vals[0]))
+            return
+        if op.is_load:
+            self._execute_load(instr, vals)
+            return
+        if op.is_store:
+            self._execute_store(instr, vals)
+            return
+        if instr.is_terminator:
+            self._resolve_terminator(instr, vals)
+            return
+        try:
+            value = execute_alu(instr, *vals)
+        except Trap as trap:
+            fix = self._trap(trap, instr)
+            if fix is None:
+                return
+            value = fix
+        self._write(instr, value)
+
+    def _execute_load(self, instr: Instruction, vals: tuple[int, ...]) -> None:
+        addr = (vals[0] + (instr.imm or 0)) & 0xFFFFFFFF
+        size = 4 if instr.op is Opcode.LW else 1
+        try:
+            self.mem.check(addr, size)
+        except Trap as trap:
+            fix = self._trap(trap, instr)
+            if fix is not None:
+                self._write(instr, fix)
+            return
+        if self.storebuf is not None:
+            raw = self.storebuf.load(self.mem, addr, size, instr.boost)
+        else:
+            raw = self.mem.read_bytes(addr, size)
+        value = int.from_bytes(raw, "little")
+        if instr.op is Opcode.LB and value >= 0x80:
+            value -= 0x100
+        self._write(instr, value)
+
+    def _execute_store(self, instr: Instruction, vals: tuple[int, ...]) -> None:
+        value, base = vals
+        addr = (base + (instr.imm or 0)) & 0xFFFFFFFF
+        size = 4 if instr.op is Opcode.SW else 1
+        try:
+            self.mem.check(addr, size)
+        except Trap as trap:
+            self._trap(trap, instr)
+            return
+        data = (value & 0xFFFFFFFF).to_bytes(4, "little")[:size]
+        if instr.boost > 0:
+            if self.storebuf is None:
+                raise SimulationError(
+                    f"{self.model.name}: boosted store but no shadow store "
+                    f"buffer ({instr})")
+            self.storebuf.store(instr.boost, addr, data)
+            return
+        if size == 4:
+            self.mem.store_word(addr, value)
+        else:
+            self.mem.store_byte(addr, value)
+
+    def _resolve_terminator(self, instr: Instruction,
+                            vals: tuple[int, ...]) -> None:
+        op = instr.op
+        if op.is_cond_branch:
+            taken = branch_taken(instr, *vals)
+            self._ctl = ("cond", instr, taken)
+        elif op is Opcode.J:
+            self._ctl = ("jump", instr.target)
+        elif op is Opcode.JAL:
+            proc, block_idx = self._cur
+            token = self._next_token
+            self._next_token += _TOKEN_STRIDE
+            self._tokens[token] = (proc, block_idx + 1)
+            self.regs[RA.index] = token
+            self._ready[RA.index] = self.now + 1
+            self._ctl = ("call", instr.target)
+        elif op is Opcode.JR:
+            self._ctl = ("return", vals[0])
+        elif op is Opcode.HALT:
+            self._ctl = ("halt",)
+        else:
+            raise SimulationError(f"unhandled terminator {instr}")
+
+    # -------------------------------------------------------------- block end
+    def _block_end(self, proc: ScheduledProcedure, block_idx: int,
+                   block) -> Optional[tuple[ScheduledProcedure, int]]:
+        ctl = self._ctl
+        index = self._block_index[proc.name]
+        if ctl is None:
+            if block_idx + 1 >= len(proc.blocks):
+                return None
+            return (proc, block_idx + 1)
+        kind = ctl[0]
+        if kind == "halt":
+            return None
+        if kind == "jump":
+            return (proc, index[ctl[1]])
+        if kind == "call":
+            callee = self.sched.proc(ctl[1])
+            return (callee, 0)
+        if kind == "return":
+            addr = ctl[1]
+            if addr == EXIT_TOKEN:
+                return None
+            frame = self._tokens.get(addr)
+            if frame is None:
+                raise Trap(TrapKind.ADDRESS_ERROR, addr=addr)
+            return frame
+        # Conditional branch: commit or squash the speculative state.
+        _, instr, taken = ctl
+        self.result.branch_count += 1
+        predicted = bool(instr.predict_taken)
+        if taken == predicted:
+            pending = self.shiftbuf.shift(instr.uid)
+            if pending is not None:
+                resume = self._run_recovery(proc, instr.uid)
+                return (proc, index[resume])
+            for reg, value in self.shadow.commit().items():
+                self.regs[reg] = value
+            if self.storebuf is not None:
+                self.storebuf.commit(self.mem)
+        else:
+            self.result.mispredict_count += 1
+            self.boosted_squashed += self.shadow.outstanding()
+            self.shadow.squash()
+            if self.storebuf is not None:
+                self.storebuf.squash()
+            self.shiftbuf.clear()
+        if taken:
+            return (proc, index[instr.target])
+        if block_idx + 1 >= len(proc.blocks):
+            return None
+        return (proc, block_idx + 1)
+
+    def _run_recovery(self, proc: ScheduledProcedure, branch_uid: int) -> str:
+        """Execute the boosted-exception recovery code; returns the label to
+        resume at (the predicted target of the committing branch)."""
+        recov = proc.recovery.get(branch_uid)
+        if recov is None:
+            raise SimulationError(
+                f"boosted exception committed at branch {branch_uid} but the "
+                "compiler generated no recovery code")
+        self.recovery_invocations += 1
+        # The hardware discards all speculative state before vectoring.
+        self.shadow.squash()
+        if self.storebuf is not None:
+            self.storebuf.squash()
+        self.shiftbuf.clear()
+        self.now += self.machine.recovery_overhead
+        for instr in recov.instructions:
+            vals = tuple(self._read(r, instr.boost) for r in instr.srcs)
+            self._execute(instr, vals)
+            self.now += 1
+        return recov.resume_label
+
+
+def run_scheduled(sched: ScheduledProgram, **kwargs) -> ExecutionResult:
+    """Convenience wrapper: run a scheduled program to completion."""
+    return SuperscalarSim(sched, **kwargs).run()

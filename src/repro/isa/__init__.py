@@ -1,0 +1,15 @@
+"""ISA definition: registers, opcodes, and instructions."""
+
+from repro.isa.instruction import BoostLabel, Direction, Instruction, iter_regs
+from repro.isa.opcodes import BY_MNEMONIC, FU, Format, OpInfo, Opcode
+from repro.isa.registers import (
+    A0, A1, A2, A3, ALLOCATABLE, AT, FP, GP, NUM_ARCH_REGS, RA, S_REGS, SP,
+    T_REGS, V0, V1, ZERO, Reg,
+)
+
+__all__ = [
+    "A0", "A1", "A2", "A3", "ALLOCATABLE", "AT", "BY_MNEMONIC", "BoostLabel",
+    "Direction", "FP", "FU", "Format", "GP", "Instruction", "NUM_ARCH_REGS",
+    "OpInfo", "Opcode", "RA", "Reg", "S_REGS", "SP", "T_REGS", "V0", "V1",
+    "ZERO", "iter_regs",
+]

@@ -1,0 +1,203 @@
+"""Instructions, including the boosting annotation.
+
+A boosted instruction carries its control-dependence information in the
+instruction encoding (Section 2.3).  The *general* form labels each dependent
+branch with its predicted direction (``.BRL`` = next branch RIGHT, the one
+after LEFT); the *trace-based* simplification the paper (and our schedulers)
+actually use encodes only a count ``.Bn``: the instruction is control
+dependent on the next *n* conditional branches, each going its predicted
+direction.  Both forms are modelled here; :class:`BoostLabel` is the general
+form and ``Instruction.boost`` is the trace-based level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.isa.opcodes import Format, Opcode
+from repro.isa.registers import RA, Reg
+
+_uid_counter = itertools.count(1)
+
+
+class Direction:
+    """Predicted directions for the general boosting label."""
+
+    LEFT = "L"       # branch falls through
+    RIGHT = "R"      # branch taken
+    DONT_CARE = "X"  # instruction independent of this branch
+
+
+@dataclass(frozen=True)
+class BoostLabel:
+    """General (per-path) boosting label, e.g. ``.BRR`` in Figure 2.
+
+    ``dirs`` holds one direction letter per dependent branch, innermost
+    (nearest) branch first.  The trace-based simplification corresponds to a
+    label of all-predicted directions, which is why it can be collapsed to a
+    plain count (:meth:`level`).
+    """
+
+    dirs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for d in self.dirs:
+            if d not in (Direction.LEFT, Direction.RIGHT, Direction.DONT_CARE):
+                raise ValueError(f"bad boost direction {d!r}")
+
+    @property
+    def level(self) -> int:
+        """Number of conditional branches this label depends on."""
+        return sum(1 for d in self.dirs if d != Direction.DONT_CARE)
+
+    @property
+    def suffix(self) -> str:
+        return ".B" + "".join(self.dirs) if self.dirs else ""
+
+    @classmethod
+    def parse(cls, text: str) -> "BoostLabel":
+        """Parse a ``.BRR``-style suffix (without the leading dot)."""
+        if not text.startswith("B"):
+            raise ValueError(f"bad boost label {text!r}")
+        return cls(tuple(text[1:]))
+
+
+@dataclass
+class Instruction:
+    """One machine instruction.
+
+    Operand conventions by format:
+
+    * ``RRR``: ``dst``, ``srcs=(a, b)``
+    * ``RRI``: ``dst``, ``srcs=(a,)``, ``imm``
+    * ``RI``/``LI``: ``dst``, ``imm``
+    * ``LOAD``: ``dst``, ``srcs=(base,)``, ``imm`` = offset
+    * ``STORE``: ``srcs=(value, base)``, ``imm`` = offset
+    * branches: ``srcs`` = compared registers, ``target`` = label
+    * ``JAL``: ``target``, implicitly writes ``$ra``
+    * ``JR``/``JALR``: ``srcs=(addr,)``
+
+    ``boost`` is the trace-based boosting level (0 = sequential).
+    ``predict_taken`` is the static prediction encoded on conditional
+    branches by the profile-driven compiler.
+    """
+
+    op: Opcode
+    dst: Optional[Reg] = None
+    srcs: tuple[Reg, ...] = ()
+    imm: Optional[int] = None
+    target: Optional[str] = None
+    boost: int = 0
+    predict_taken: Optional[bool] = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    #: uid of the instruction this one was duplicated/boosted from, if any.
+    origin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op.writes_dst and self.dst is None and not self.op.is_call:
+            raise ValueError(f"{self.op.mnemonic} requires a destination")
+        if self.op is Opcode.JAL or self.op is Opcode.JALR:
+            if self.dst is None:
+                self.dst = RA
+        if self.boost < 0:
+            raise ValueError("boost level must be non-negative")
+
+    # ------------------------------------------------------------------ defs
+    def defs(self) -> tuple[Reg, ...]:
+        """Registers written by this instruction (empty for stores/branches)."""
+        if self.dst is not None and self.op.writes_dst and not self.dst.is_zero:
+            return (self.dst,)
+        return ()
+
+    def uses(self) -> tuple[Reg, ...]:
+        """Registers read by this instruction."""
+        return tuple(r for r in self.srcs if not r.is_zero)
+
+    # -------------------------------------------------------------- predicates
+    @property
+    def is_boosted(self) -> bool:
+        return self.boost > 0
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op.is_branch or self.op is Opcode.HALT
+
+    @property
+    def side_effect_free(self) -> bool:
+        """True if squashing this instruction only discards its register result."""
+        return (not self.op.is_store and not self.op.is_branch
+                and self.op not in (Opcode.PRINT, Opcode.HALT))
+
+    def reads_memory(self) -> bool:
+        return self.op.is_load
+
+    def writes_memory(self) -> bool:
+        return self.op.is_store
+
+    # ------------------------------------------------------------------ misc
+    def copy(self, **changes) -> "Instruction":
+        """A fresh instruction (new uid) with ``changes`` applied.
+
+        The copy records the original instruction's uid in ``origin`` so the
+        recovery-code generator can relate duplicates to their source.
+        """
+        changes.setdefault("uid", next(_uid_counter))
+        changes.setdefault("origin", self.origin or self.uid)
+        return replace(self, **changes)
+
+    def with_boost(self, level: int) -> "Instruction":
+        """The same instruction boosted to ``level`` (same uid)."""
+        self.boost = level
+        return self
+
+    # ---------------------------------------------------------------- display
+    def _dst_text(self) -> str:
+        suffix = f".B{self.boost}" if self.boost else ""
+        return f"{self.dst!r}{suffix}"
+
+    def __str__(self) -> str:  # noqa: C901 - straightforward format dispatch
+        op, fmt = self.op, self.op.fmt
+        suffix = f".B{self.boost}" if self.boost else ""
+        m = op.mnemonic + suffix
+        if fmt is Format.RRR:
+            return f"{m} {self.dst!r}, {self.srcs[0]!r}, {self.srcs[1]!r}"
+        if fmt is Format.RRI:
+            return f"{m} {self.dst!r}, {self.srcs[0]!r}, {self.imm}"
+        if fmt is Format.RI:
+            return f"{m} {self.dst!r}, {self.imm}"
+        if fmt is Format.RR:
+            return f"{m} {self.dst!r}, {self.srcs[0]!r}"
+        if fmt is Format.LOAD:
+            return f"{m} {self.dst!r}, {self.imm}({self.srcs[0]!r})"
+        if fmt is Format.STORE:
+            return f"{m} {self.srcs[0]!r}, {self.imm}({self.srcs[1]!r})"
+        if fmt is Format.BRANCH2:
+            pred = _pred_text(self.predict_taken)
+            return f"{m} {self.srcs[0]!r}, {self.srcs[1]!r}, {self.target}{pred}"
+        if fmt is Format.BRANCH1:
+            pred = _pred_text(self.predict_taken)
+            return f"{m} {self.srcs[0]!r}, {self.target}{pred}"
+        if fmt is Format.JUMP:
+            return f"{m} {self.target}"
+        if fmt is Format.JREG:
+            return f"{m} {self.srcs[0]!r}"
+        if fmt is Format.SRC1:
+            return f"{m} {self.srcs[0]!r}"
+        return m
+
+    __repr__ = __str__
+
+
+def _pred_text(predict_taken: Optional[bool]) -> str:
+    if predict_taken is None:
+        return ""
+    return " <T>" if predict_taken else " <NT>"
+
+
+def iter_regs(instrs) -> Iterator[Reg]:
+    """All registers mentioned by an iterable of instructions."""
+    for instr in instrs:
+        yield from instr.defs()
+        yield from instr.uses()

@@ -1,0 +1,122 @@
+"""Register model for the MIPS-R2000-like ISA.
+
+The architecture has 32 sequential (architectural) integer registers with the
+conventional MIPS names.  The compiler additionally works with an unbounded
+supply of *virtual* registers before register allocation; the paper's
+"infinite register model" (Section 4.3.1) is realised by giving every virtual
+register its own physical index above 31 and sizing the simulated register
+file accordingly.
+
+Registers are interned: ``Reg(5) is Reg(5)``, which makes them cheap to hash
+and compare in the schedulers and dataflow analyses.
+"""
+
+from __future__ import annotations
+
+NUM_ARCH_REGS = 32
+
+_MIPS_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_INDEX = {name: i for i, name in enumerate(_MIPS_NAMES)}
+
+
+class Reg:
+    """An integer register, identified by its index.
+
+    Indices 0..31 are the architectural registers; index 0 is hard-wired to
+    zero.  Indices >= :data:`VIRTUAL_BASE` are compiler temporaries produced
+    by the front end and removed by register allocation (or kept, under the
+    infinite register model).
+    """
+
+    __slots__ = ("index",)
+
+    VIRTUAL_BASE = 1000
+
+    _cache: dict[int, "Reg"] = {}
+
+    def __new__(cls, index: int) -> "Reg":
+        cached = cls._cache.get(index)
+        if cached is not None:
+            return cached
+        if index < 0:
+            raise ValueError(f"register index must be non-negative: {index}")
+        reg = super().__new__(cls)
+        reg.index = index
+        cls._cache[index] = reg
+        return reg
+
+    @classmethod
+    def named(cls, name: str) -> "Reg":
+        """Look up an architectural register by its MIPS name (e.g. ``"t0"``)."""
+        if name in _NAME_TO_INDEX:
+            return cls(_NAME_TO_INDEX[name])
+        if name.startswith("r") and name[1:].isdigit():
+            return cls(int(name[1:]))
+        if name.startswith("v") and name[1:].isdigit():
+            return cls(cls.VIRTUAL_BASE + int(name[1:]))
+        raise KeyError(f"unknown register name: {name!r}")
+
+    @classmethod
+    def virtual(cls, n: int) -> "Reg":
+        """The *n*-th virtual (pre-allocation) register."""
+        return cls(cls.VIRTUAL_BASE + n)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.index >= self.VIRTUAL_BASE
+
+    @property
+    def is_zero(self) -> bool:
+        return self.index == 0
+
+    @property
+    def name(self) -> str:
+        if self.index < NUM_ARCH_REGS:
+            return _MIPS_NAMES[self.index]
+        if self.is_virtual:
+            return f"v{self.index - self.VIRTUAL_BASE}"
+        return f"r{self.index}"
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (isinstance(other, Reg) and other.index == self.index)
+
+    def __lt__(self, other: "Reg") -> bool:
+        return self.index < other.index
+
+
+# Conventional register aliases, exported for builder/codegen convenience.
+ZERO = Reg.named("zero")
+AT = Reg.named("at")
+V0, V1 = Reg.named("v0"), Reg.named("v1")
+A0, A1, A2, A3 = (Reg.named(n) for n in ("a0", "a1", "a2", "a3"))
+T_REGS = tuple(Reg.named(f"t{i}") for i in range(10))
+S_REGS = tuple(Reg.named(f"s{i}") for i in range(8))
+GP = Reg.named("gp")
+SP = Reg.named("sp")
+FP = Reg.named("fp")
+RA = Reg.named("ra")
+
+#: Registers the round-robin allocator may hand out for program values.
+#: ``at`` is reserved for the assembler/scheduler, ``k0``/``k1`` for the
+#: exception machinery, and ``gp``/``sp``/``fp``/``ra`` have fixed roles.
+ALLOCATABLE = tuple(
+    Reg.named(n)
+    for n in (
+        "v0", "v1", "a0", "a1", "a2", "a3",
+        "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+        "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+        "t8", "t9",
+    )
+)

@@ -1,0 +1,44 @@
+"""Classic optimizations (the paper's "standard optimizations", §4.3) and
+register allocation."""
+
+from repro.opt.cfgclean import clean_cfg, clean_program
+from repro.opt.constfold import fold_block, fold_procedure, fold_program
+from repro.opt.copyprop import (
+    propagate_block, propagate_procedure, propagate_program,
+)
+from repro.opt.cse import cse_block, cse_procedure, cse_program
+from repro.opt.dce import dce_procedure, dce_program
+from repro.opt.licm import licm_procedure, licm_program
+from repro.opt.unroll import unroll_loop, unroll_program
+from repro.opt.regalloc import (
+    RegPressureError, allocate_infinite_procedure, allocate_procedure,
+    allocate_program, verify_no_virtuals,
+)
+from repro.program.procedure import Program
+
+
+def optimize_program(program: Program, max_rounds: int = 10) -> Program:
+    """Run the scalar optimization pipeline to a fixed point (in place)."""
+    clean_program(program)
+    for _ in range(max_rounds):
+        changed = fold_program(program)
+        changed |= propagate_program(program)
+        changed |= licm_program(program)
+        changed |= cse_program(program)
+        changed |= dce_program(program)
+        clean_program(program)
+        if not changed:
+            break
+    return program
+
+
+__all__ = [
+    "RegPressureError", "allocate_infinite_procedure", "allocate_procedure",
+    "allocate_program", "clean_cfg", "clean_program", "cse_block",
+    "cse_procedure", "cse_program", "dce_procedure", "dce_program",
+    "fold_block", "fold_procedure", "fold_program", "licm_procedure",
+    "licm_program", "optimize_program",
+    "propagate_block", "propagate_procedure", "propagate_program",
+    "unroll_loop", "unroll_program",
+    "verify_no_virtuals",
+]

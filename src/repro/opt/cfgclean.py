@@ -1,0 +1,105 @@
+"""CFG cleanup: jump threading, fall-through elimination, block merging,
+unreachable-block removal.
+
+The Minic code generator emits structured but jump-heavy code; this pass
+brings it to the compact form the paper's scheduler expects (few redundant
+jumps, maximal basic blocks).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure, Program
+
+
+def _thread_jumps(proc: Procedure) -> bool:
+    """Retarget branches that point at empty jump-only blocks."""
+    changed = False
+    # Map: label -> ultimate target through chains of empty `j` blocks.
+    forward: dict[str, str] = {}
+    for block in proc.blocks:
+        if not block.body and block.terminator is not None \
+                and block.terminator.op is Opcode.J:
+            forward[block.label] = block.terminator.target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    for block in proc.blocks:
+        term = block.terminator
+        if term is not None and term.target is not None \
+                and not term.op.is_call:
+            final = resolve(term.target)
+            if final != term.target:
+                term.target = final
+                changed = True
+    return changed
+
+
+def _drop_jump_to_next(proc: Procedure) -> bool:
+    changed = False
+    for block in proc.blocks:
+        term = block.terminator
+        if term is not None and term.op is Opcode.J:
+            nxt = proc.layout_successor(block.label)
+            if nxt is not None and nxt.label == term.target:
+                block.terminator = None
+                changed = True
+    return changed
+
+
+def _remove_unreachable(proc: Procedure) -> bool:
+    cfg = CFG(proc)
+    reachable = cfg.reachable()
+    doomed = [b for b in proc.blocks if b.label not in reachable]
+    if not doomed:
+        return False
+    for block in doomed:
+        # Removing a fall-through block would rewire its predecessor; that
+        # cannot happen because an unreachable block has no predecessors.
+        proc.blocks.remove(block)
+        del proc._by_label[block.label]
+    return True
+
+
+def _merge_blocks(proc: Procedure) -> bool:
+    """Merge B into A when A falls through to B and B has no other preds."""
+    cfg = CFG(proc)
+    changed = False
+    i = 0
+    while i < len(proc.blocks) - 1:
+        a = proc.blocks[i]
+        b = proc.blocks[i + 1]
+        falls = a.terminator is None
+        only_pred = cfg.preds(b.label) == [a.label]
+        if falls and only_pred and a.label != b.label:
+            a.body.extend(b.body)
+            a.terminator = b.terminator
+            proc.blocks.remove(b)
+            del proc._by_label[b.label]
+            cfg = CFG(proc)
+            changed = True
+        else:
+            i += 1
+    return changed
+
+
+def clean_cfg(proc: Procedure) -> None:
+    """Iterate the cleanups to a fixed point."""
+    for _ in range(50):
+        changed = _thread_jumps(proc)
+        changed |= _remove_unreachable(proc)
+        changed |= _drop_jump_to_next(proc)
+        changed |= _merge_blocks(proc)
+        if not changed:
+            return
+
+
+def clean_program(program: Program) -> None:
+    for proc in program.procedures.values():
+        clean_cfg(proc)

@@ -1,0 +1,59 @@
+"""Local copy propagation.
+
+Within a basic block, a ``move d, s`` makes later uses of ``d`` replaceable
+by ``s`` until either register is redefined.  This exposes dead moves for
+DCE and removes false dependences before scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import instr_defs
+from repro.isa.registers import Reg
+from repro.program.block import BasicBlock
+from repro.program.procedure import Procedure, Program
+from repro.isa.opcodes import Opcode
+
+
+def propagate_block(block: BasicBlock) -> bool:
+    changed = False
+    copies: dict[Reg, Reg] = {}  # dst -> original source
+
+    def resolve(reg: Reg) -> Reg:
+        seen = set()
+        while reg in copies and reg not in seen:
+            seen.add(reg)
+            reg = copies[reg]
+        return reg
+
+    def invalidate(reg: Reg) -> None:
+        copies.pop(reg, None)
+        for dst in [d for d, s in copies.items() if s is reg]:
+            del copies[dst]
+
+    for instr in list(block.body) + (
+            [block.terminator] if block.terminator is not None else []):
+        if instr.srcs:
+            new_srcs = tuple(resolve(r) for r in instr.srcs)
+            if new_srcs != instr.srcs:
+                instr.srcs = new_srcs
+                changed = True
+        for reg in instr_defs(instr):
+            invalidate(reg)
+        if instr.op is Opcode.MOVE and instr.dst is not None \
+                and not instr.dst.is_zero and instr.dst is not instr.srcs[0]:
+            copies[instr.dst] = instr.srcs[0]
+    return changed
+
+
+def propagate_procedure(proc: Procedure) -> bool:
+    changed = False
+    for block in proc.blocks:
+        changed |= propagate_block(block)
+    return changed
+
+
+def propagate_program(program: Program) -> bool:
+    changed = False
+    for proc in program.procedures.values():
+        changed |= propagate_procedure(proc)
+    return changed

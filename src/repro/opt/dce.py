@@ -1,0 +1,57 @@
+"""Global dead-code elimination.
+
+Uses live-variable analysis: an instruction whose destinations are all dead
+after it, and which has no side effects, is removed.  Iterates until no more
+instructions die (removing one instruction can kill its inputs' producers).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import Liveness, instr_defs, instr_uses
+from repro.isa.opcodes import Opcode
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure, Program
+
+
+def _sweep_once(proc: Procedure) -> bool:
+    cfg = CFG(proc)
+    live = Liveness(cfg)
+    changed = False
+    for block in proc.blocks:
+        live_set = set(live.live_out[block.label])
+        if block.terminator is not None:
+            live_set -= instr_defs(block.terminator)
+            live_set |= instr_uses(block.terminator)
+        keep = []
+        for instr in reversed(block.body):
+            defs = instr_defs(instr)
+            dead = (instr.side_effect_free
+                    and instr.op is not Opcode.NOP
+                    and defs
+                    and not any(d in live_set for d in defs))
+            is_self_move = (instr.op is Opcode.MOVE
+                            and instr.dst is instr.srcs[0])
+            if dead or is_self_move:
+                changed = True
+                continue
+            live_set -= defs
+            live_set |= instr_uses(instr)
+            keep.append(instr)
+        keep.reverse()
+        if len(keep) != len(block.body):
+            block.body = keep
+    return changed
+
+
+def dce_procedure(proc: Procedure) -> bool:
+    changed = False
+    while _sweep_once(proc):
+        changed = True
+    return changed
+
+
+def dce_program(program: Program) -> bool:
+    changed = False
+    for proc in program.procedures.values():
+        changed |= dce_procedure(proc)
+    return changed

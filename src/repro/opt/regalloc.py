@@ -1,0 +1,266 @@
+"""Register allocation.
+
+Two models, matching Section 4.3.1 of the paper:
+
+* **round-robin** — virtual registers are coloured onto the 24 allocatable
+  architectural registers.  The allocator walks candidates round-robin (the
+  paper's trick for minimising the anti- and output-dependences that
+  constrain scheduling-after-allocation) with a move-coalescing preference.
+  When colouring fails, the highest-degree conflicting virtual is spilled to
+  a stack slot (coordinated with the code generator through
+  :class:`~repro.program.procedure.FrameInfo`) and colouring restarts.
+
+* **infinite** — every virtual register receives its own physical index
+  above 31.  This is the paper's "infinite register model", used to bound
+  the benefit of an integrated allocator/scheduler; the simulators size
+  their register files to match.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import Liveness, instr_defs, instr_uses
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ALLOCATABLE, Reg
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure, Program
+
+
+class RegPressureError(RuntimeError):
+    """More values simultaneously live than allocatable registers."""
+
+
+def _build_interference(proc: Procedure) -> tuple[dict[Reg, set[Reg]],
+                                                  dict[Reg, set[Reg]],
+                                                  list[Reg]]:
+    """Returns (vreg->interfering vregs, vreg->interfering phys regs,
+    vregs in order of first appearance)."""
+    cfg = CFG(proc)
+    live = Liveness(cfg)
+    v_edges: dict[Reg, set[Reg]] = {}
+    p_edges: dict[Reg, set[Reg]] = {}
+    order: list[Reg] = []
+    seen: set[Reg] = set()
+
+    def note(reg: Reg) -> None:
+        if reg.is_virtual and reg not in seen:
+            seen.add(reg)
+            order.append(reg)
+            v_edges.setdefault(reg, set())
+            p_edges.setdefault(reg, set())
+
+    for block in proc.blocks:
+        for instr in block.instructions():
+            for reg in (*instr_defs(instr), *instr_uses(instr)):
+                note(reg)
+
+    for block in proc.blocks:
+        live_set = set(live.live_out[block.label])
+        for instr in reversed(list(block.instructions())):
+            defs = instr_defs(instr)
+            # A definition interferes with everything live across it.  For a
+            # move, the source is excluded (coalescing-friendly).
+            across = set(live_set) - set(defs)
+            if instr.op is Opcode.MOVE:
+                across.discard(instr.srcs[0])
+            for d in defs:
+                for other in across:
+                    if d is other:
+                        continue
+                    if d.is_virtual and other.is_virtual:
+                        v_edges[d].add(other)
+                        v_edges[other].add(d)
+                    elif d.is_virtual:
+                        p_edges[d].add(other)
+                    elif other.is_virtual:
+                        p_edges[other].add(d)
+            live_set -= set(defs)
+            live_set |= set(instr_uses(instr))
+    return v_edges, p_edges, order
+
+
+def _move_preferences(proc: Procedure) -> dict[Reg, list[Reg]]:
+    """Registers each vreg is move-related to (for coalescing preference)."""
+    prefs: dict[Reg, list[Reg]] = {}
+    for block in proc.blocks:
+        for instr in block.instructions():
+            if instr.op is Opcode.MOVE and instr.dst is not None:
+                src = instr.srcs[0]
+                prefs.setdefault(instr.dst, []).append(src)
+                prefs.setdefault(src, []).append(instr.dst)
+    return prefs
+
+
+def _rewrite(proc: Procedure, mapping: dict[Reg, Reg]) -> None:
+    for block in proc.blocks:
+        for instr in block.instructions():
+            if instr.dst is not None and instr.dst in mapping:
+                instr.dst = mapping[instr.dst]
+            if instr.srcs:
+                instr.srcs = tuple(mapping.get(r, r) for r in instr.srcs)
+
+
+def _try_color(proc: Procedure) -> dict[Reg, Reg]:
+    """One colouring attempt; raises :class:`_NoColor` on failure."""
+    v_edges, p_edges, order = _build_interference(proc)
+    prefs = _move_preferences(proc)
+    mapping: dict[Reg, Reg] = {}
+    pool = list(ALLOCATABLE)
+    pointer = 0
+
+    for vreg in order:
+        forbidden = set(p_edges[vreg])
+        for neighbour in v_edges[vreg]:
+            if neighbour in mapping:
+                forbidden.add(mapping[neighbour])
+        choice = None
+        for pref in prefs.get(vreg, ()):
+            cand = mapping.get(pref, pref if not pref.is_virtual else None)
+            if cand is not None and cand in pool and cand not in forbidden:
+                choice = cand
+                break
+        if choice is None:
+            for i in range(len(pool)):
+                cand = pool[(pointer + i) % len(pool)]
+                if cand not in forbidden:
+                    choice = cand
+                    pointer = (pointer + i + 1) % len(pool)
+                    break
+        if choice is None:
+            raise _NoColor(vreg, v_edges, order)
+        mapping[vreg] = choice
+    return mapping
+
+
+class _NoColor(Exception):
+    def __init__(self, vreg: Reg, v_edges: dict[Reg, set[Reg]],
+                 order: list[Reg]) -> None:
+        self.vreg = vreg
+        self.v_edges = v_edges
+        self.order = order
+
+
+def _ensure_frame(proc: Procedure) -> None:
+    """Create a prologue for frameless procedures so spill slots exist."""
+    frame = proc.frame
+    if frame.prologue is not None:
+        return
+    prologue = Instruction(Opcode.ADDI, dst=Reg.named("sp"),
+                           srcs=(Reg.named("sp"),), imm=0)
+    proc.entry.body.insert(0, prologue)
+    frame.prologue = prologue
+    # Restores before every return terminator (halt needs none).
+    for block in proc.blocks:
+        if block.ends_in_return:
+            restore = Instruction(Opcode.ADDI, dst=Reg.named("sp"),
+                                  srcs=(Reg.named("sp"),), imm=0)
+            block.body.append(restore)
+            frame.epilogues.append(restore)
+
+
+def _spill(proc: Procedure, victim: Reg) -> None:
+    """Rewrite ``victim`` through a stack slot: loads before uses, stores
+    after definitions, each through a fresh short-lived virtual."""
+    _ensure_frame(proc)
+    frame = proc.frame
+    offset = 4 * (frame.base_slots + frame.spill_slots)
+    frame.spill_slots += 1
+    frame.prologue.imm = -frame.frame_bytes
+    for epilogue in frame.epilogues:
+        epilogue.imm = frame.frame_bytes
+    sp = Reg.named("sp")
+    counter = [max(proc.max_register_index(), Reg.VIRTUAL_BASE)]
+
+    def fresh() -> Reg:
+        counter[0] += 1
+        return Reg(counter[0])
+
+    for block in proc.blocks:
+        new_body: list[Instruction] = []
+        for instr in block.body:
+            uses_victim = victim in instr.uses()
+            defs_victim = victim in instr.defs()
+            if uses_victim:
+                tmp = fresh()
+                new_body.append(Instruction(Opcode.LW, dst=tmp, srcs=(sp,),
+                                            imm=offset))
+                instr.srcs = tuple(tmp if r is victim else r
+                                   for r in instr.srcs)
+            new_body.append(instr)
+            if defs_victim:
+                tmp = fresh()
+                instr.dst = tmp
+                new_body.append(Instruction(Opcode.SW, srcs=(tmp, sp),
+                                            imm=offset))
+        block.body = new_body
+        term = block.terminator
+        if term is not None and victim in term.uses():
+            tmp = fresh()
+            block.body.append(Instruction(Opcode.LW, dst=tmp, srcs=(sp,),
+                                          imm=offset))
+            term.srcs = tuple(tmp if r is victim else r for r in term.srcs)
+
+
+def allocate_procedure(proc: Procedure,
+                       max_spills: int = 64) -> dict[Reg, Reg]:
+    """Round-robin colouring with spilling; returns the applied mapping."""
+    spilled: set[Reg] = set()
+    for _ in range(max_spills):
+        try:
+            mapping = _try_color(proc)
+        except _NoColor as fail:
+            # Spill the highest-degree conflicting virtual that is not
+            # itself spill traffic; ties go to the earliest-defined (the
+            # longest-lived, e.g. a hoisted loop invariant).
+            candidates = [fail.vreg, *(n for n in fail.v_edges[fail.vreg])]
+            candidates = [c for c in candidates if c not in spilled]
+            if not candidates:
+                raise RegPressureError(
+                    f"{proc.name}: irreducible register pressure at "
+                    f"{fail.vreg}")
+            victim = max(candidates,
+                         key=lambda c: (len(fail.v_edges.get(c, ())),
+                                        -fail.order.index(c)
+                                        if c in fail.order else 0))
+            _spill(proc, victim)
+            spilled.add(victim)
+            continue
+        _rewrite(proc, mapping)
+        return mapping
+    raise RegPressureError(f"{proc.name}: spilling did not converge")
+
+
+def allocate_infinite_procedure(proc: Procedure, base: int = 32) -> dict[Reg, Reg]:
+    """Give every virtual register its own physical index (>= ``base``)."""
+    mapping: dict[Reg, Reg] = {}
+    next_index = base
+    for block in proc.blocks:
+        for instr in block.instructions():
+            for reg in (*instr.defs(), *instr.uses()):
+                if reg.is_virtual and reg not in mapping:
+                    mapping[reg] = Reg(next_index)
+                    next_index += 1
+    _rewrite(proc, mapping)
+    return mapping
+
+
+def allocate_program(program: Program, model: str = "round_robin") -> None:
+    """Allocate every procedure.  ``model`` is ``round_robin`` or
+    ``infinite``."""
+    if model not in ("round_robin", "infinite"):
+        raise ValueError(f"unknown register model {model!r}")
+    for proc in program.procedures.values():
+        if model == "round_robin":
+            allocate_procedure(proc)
+        else:
+            allocate_infinite_procedure(proc)
+
+
+def verify_no_virtuals(program: Program) -> None:
+    """Assert allocation is complete (used by the pipeline and tests)."""
+    for proc in program.procedures.values():
+        for instr in proc.instructions():
+            for reg in (*instr.defs(), *instr.uses()):
+                if reg.is_virtual:
+                    raise AssertionError(
+                        f"{proc.name}: unallocated virtual {reg} in {instr}")

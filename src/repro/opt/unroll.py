@@ -1,0 +1,124 @@
+"""Loop unrolling (the paper's §4.3.2 extension experiment).
+
+The paper reports preliminary experiments with a loop unroller whose gains
+were "well below what we expected"; this pass lets the reproduction ask the
+same question.  It unrolls innermost loops by cloning the loop body
+``factor - 1`` times, keeping every exit test (no trip-count analysis): the
+back edge of copy *i* is rewired to the header of copy *i+1*, and the last
+copy jumps back to the original header.  Longer traces and fewer taken
+jumps are the intended benefit.
+
+Restrictions (skipped silently when violated): the loop must be innermost,
+its blocks contiguous in the layout, its last block terminated, and its
+body at most ``max_body_instructions`` long.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.regions import Region, RegionTree
+from repro.isa.instruction import Instruction
+from repro.program.block import BasicBlock
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure, Program
+
+
+def _layout_range(proc: Procedure, loop: Region) -> Optional[tuple[int, int]]:
+    """The loop's contiguous [lo, hi] layout span, or None."""
+    indices = sorted(proc.blocks.index(proc.block(lab))
+                     for lab in loop.blocks)
+    lo, hi = indices[0], indices[-1]
+    if indices != list(range(lo, hi + 1)):
+        return None
+    if proc.blocks[lo].label != loop.header:
+        return None  # the header must lead the span
+    if proc.blocks[hi].terminator is None:
+        return None  # the span must not fall out of its own tail
+    return lo, hi
+
+
+def _clone_blocks(proc: Procedure, blocks: list[BasicBlock], header: str,
+                  next_header: str, copy_n: int) -> list[BasicBlock]:
+    """Clone the loop once; back edges point at ``next_header``."""
+    label_map = {b.label: proc.fresh_label(f"{b.label}.u{copy_n}")
+                 for b in blocks}
+
+    def map_target(target: Optional[str]) -> Optional[str]:
+        if target is None:
+            return None
+        if target == header:
+            return next_header
+        return label_map.get(target, target)
+
+    clones = []
+    for block in blocks:
+        clone = BasicBlock(label_map[block.label])
+        for instr in block.body:
+            clone.body.append(instr.copy())
+        term = block.terminator
+        if term is not None:
+            new_term = term.copy()
+            if not term.op.is_call and term.target is not None:
+                new_term.target = map_target(term.target)
+            clone.terminator = new_term
+        clones.append(clone)
+    # Entry into each copy happens at its header clone.
+    return clones
+
+
+def unroll_loop(proc: Procedure, loop: Region, factor: int) -> bool:
+    span = _layout_range(proc, loop)
+    if span is None or factor < 2:
+        return False
+    lo, hi = span
+    originals = proc.blocks[lo:hi + 1]
+    header = loop.header
+
+    # Build the copies back to front so each knows its successor's header.
+    all_copies: list[list[BasicBlock]] = []
+    next_header = header  # the last copy loops back to the original header
+    for n in range(factor - 1, 0, -1):
+        clones = _clone_blocks(proc, originals, header, next_header, n)
+        all_copies.append(clones)
+        next_header = clones[0].label
+    all_copies.reverse()  # now in execution order: copy 1, copy 2, ...
+
+    # The original loop's back edges now enter the first copy.
+    first_copy_header = all_copies[0][0].label
+    for block in originals:
+        term = block.terminator
+        if term is not None and term.target == header and not term.op.is_call:
+            term.target = first_copy_header
+
+    insert_at = hi + 1
+    for clones in all_copies:
+        for clone in clones:
+            proc.blocks.insert(insert_at, clone)
+            proc._by_label[clone.label] = clone
+            insert_at += 1
+    return True
+
+
+def unroll_program(program: Program, factor: int = 2,
+                   max_body_instructions: int = 40) -> int:
+    """Unroll every eligible innermost loop; returns how many were
+    unrolled."""
+    if factor < 2:
+        return 0
+    count = 0
+    for proc in program.procedures.values():
+        tree = RegionTree(CFG(proc))
+        # Innermost loops only, sized within budget.
+        for loop in list(tree.loops):
+            if loop.children:
+                continue
+            size = sum(proc.block(lab).non_branch_count() + 1
+                       for lab in loop.blocks)
+            if size > max_body_instructions:
+                continue
+            if unroll_loop(proc, loop, factor):
+                count += 1
+        # Region tree is stale after the first unroll in this procedure;
+        # one eligible loop per procedure per call keeps things simple.
+    return count

@@ -1,0 +1,18 @@
+"""Program representation: blocks, procedures, CFG, builder, text form."""
+
+from repro.program.block import BasicBlock
+from repro.program.builder import ProcBuilder
+from repro.program.cfg import CFG
+from repro.program.asmtext import (
+    format_instruction, format_procedure, format_program, parse_instruction,
+    parse_program,
+)
+from repro.program.procedure import (
+    DATA_BASE, DEFAULT_MEM_SIZE, WORD, DataSegment, Procedure, Program,
+)
+
+__all__ = [
+    "BasicBlock", "CFG", "DATA_BASE", "DEFAULT_MEM_SIZE", "DataSegment",
+    "ProcBuilder", "Procedure", "Program", "WORD", "format_instruction",
+    "format_procedure", "format_program", "parse_instruction", "parse_program",
+]

@@ -1,0 +1,193 @@
+"""Textual assembly round-trip: print a :class:`Program` and parse it back.
+
+The format is deliberately close to MIPS assembly with two extensions from
+the paper: a ``.Bn`` boosting suffix on mnemonics and ``<T>``/``<NT>`` static
+prediction annotations on conditional branches.  Example::
+
+    .data
+    words table 1 2 3
+    space buf 64
+
+    .proc main
+    entry:
+        li $t0, 5
+        beq $t0, $zero, done <NT>
+    body:
+        lw.B1 $t1, 0($t0)
+        halt
+    done:
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.opcodes import BY_MNEMONIC, Format, Opcode
+from repro.isa.instruction import Instruction
+from repro.isa.registers import Reg
+from repro.program.block import BasicBlock
+from repro.program.procedure import DataSegment, Procedure, Program
+
+
+# --------------------------------------------------------------------- print
+def format_instruction(instr: Instruction) -> str:
+    return str(instr)
+
+
+def format_procedure(proc: Procedure) -> str:
+    lines = [f".proc {proc.name}"]
+    for block in proc.blocks:
+        lines.append(f"{block.label}:")
+        lines.extend(f"    {instr}" for instr in block.instructions())
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    parts = []
+    symbols = program.data.symbols()
+    if symbols:
+        lines = [".data"]
+        image = dict(program.data.initial_image())
+        for name, (addr, size) in sorted(symbols.items(), key=lambda kv: kv[1][0]):
+            raw = image.get(addr)
+            if raw is None:
+                lines.append(f"space {name} {size}")
+            else:
+                words = [
+                    int.from_bytes(raw[i:i + 4].ljust(4, b"\0"), "little")
+                    for i in range(0, len(raw), 4)
+                ]
+                lines.append(f"words {name} " + " ".join(str(w) for w in words))
+        parts.append("\n".join(lines))
+    for proc in program.procedures.values():
+        parts.append(format_procedure(proc))
+    return "\n\n".join(parts) + "\n"
+
+
+# --------------------------------------------------------------------- parse
+class AsmSyntaxError(ValueError):
+    pass
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_MEM_RE = re.compile(r"^(-?\d+)\((\$[\w]+)\)$")
+
+
+def _parse_reg(token: str) -> Reg:
+    if not token.startswith("$"):
+        raise AsmSyntaxError(f"expected register, got {token!r}")
+    return Reg.named(token[1:])
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AsmSyntaxError(f"expected integer, got {token!r}") from exc
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse one instruction line (without label)."""
+    text = text.strip()
+    predict_taken = None
+    if text.endswith("<T>"):
+        predict_taken, text = True, text[:-3].strip()
+    elif text.endswith("<NT>"):
+        predict_taken, text = False, text[:-4].strip()
+
+    head, _, rest = text.partition(" ")
+    boost = 0
+    if ".B" in head:
+        head, suffix = head.split(".B", 1)
+        if not suffix.isdigit():
+            raise AsmSyntaxError(f"bad boost suffix in {text!r}")
+        boost = int(suffix)
+    op = BY_MNEMONIC.get(head)
+    if op is None:
+        raise AsmSyntaxError(f"unknown mnemonic {head!r}")
+    args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+
+    fmt = op.fmt
+    instr: Instruction
+    if fmt is Format.RRR:
+        instr = Instruction(op, dst=_parse_reg(args[0]),
+                            srcs=(_parse_reg(args[1]), _parse_reg(args[2])))
+    elif fmt is Format.RRI:
+        instr = Instruction(op, dst=_parse_reg(args[0]),
+                            srcs=(_parse_reg(args[1]),), imm=_parse_int(args[2]))
+    elif fmt is Format.RI:
+        instr = Instruction(op, dst=_parse_reg(args[0]), imm=_parse_int(args[1]))
+    elif fmt is Format.RR:
+        instr = Instruction(op, dst=_parse_reg(args[0]), srcs=(_parse_reg(args[1]),))
+    elif fmt is Format.LOAD:
+        m = _MEM_RE.match(args[1])
+        if m is None:
+            raise AsmSyntaxError(f"bad memory operand {args[1]!r}")
+        instr = Instruction(op, dst=_parse_reg(args[0]),
+                            srcs=(_parse_reg(m.group(2)),), imm=int(m.group(1)))
+    elif fmt is Format.STORE:
+        m = _MEM_RE.match(args[1])
+        if m is None:
+            raise AsmSyntaxError(f"bad memory operand {args[1]!r}")
+        instr = Instruction(op, srcs=(_parse_reg(args[0]), _parse_reg(m.group(2))),
+                            imm=int(m.group(1)))
+    elif fmt is Format.BRANCH2:
+        instr = Instruction(op, srcs=(_parse_reg(args[0]), _parse_reg(args[1])),
+                            target=args[2])
+    elif fmt is Format.BRANCH1:
+        instr = Instruction(op, srcs=(_parse_reg(args[0]),), target=args[1])
+    elif fmt is Format.JUMP:
+        instr = Instruction(op, target=args[0])
+    elif fmt is Format.JREG:
+        instr = Instruction(op, srcs=(_parse_reg(args[0]),))
+    elif fmt is Format.SRC1:
+        instr = Instruction(op, srcs=(_parse_reg(args[0]),))
+    else:
+        instr = Instruction(op)
+    instr.boost = boost
+    instr.predict_taken = predict_taken
+    return instr
+
+
+def parse_program(text: str) -> Program:
+    program = Program()
+    proc: Procedure | None = None
+    block: BasicBlock | None = None
+    mode = None  # None | "data" | "proc"
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == ".data":
+            mode = "data"
+            continue
+        if line.startswith(".proc"):
+            mode = "proc"
+            name = line.split()[1]
+            proc = Procedure(name)
+            program.add(proc)
+            block = None
+            continue
+        if mode == "data":
+            kind, name, *rest = line.split()
+            if kind == "words":
+                program.data.words(name, [_parse_int(v) for v in rest])
+            elif kind == "space":
+                program.data.zeros(name, _parse_int(rest[0]))
+            else:
+                raise AsmSyntaxError(f"unknown data directive {kind!r}")
+            continue
+        if mode != "proc" or proc is None:
+            raise AsmSyntaxError(f"instruction outside .proc: {line!r}")
+        m = _LABEL_RE.match(line)
+        if m is not None:
+            block = BasicBlock(m.group(1))
+            proc.add_block(block)
+            continue
+        if block is None:
+            block = BasicBlock("entry")
+            proc.add_block(block)
+        block.append(parse_instruction(line))
+    return program

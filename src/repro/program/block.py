@@ -1,0 +1,89 @@
+"""Basic blocks.
+
+A block is a label, a straight-line body, and an optional terminator.  A
+block with no terminator falls through to the next block in the procedure's
+layout order.  Conditional branches have two successors: the branch target
+(the *taken* edge) and the layout successor (the *fall-through* edge).
+
+Blocks also carry the profile information the trace selector needs: an
+execution count and the probability that the terminating conditional branch
+is taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class BasicBlock:
+    label: str
+    body: list[Instruction] = field(default_factory=list)
+    terminator: Optional[Instruction] = None
+    #: profile data — dynamic execution count of this block
+    exec_count: int = 0
+    #: probability the terminator conditional branch is taken (profile)
+    taken_prob: Optional[float] = None
+
+    def append(self, instr: Instruction) -> None:
+        if self.terminator is not None:
+            raise ValueError(f"block {self.label} already terminated")
+        if instr.is_terminator:
+            self.terminator = instr
+        else:
+            self.body.append(instr)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def ends_in_cond_branch(self) -> bool:
+        return (self.terminator is not None
+                and self.terminator.op.is_cond_branch)
+
+    @property
+    def ends_in_call(self) -> bool:
+        return self.terminator is not None and self.terminator.op.is_call
+
+    @property
+    def ends_in_return(self) -> bool:
+        return (self.terminator is not None
+                and self.terminator.op is Opcode.JR)
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Body followed by the terminator (if any)."""
+        yield from self.body
+        if self.terminator is not None:
+            yield self.terminator
+
+    def non_branch_count(self) -> int:
+        return len(self.body)
+
+    def find(self, uid: int) -> Optional[Instruction]:
+        for instr in self.instructions():
+            if instr.uid == uid:
+                return instr
+        return None
+
+    def remove(self, instr: Instruction) -> None:
+        """Remove an instruction from the body by identity."""
+        for i, existing in enumerate(self.body):
+            if existing is instr:
+                del self.body[i]
+                return
+        raise ValueError(f"instruction {instr} not in block {self.label}")
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"    {instr}" for instr in self.instructions())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        n = len(self.body) + (1 if self.terminator else 0)
+        return f"<BasicBlock {self.label} ({n} instrs)>"

@@ -1,0 +1,166 @@
+"""Fluent IR builder.
+
+Used by the Minic code generator, the workload kernels written directly in
+IR, and throughout the test suite.  Example::
+
+    b = ProcBuilder("count")
+    b.label("loop")
+    b.lw(t0, a0, 0)
+    b.addi(a0, a0, 4)
+    b.addi(t1, t1, 1)
+    b.bne(t0, ZERO, "loop")
+    b.label("done")
+    b.move(V0, t1)
+    b.ret()
+    proc = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RA, Reg
+from repro.program.block import BasicBlock
+from repro.program.procedure import DataSegment, Procedure
+
+
+class ProcBuilder:
+    def __init__(self, name: str, data: Optional[DataSegment] = None) -> None:
+        self.proc = Procedure(name)
+        self.data = data
+        self._current: Optional[BasicBlock] = None
+        self._anon = 0
+        self._vreg = 0
+
+    # ----------------------------------------------------------------- blocks
+    def label(self, name: str) -> "ProcBuilder":
+        """Start a new block; the previous block falls through to it."""
+        block = BasicBlock(name)
+        self.proc.add_block(block)
+        self._current = block
+        return self
+
+    def _block(self) -> BasicBlock:
+        if self._current is None or self._current.is_terminated:
+            self._anon += 1
+            self.label(f".anon{self._anon}")
+        return self._current
+
+    def emit(self, instr: Instruction) -> Instruction:
+        self._block().append(instr)
+        return instr
+
+    def vreg(self) -> Reg:
+        """A fresh virtual register."""
+        reg = Reg.virtual(self._vreg)
+        self._vreg += 1
+        return reg
+
+    def build(self) -> Procedure:
+        return self.proc
+
+    # -------------------------------------------------------------------- ALU
+    def _rrr(self, op: Opcode, dst: Reg, a: Reg, b: Reg) -> Instruction:
+        return self.emit(Instruction(op, dst=dst, srcs=(a, b)))
+
+    def _rri(self, op: Opcode, dst: Reg, a: Reg, imm: int) -> Instruction:
+        return self.emit(Instruction(op, dst=dst, srcs=(a,), imm=imm))
+
+    def add(self, d, a, b): return self._rrr(Opcode.ADD, d, a, b)
+    def sub(self, d, a, b): return self._rrr(Opcode.SUB, d, a, b)
+    def and_(self, d, a, b): return self._rrr(Opcode.AND, d, a, b)
+    def or_(self, d, a, b): return self._rrr(Opcode.OR, d, a, b)
+    def xor(self, d, a, b): return self._rrr(Opcode.XOR, d, a, b)
+    def nor(self, d, a, b): return self._rrr(Opcode.NOR, d, a, b)
+    def slt(self, d, a, b): return self._rrr(Opcode.SLT, d, a, b)
+    def sltu(self, d, a, b): return self._rrr(Opcode.SLTU, d, a, b)
+    def mul(self, d, a, b): return self._rrr(Opcode.MUL, d, a, b)
+    def div(self, d, a, b): return self._rrr(Opcode.DIV, d, a, b)
+    def rem(self, d, a, b): return self._rrr(Opcode.REM, d, a, b)
+    def sllv(self, d, a, b): return self._rrr(Opcode.SLLV, d, a, b)
+    def srlv(self, d, a, b): return self._rrr(Opcode.SRLV, d, a, b)
+    def srav(self, d, a, b): return self._rrr(Opcode.SRAV, d, a, b)
+
+    def addi(self, d, a, imm): return self._rri(Opcode.ADDI, d, a, imm)
+    def andi(self, d, a, imm): return self._rri(Opcode.ANDI, d, a, imm)
+    def ori(self, d, a, imm): return self._rri(Opcode.ORI, d, a, imm)
+    def xori(self, d, a, imm): return self._rri(Opcode.XORI, d, a, imm)
+    def slti(self, d, a, imm): return self._rri(Opcode.SLTI, d, a, imm)
+    def sltiu(self, d, a, imm): return self._rri(Opcode.SLTIU, d, a, imm)
+    def sll(self, d, a, imm): return self._rri(Opcode.SLL, d, a, imm)
+    def srl(self, d, a, imm): return self._rri(Opcode.SRL, d, a, imm)
+    def sra(self, d, a, imm): return self._rri(Opcode.SRA, d, a, imm)
+
+    def li(self, d, imm):
+        return self.emit(Instruction(Opcode.LI, dst=d, imm=imm))
+
+    def lui(self, d, imm):
+        return self.emit(Instruction(Opcode.LUI, dst=d, imm=imm))
+
+    def move(self, d, s):
+        return self.emit(Instruction(Opcode.MOVE, dst=d, srcs=(s,)))
+
+    def la(self, d, symbol: str):
+        """Load the address of a data-segment symbol."""
+        if self.data is None:
+            raise ValueError("builder has no data segment for la")
+        return self.li(d, self.data.address_of(symbol))
+
+    # ----------------------------------------------------------------- memory
+    def lw(self, d, base, off=0):
+        return self.emit(Instruction(Opcode.LW, dst=d, srcs=(base,), imm=off))
+
+    def lb(self, d, base, off=0):
+        return self.emit(Instruction(Opcode.LB, dst=d, srcs=(base,), imm=off))
+
+    def lbu(self, d, base, off=0):
+        return self.emit(Instruction(Opcode.LBU, dst=d, srcs=(base,), imm=off))
+
+    def sw(self, val, base, off=0):
+        return self.emit(Instruction(Opcode.SW, srcs=(val, base), imm=off))
+
+    def sb(self, val, base, off=0):
+        return self.emit(Instruction(Opcode.SB, srcs=(val, base), imm=off))
+
+    # ---------------------------------------------------------------- control
+    def beq(self, a, b, target):
+        return self.emit(Instruction(Opcode.BEQ, srcs=(a, b), target=target))
+
+    def bne(self, a, b, target):
+        return self.emit(Instruction(Opcode.BNE, srcs=(a, b), target=target))
+
+    def blez(self, a, target):
+        return self.emit(Instruction(Opcode.BLEZ, srcs=(a,), target=target))
+
+    def bgtz(self, a, target):
+        return self.emit(Instruction(Opcode.BGTZ, srcs=(a,), target=target))
+
+    def bltz(self, a, target):
+        return self.emit(Instruction(Opcode.BLTZ, srcs=(a,), target=target))
+
+    def bgez(self, a, target):
+        return self.emit(Instruction(Opcode.BGEZ, srcs=(a,), target=target))
+
+    def j(self, target):
+        return self.emit(Instruction(Opcode.J, target=target))
+
+    def jal(self, target):
+        return self.emit(Instruction(Opcode.JAL, dst=RA, target=target))
+
+    def jr(self, reg):
+        return self.emit(Instruction(Opcode.JR, srcs=(reg,)))
+
+    def ret(self):
+        return self.jr(RA)
+
+    # ------------------------------------------------------------------ misc
+    def nop(self):
+        return self.emit(Instruction(Opcode.NOP))
+
+    def print_(self, reg):
+        return self.emit(Instruction(Opcode.PRINT, srcs=(reg,)))
+
+    def halt(self):
+        return self.emit(Instruction(Opcode.HALT))

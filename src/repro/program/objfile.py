@@ -1,0 +1,233 @@
+"""Binary object-file format for IR programs.
+
+Real toolchains persist compiled artifacts; this module gives the
+reproduction the same ability: a :class:`~repro.program.procedure.Program`
+serialises to a compact self-contained byte string and loads back with
+identical structure (labels, instruction fields, boosting levels, static
+predictions, data segment).
+
+Layout (all integers little-endian):
+
+* magic ``BST1`` (4 bytes), entry-name index (u32), mem_size (u32)
+* string table: count (u32), then per string length (u16) + UTF-8 bytes —
+  every label, symbol, and procedure name is interned here
+* data segment: symbol count (u32); per symbol name-index (u32), address
+  (u32), size (u32); then initial-image chunk count (u32); per chunk
+  address (u32), length (u32), raw bytes
+* procedures: count (u32); per procedure name-index (u32), block count
+  (u32); per block label-index (u32), body length (u32), instruction
+  records, terminator flag (u8) + record
+* instruction record (fixed 19 bytes):
+  opcode (u8), boost (u8), predict (u8: 0 none / 1 taken / 2 not-taken),
+  flags (u8: bit0 has-dst, bit1 has-imm, bit2 has-target),
+  dst (u16), src count (u8), srcs (3 × u16), imm (i32), target
+  name-index (u16)
+
+Registers above index 65534 and more than three sources are rejected —
+both are outside anything the compiler emits.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+from repro.program.block import BasicBlock
+from repro.program.procedure import DataSegment, Procedure, Program
+
+MAGIC = b"BST1"
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+_NO_REG = 0xFFFF
+
+
+class ObjFileError(ValueError):
+    pass
+
+
+class _StringTable:
+    def __init__(self) -> None:
+        self._strings: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def intern(self, text: str) -> int:
+        if text not in self._index:
+            self._index[text] = len(self._strings)
+            self._strings.append(text)
+        return self._index[text]
+
+    def emit(self) -> bytes:
+        out = [struct.pack("<I", len(self._strings))]
+        for text in self._strings:
+            raw = text.encode()
+            out.append(struct.pack("<H", len(raw)))
+            out.append(raw)
+        return b"".join(out)
+
+
+class _Reader:
+    def __init__(self, raw: bytes) -> None:
+        self.raw = raw
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.raw):
+            raise ObjFileError("truncated object file")
+        chunk = self.raw[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def i32(self) -> int:
+        return struct.unpack("<i", self.take(4))[0]
+
+
+def _encode_instruction(instr: Instruction, strings: _StringTable) -> bytes:
+    if len(instr.srcs) > 3:
+        raise ObjFileError(f"too many sources: {instr}")
+    predict = 0
+    if instr.predict_taken is True:
+        predict = 1
+    elif instr.predict_taken is False:
+        predict = 2
+    flags = 0
+    dst = _NO_REG
+    if instr.dst is not None:
+        if instr.dst.index >= _NO_REG:
+            raise ObjFileError(f"register index too large: {instr}")
+        flags |= 1
+        dst = instr.dst.index
+    imm = instr.imm if instr.imm is not None else 0
+    if instr.imm is not None:
+        flags |= 2
+    target = 0
+    if instr.target is not None:
+        flags |= 4
+        target = strings.intern(instr.target)
+        if target > 0xFFFF:
+            raise ObjFileError("string table overflow")
+    srcs = [r.index for r in instr.srcs] + [_NO_REG] * (3 - len(instr.srcs))
+    return struct.pack(
+        "<BBBBHBHHHiH",
+        _OPCODE_INDEX[instr.op], instr.boost, predict, flags, dst,
+        len(instr.srcs), srcs[0], srcs[1], srcs[2], imm, target)
+
+_RECORD = struct.Struct("<BBBBHBHHHiH")
+
+
+def _decode_instruction(reader: _Reader, strings: list[str]) -> Instruction:
+    fields = _RECORD.unpack(reader.take(_RECORD.size))
+    (op_idx, boost, predict, flags, dst, nsrcs, s0, s1, s2, imm,
+     target_idx) = fields
+    if op_idx >= len(_OPCODES):
+        raise ObjFileError(f"bad opcode index {op_idx}")
+    srcs = tuple(Reg(s) for s in (s0, s1, s2)[:nsrcs])
+    instr = Instruction(
+        _OPCODES[op_idx],
+        dst=Reg(dst) if flags & 1 else None,
+        srcs=srcs,
+        imm=imm if flags & 2 else None,
+        target=strings[target_idx] if flags & 4 else None,
+        boost=boost,
+    )
+    if predict == 1:
+        instr.predict_taken = True
+    elif predict == 2:
+        instr.predict_taken = False
+    return instr
+
+
+def save_program(program: Program) -> bytes:
+    """Serialise a program (IR + data segment) to bytes."""
+    strings = _StringTable()
+    body = []
+
+    # Data segment.
+    symbols = program.data.symbols()
+    chunk = [struct.pack("<I", len(symbols))]
+    for name, (addr, size) in symbols.items():
+        chunk.append(struct.pack("<III", strings.intern(name), addr, size))
+    image = program.data.initial_image()
+    chunk.append(struct.pack("<I", len(image)))
+    for addr, raw in image:
+        chunk.append(struct.pack("<II", addr, len(raw)))
+        chunk.append(raw)
+    body.append(b"".join(chunk))
+
+    # Procedures.
+    chunk = [struct.pack("<I", len(program.procedures))]
+    for proc in program.procedures.values():
+        chunk.append(struct.pack("<II", strings.intern(proc.name),
+                                 len(proc.blocks)))
+        for block in proc.blocks:
+            chunk.append(struct.pack("<II", strings.intern(block.label),
+                                     len(block.body)))
+            for instr in block.body:
+                chunk.append(_encode_instruction(instr, strings))
+            if block.terminator is not None:
+                chunk.append(b"\x01")
+                chunk.append(_encode_instruction(block.terminator, strings))
+            else:
+                chunk.append(b"\x00")
+    body.append(b"".join(chunk))
+
+    header = MAGIC + struct.pack("<II", strings.intern(program.entry),
+                                 program.mem_size)
+    return header + strings.emit() + b"".join(body)
+
+
+def load_program(raw: bytes) -> Program:
+    """Deserialise :func:`save_program` output."""
+    reader = _Reader(raw)
+    if reader.take(4) != MAGIC:
+        raise ObjFileError("not a boosting object file")
+    entry_idx = reader.u32()
+    mem_size = reader.u32()
+
+    strings = []
+    for _ in range(reader.u32()):
+        length = reader.u16()
+        strings.append(reader.take(length).decode())
+
+    data = DataSegment()
+    symbol_count = reader.u32()
+    symbols = []
+    for _ in range(symbol_count):
+        name_idx, addr, size = (reader.u32(), reader.u32(), reader.u32())
+        symbols.append((strings[name_idx], addr, size))
+    # Symbols were allocated in address order originally.
+    for name, addr, size in sorted(symbols, key=lambda s: s[1]):
+        got = data.alloc(name, size)
+        if got != addr:
+            raise ObjFileError(
+                f"data layout mismatch for {name!r}: {got:#x} != {addr:#x}")
+    for _ in range(reader.u32()):
+        addr, length = reader.u32(), reader.u32()
+        data._init.append((addr, reader.take(length)))
+
+    program = Program(data=data, entry=strings[entry_idx], mem_size=mem_size)
+    for _ in range(reader.u32()):
+        name = strings[reader.u32()]
+        nblocks = reader.u32()
+        proc = Procedure(name)
+        for _ in range(nblocks):
+            label = strings[reader.u32()]
+            block = BasicBlock(label)
+            for _ in range(reader.u32()):
+                block.body.append(_decode_instruction(reader, strings))
+            if reader.u8():
+                block.terminator = _decode_instruction(reader, strings)
+            proc.add_block(block)
+        program.add(proc)
+    return program

@@ -1,0 +1,211 @@
+"""Procedures, programs, and the data segment.
+
+The address space is laid out so that low addresses are unmapped — a load
+through a null or small pointer faults, which is exactly the behaviour that
+makes speculative loads *unsafe* and boosting interesting:
+
+* ``0x0000 .. 0x0FFF``   unmapped (null-pointer guard)
+* ``0x1000 .. data_end`` global data
+* ``... stack_top``      stack, growing down from ``mem_size``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import Reg
+from repro.program.block import BasicBlock
+
+DATA_BASE = 0x1000
+DEFAULT_MEM_SIZE = 1 << 20
+WORD = 4
+
+
+class DataSegment:
+    """Global data: named, word-aligned allocations with optional initialisers."""
+
+    def __init__(self, base: int = DATA_BASE) -> None:
+        self.base = base
+        self._next = base
+        self._symbols: dict[str, tuple[int, int]] = {}  # name -> (addr, size)
+        self._init: list[tuple[int, bytes]] = []
+
+    def alloc(self, name: str, size: int) -> int:
+        """Reserve ``size`` bytes (word aligned) under ``name``; returns address."""
+        if name in self._symbols:
+            raise ValueError(f"duplicate global {name!r}")
+        size = max(size, 1)
+        addr = self._next
+        self._symbols[name] = (addr, size)
+        self._next = (addr + size + WORD - 1) & ~(WORD - 1)
+        return addr
+
+    def words(self, name: str, values: Iterable[int]) -> int:
+        """Allocate and initialise an array of 32-bit words."""
+        values = list(values)
+        addr = self.alloc(name, len(values) * WORD)
+        raw = b"".join((v & 0xFFFFFFFF).to_bytes(WORD, "little") for v in values)
+        self._init.append((addr, raw))
+        return addr
+
+    def bytes_(self, name: str, data: bytes) -> int:
+        """Allocate and initialise a byte array (e.g. text input)."""
+        addr = self.alloc(name, len(data))
+        self._init.append((addr, bytes(data)))
+        return addr
+
+    def zeros(self, name: str, nbytes: int) -> int:
+        """Allocate ``nbytes`` of zero-initialised storage."""
+        return self.alloc(name, nbytes)
+
+    def address_of(self, name: str) -> int:
+        return self._symbols[name][0]
+
+    def size_of(self, name: str) -> int:
+        return self._symbols[name][1]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    @property
+    def end(self) -> int:
+        return self._next
+
+    def initial_image(self) -> list[tuple[int, bytes]]:
+        return list(self._init)
+
+    def symbols(self) -> dict[str, tuple[int, int]]:
+        return dict(self._symbols)
+
+
+@dataclass
+class FrameInfo:
+    """Stack-frame bookkeeping shared between the code generator and the
+    register allocator.
+
+    ``prologue`` is the ``addi $sp, $sp, -frame`` instruction (``None`` when
+    the procedure has no frame yet); ``epilogues`` are the matching restores.
+    ``base_slots`` counts the slots the code generator reserved (the saved
+    ``$ra`` plus the widest call-site spill set); the allocator appends its
+    own spill slots after them and rewrites the immediates.
+    """
+
+    prologue: "object" = None
+    epilogues: list = field(default_factory=list)
+    base_slots: int = 0
+    spill_slots: int = 0
+
+    @property
+    def frame_bytes(self) -> int:
+        return 4 * (self.base_slots + self.spill_slots)
+
+
+@dataclass
+class Procedure:
+    """A procedure: an ordered list of basic blocks; blocks[0] is the entry."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    frame: FrameInfo = field(default_factory=FrameInfo)
+
+    def __post_init__(self) -> None:
+        self._by_label: dict[str, BasicBlock] = {b.label: b for b in self.blocks}
+
+    # --------------------------------------------------------------- building
+    def add_block(self, block: BasicBlock, after: Optional[str] = None) -> BasicBlock:
+        if block.label in self._by_label:
+            raise ValueError(f"duplicate block label {block.label!r}")
+        if after is None:
+            self.blocks.append(block)
+        else:
+            idx = self.blocks.index(self._by_label[after])
+            self.blocks.insert(idx + 1, block)
+        self._by_label[block.label] = block
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        return self._by_label[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._by_label
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def layout_successor(self, label: str) -> Optional[BasicBlock]:
+        """The block that follows ``label`` in layout order (fall-through)."""
+        idx = self.blocks.index(self._by_label[label])
+        if idx + 1 < len(self.blocks):
+            return self.blocks[idx + 1]
+        return None
+
+    # ---------------------------------------------------------------- queries
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions()
+
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def max_register_index(self) -> int:
+        best = 31
+        for instr in self.instructions():
+            for reg in (*instr.defs(), *instr.uses()):
+                best = max(best, reg.index)
+        return best
+
+    def fresh_label(self, hint: str) -> str:
+        """A block label not yet used in this procedure."""
+        if hint not in self._by_label:
+            return hint
+        n = 1
+        while f"{hint}.{n}" in self._by_label:
+            n += 1
+        return f"{hint}.{n}"
+
+    def __str__(self) -> str:
+        header = f"proc {self.name}:"
+        return "\n".join([header] + [str(b) for b in self.blocks])
+
+
+@dataclass
+class Program:
+    """A whole program: procedures plus the data segment."""
+
+    procedures: dict[str, Procedure] = field(default_factory=dict)
+    data: DataSegment = field(default_factory=DataSegment)
+    entry: str = "main"
+    mem_size: int = DEFAULT_MEM_SIZE
+
+    def add(self, proc: Procedure) -> Procedure:
+        if proc.name in self.procedures:
+            raise ValueError(f"duplicate procedure {proc.name!r}")
+        self.procedures[proc.name] = proc
+        return proc
+
+    def proc(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+    @property
+    def main(self) -> Procedure:
+        return self.procedures[self.entry]
+
+    def instruction_count(self) -> int:
+        return sum(p.instruction_count() for p in self.procedures.values())
+
+    def max_register_index(self) -> int:
+        return max(p.max_register_index() for p in self.procedures.values())
+
+    def registers_used(self) -> set[Reg]:
+        regs: set[Reg] = set()
+        for proc in self.procedures.values():
+            for instr in proc.instructions():
+                regs.update(instr.defs())
+                regs.update(instr.uses())
+        return regs
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(p) for p in self.procedures.values())

@@ -1,0 +1,31 @@
+"""Scheduling: machine models, boosting models, local and global schedulers."""
+
+from repro.sched.bbsched import (
+    schedule_block_local, schedule_procedure_bb, schedule_program_bb,
+)
+from repro.sched.boostmodel import (
+    ALL_MODELS, BOOST1, BOOST7, BY_NAME, BoostModel, MINBOOST3, NO_BOOST,
+    SQUASHING,
+)
+from repro.sched.ddg import DepGraph, DepNode
+from repro.sched.globalsched import (
+    GlobalScheduleStats, schedule_procedure_global, schedule_program_global,
+)
+from repro.sched.listsched import ScheduleState, earliest_cycle, list_schedule
+from repro.sched.machine import MachineConfig, SCALAR, SUPERSCALAR, latency
+from repro.sched.motion import DupPlan, MotionEngine, MotionPlan
+from repro.sched.schedprog import (
+    RecoveryBlock, ScheduledBlock, ScheduledProcedure, ScheduledProgram,
+)
+from repro.sched.traces import Trace, grow_trace, select_traces
+
+__all__ = [
+    "ALL_MODELS", "BOOST1", "BOOST7", "BY_NAME", "BoostModel", "DepGraph",
+    "DepNode", "DupPlan", "GlobalScheduleStats", "MINBOOST3", "MachineConfig",
+    "MotionEngine", "MotionPlan", "NO_BOOST", "RecoveryBlock", "SCALAR",
+    "SQUASHING", "SUPERSCALAR", "ScheduleState", "ScheduledBlock",
+    "ScheduledProcedure", "ScheduledProgram", "Trace", "earliest_cycle",
+    "grow_trace", "latency", "list_schedule", "schedule_block_local",
+    "schedule_procedure_bb", "schedule_procedure_global",
+    "schedule_program_bb", "schedule_program_global", "select_traces",
+]

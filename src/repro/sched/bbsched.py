@@ -1,0 +1,141 @@
+"""Basic-block-only scheduling.
+
+This is both the scalar baseline ("the scalar program is scheduled by the
+commercial MIPS assembler" — local reordering plus delay-slot filling) and
+the superscalar *basic block scheduling* configuration of Figure 8.
+
+The terminator-placement rule encodes the delay-slot contract: a conditional
+branch (or jump/call) is placed so that exactly one cycle of the block
+follows it; putting the branch in the second-to-last busy cycle fills the
+delay slot with useful work whenever dependences allow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.block import BasicBlock
+from repro.program.procedure import Procedure, Program
+from repro.sched.boostmodel import BoostModel, NO_BOOST
+from repro.sched.ddg import DepGraph
+from repro.sched.listsched import ScheduleState, earliest_cycle, list_schedule
+from repro.sched.machine import MachineConfig
+from repro.sched.schedprog import (
+    ScheduledBlock, ScheduledProcedure, ScheduledProgram,
+)
+
+
+def terminator_min_cycle(term: Instruction, body_len: int) -> int:
+    """Earliest legal cycle for a terminator: branches must leave exactly one
+    delay cycle after themselves, ``halt`` (no delay slot) must not orphan
+    the last body cycle."""
+    if term.op is Opcode.HALT:
+        return max(body_len - 1, 0)
+    return max(body_len - 2, 0)
+
+
+def _feeds(ddg: DepGraph, idx: int, term_idx: int) -> bool:
+    return any(succ == term_idx for succ, _, _ in ddg.succs_of(idx))
+
+
+def place_terminator(ddg: DepGraph, state: ScheduleState, term_idx: int,
+                     machine: MachineConfig) -> int:
+    """Place the block terminator per the delay-slot contract; returns its
+    cycle.
+
+    When every slot of the candidate cycle is busy, the classic delay-slot
+    fill applies: displace the last body instruction into the delay cycle
+    (legal when it does not feed the branch), so the branch overlaps with
+    useful work instead of trailing it.
+    """
+    term = ddg.nodes[term_idx].instr
+    body_len = state.used_cycles()
+    ready = earliest_cycle(ddg, state, term_idx)
+    if ready is None:
+        raise RuntimeError("terminator has unscheduled predecessors")
+    k = max(ready, terminator_min_cycle(term, body_len))
+    while True:
+        slot = state.free_slot(k, term)
+        if slot is not None:
+            state.place(term_idx, term, k, slot)
+            return k
+        if k == body_len - 1 and term.op is not Opcode.HALT:
+            moved = _displace_into_delay(ddg, state, term_idx, k, machine)
+            if moved is not None:
+                state.place(term_idx, term, k, moved)
+                return k
+        k += 1
+
+
+def _displace_into_delay(ddg: DepGraph, state: ScheduleState, term_idx: int,
+                         k: int, machine: MachineConfig):
+    """Move one displaceable instruction from row ``k`` into the (empty)
+    delay row ``k+1``; returns the freed slot index or None."""
+    state.ensure_row(k + 1)
+    if any(x is not None for x in state.rows[k + 1]):
+        return None
+    term = ddg.nodes[term_idx].instr
+    by_instr = {id(ddg.nodes[i].instr): i for i in state.placed_cycle}
+    for slot in machine.slots_for(term):
+        victim = state.rows[k][slot]
+        if victim is None:
+            return slot
+        v_idx = by_instr.get(id(victim))
+        if v_idx is None or _feeds(ddg, v_idx, term_idx):
+            continue
+        state.rows[k + 1][slot] = victim
+        state.rows[k][slot] = None
+        state.placed_cycle[v_idx] = k + 1
+        return slot
+    return None
+
+
+def block_length(term: Optional[Instruction], term_cycle: Optional[int],
+                 body_len: int) -> int:
+    """Total cycles of a block: delay cycle after any control transfer,
+    none after ``halt`` or for fall-through blocks."""
+    if term is None or term_cycle is None:
+        return body_len
+    if term.op is Opcode.HALT:
+        return term_cycle + 1
+    return term_cycle + 2
+
+
+def schedule_block_local(block: BasicBlock,
+                         machine: MachineConfig) -> ScheduledBlock:
+    """List-schedule one basic block in isolation."""
+    instrs = list(block.body)
+    term = block.terminator
+    all_instrs = instrs + ([term] if term is not None else [])
+    ddg = DepGraph(all_instrs)
+    body_indices = list(range(len(instrs)))
+    state = list_schedule(ddg, machine, body_indices)
+    term_cycle: Optional[int] = None
+    if term is not None:
+        term_cycle = place_terminator(ddg, state, len(all_instrs) - 1, machine)
+    state.trim()
+    length = block_length(term, term_cycle, state.used_cycles())
+    if length:
+        state.pad_to(length)
+    # Keep the architectural block length invariant explicit.
+    del state.rows[length:]
+    return ScheduledBlock(block.label, state.rows, term_cycle)
+
+
+def schedule_procedure_bb(proc: Procedure,
+                          machine: MachineConfig) -> ScheduledProcedure:
+    sp = ScheduledProcedure(proc.name)
+    for block in proc.blocks:
+        sp.add_block(schedule_block_local(block, machine))
+    return sp
+
+
+def schedule_program_bb(program: Program, machine: MachineConfig,
+                        model: BoostModel = NO_BOOST) -> ScheduledProgram:
+    """Basic-block schedule every procedure of a program."""
+    sched = ScheduledProgram(program, machine, model)
+    for proc in program.procedures.values():
+        sched.add(schedule_procedure_bb(proc, machine))
+    return sched

@@ -1,0 +1,73 @@
+"""Hardware-support models for boosting (Section 4).
+
+Each model describes how much speculation hardware exists, which in turn
+constrains the instruction scheduler:
+
+* ``NO_BOOST`` — the base superscalar: no shadow structures at all.  Global
+  scheduling may only perform *safe and legal* speculative movements.
+* ``SQUASHING`` — no shadow storage; the pipeline can squash boosted
+  instructions issued **with the branch or in its delay cycle** (Option 3).
+  Boosting is limited to one level and to those two cycles.
+* ``BOOST1`` — one shadow register file and one shadow store buffer, single
+  level of boosting (no counters; the commit gate is just AND(valid,
+  commit)).
+* ``MINBOOST3`` — a single shadow register file with 2-bit counters
+  supporting boosting across three branches (Option 2), and **no** shadow
+  store buffer (Option 1).  The single file means two outstanding boosted
+  values of the same register cannot coexist: the scheduler must respect an
+  output-like dependence (Figure 6c).
+* ``BOOST7`` — full shadow state for seven levels: per-level shadow register
+  files and a shadow store buffer; unconstrained boosting up to level 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class BoostModel:
+    name: str
+    #: maximum boosting level (0 = no boosting at all)
+    max_level: int
+    #: can stores be boosted (is there a shadow store buffer)?
+    boost_stores: bool
+    #: distinct shadow storage per level (multiple shadow register files)?
+    multi_shadow_files: bool
+    #: squashing-pipeline only: boosted instructions may sit only in the
+    #: branch-issue cycle or the delay cycle of their dependent branch
+    squash_only: bool = False
+
+    @property
+    def supports_boosting(self) -> bool:
+        return self.max_level > 0
+
+    def can_boost(self, instr: Instruction, level: int) -> bool:
+        """Whether this hardware can hold the speculative effects of
+        ``instr`` boosted ``level`` branches up."""
+        if level <= 0 or level > self.max_level:
+            return False
+        if instr.op.is_branch:
+            return False  # branches are never boosted by our scheduler
+        if instr.op.is_store and not self.boost_stores:
+            return False
+        if not instr.side_effect_free and not instr.op.is_store:
+            return False  # print/halt are never speculated
+        return True
+
+
+NO_BOOST = BoostModel("NoBoost", max_level=0, boost_stores=False,
+                      multi_shadow_files=False)
+SQUASHING = BoostModel("Squashing", max_level=1, boost_stores=True,
+                       multi_shadow_files=False, squash_only=True)
+BOOST1 = BoostModel("Boost1", max_level=1, boost_stores=True,
+                    multi_shadow_files=False)
+MINBOOST3 = BoostModel("MinBoost3", max_level=3, boost_stores=False,
+                       multi_shadow_files=False)
+BOOST7 = BoostModel("Boost7", max_level=7, boost_stores=True,
+                    multi_shadow_files=True)
+
+ALL_MODELS = (NO_BOOST, SQUASHING, BOOST1, MINBOOST3, BOOST7)
+BY_NAME = {m.name: m for m in ALL_MODELS}

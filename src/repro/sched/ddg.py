@@ -1,0 +1,181 @@
+"""Data-dependence graph over a straight-line instruction sequence.
+
+Used for a single basic block (local scheduling) or a whole trace (global
+scheduling).  Edge kinds and latencies:
+
+* RAW on a register — latency of the producer;
+* WAR — 0 (the register file reads before it writes within a cycle);
+* WAW — 1 (two writes to one register must be in distinct cycles);
+* memory: store→load / store→store — 1, load→store — 0, refined by the
+  base+offset disambiguator in :mod:`repro.analysis.memdep`;
+* calls are full barriers (registers via the calling convention, memory and
+  output explicitly);
+* PRINT→PRINT — 1 (program output order is architectural);
+* branch→branch — 1: the only control edges, keeping the original branch
+  order (Section 3.2.1: no control-dependence edges are added — that is the
+  point of boosting).
+
+Crucially, a non-branch instruction has **no** edge to the branches above it
+in the trace: the scheduler is free to move it up past them, and the
+bookkeeping engine decides whether that motion needs duplication or boosting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.liveness import instr_defs, instr_uses
+from repro.analysis.memdep import access_size, base_reg
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+
+
+@dataclass
+class DepNode:
+    idx: int
+    instr: Instruction
+    #: index of the trace block this instruction originally lives in
+    home: int
+    #: (other idx, latency, kind); kind in {"raw", "war", "waw", "mem_raw",
+    #: "mem_war", "mem_waw", "order"}
+    succs: list[tuple[int, int, str]] = field(default_factory=list)
+    preds: list[tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        return self.instr.op.latency
+
+
+class DepGraph:
+    def __init__(self, instrs: list[Instruction],
+                 homes: list[int] | None = None) -> None:
+        if homes is None:
+            homes = [0] * len(instrs)
+        self.nodes = [DepNode(i, instr, home)
+                      for i, (instr, home) in enumerate(zip(instrs, homes))]
+        self._edges: set[tuple[int, int]] = set()
+        self._build()
+
+    # ------------------------------------------------------------------ build
+    def add_edge(self, src: int, dst: int, lat: int, kind: str) -> None:
+        if src == dst:
+            return
+        key = (src, dst)
+        if key in self._edges:
+            # Keep the max latency; RAW kinds dominate ordering kinds.
+            for k, (s, old_lat, old_kind) in enumerate(self.nodes[src].succs):
+                if s == dst:
+                    new_lat = max(lat, old_lat)
+                    new_kind = old_kind
+                    if kind.endswith("raw") and not old_kind.endswith("raw"):
+                        new_kind = kind
+                    self.nodes[src].succs[k] = (dst, new_lat, new_kind)
+                    for m, (p, _, _) in enumerate(self.nodes[dst].preds):
+                        if p == src:
+                            self.nodes[dst].preds[m] = (src, new_lat, new_kind)
+            return
+        self._edges.add(key)
+        self.nodes[src].succs.append((dst, lat, kind))
+        self.nodes[dst].preds.append((src, lat, kind))
+
+    def _build(self) -> None:  # noqa: C901 - classic DDG construction
+        last_def: dict[Reg, int] = {}
+        uses_since_def: dict[Reg, list[int]] = {}
+        reg_version: dict[Reg, int] = {}
+        mem_history: list[tuple[int, bool, Reg, int, int, int]] = []
+        # (idx, is_store, base, version, offset, size)
+        last_branch: int | None = None
+        last_print: int | None = None
+        last_call: int | None = None
+
+        for node in self.nodes:
+            instr = node.instr
+            i = node.idx
+            op = instr.op
+
+            for reg in instr_uses(instr):
+                if reg in last_def:
+                    producer = self.nodes[last_def[reg]]
+                    self.add_edge(producer.idx, i, producer.latency, "raw")
+                uses_since_def.setdefault(reg, []).append(i)
+            for reg in instr_defs(instr):
+                if reg in last_def:
+                    self.add_edge(last_def[reg], i, 1, "waw")
+                for user in uses_since_def.get(reg, ()):
+                    self.add_edge(user, i, 0, "war")
+                last_def[reg] = i
+                uses_since_def[reg] = []
+                reg_version[reg] = reg_version.get(reg, 0) + 1
+
+            is_barrier = op.is_call
+            if op.is_mem or is_barrier:
+                if op.is_mem:
+                    b = base_reg(instr)
+                    entry = (i, op.is_store, b, reg_version.get(b, 0),
+                             instr.imm or 0, access_size(instr))
+                else:
+                    entry = (i, True, None, -1, 0, 1 << 30)  # call: aliases all
+                for (j, j_store, j_base, j_ver, j_off, j_size) in mem_history:
+                    i_store = entry[1]
+                    if not i_store and not j_store:
+                        continue  # load-load: independent
+                    if self._no_alias(entry, (j, j_store, j_base, j_ver,
+                                              j_off, j_size)):
+                        continue
+                    if j_store and not entry[1]:
+                        kind, lat = "mem_raw", 1       # store -> load
+                    elif j_store and entry[1]:
+                        kind, lat = "mem_waw", 1       # store -> store
+                    else:
+                        kind, lat = "mem_war", 0       # load -> store
+                    self.add_edge(j, i, lat, kind)
+                mem_history.append(entry)
+
+            if op is Opcode.PRINT or is_barrier:
+                if last_print is not None:
+                    self.add_edge(last_print, i, 1, "order")
+                last_print = i
+            if is_barrier:
+                if last_call is not None:
+                    self.add_edge(last_call, i, 1, "order")
+                last_call = i
+            if op.is_branch or op is Opcode.HALT:
+                if last_branch is not None:
+                    self.add_edge(last_branch, i, 1, "order")
+                last_branch = i
+
+    @staticmethod
+    def _no_alias(a: tuple, b: tuple) -> bool:
+        (_, _, a_base, a_ver, a_off, a_size) = a
+        (_, _, b_base, b_ver, b_off, b_size) = b
+        if a_base is None or b_base is None:
+            return False
+        if a_base is not b_base or a_ver != b_ver:
+            return False
+        return a_off + a_size <= b_off or b_off + b_size <= a_off
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def preds_of(self, idx: int) -> list[tuple[int, int, str]]:
+        return self.nodes[idx].preds
+
+    def succs_of(self, idx: int) -> list[tuple[int, int, str]]:
+        return self.nodes[idx].succs
+
+    def raw_preds_of(self, idx: int) -> list[int]:
+        """Value-producing predecessors (register or memory RAW)."""
+        return [p for p, _, kind in self.nodes[idx].preds
+                if kind in ("raw", "mem_raw")]
+
+    def critical_path_heights(self) -> list[int]:
+        """Longest-path-to-any-leaf for each node (list-scheduler priority)."""
+        heights = [0] * len(self.nodes)
+        for node in reversed(self.nodes):
+            best = 0
+            for succ, lat, _ in node.succs:
+                best = max(best, heights[succ] + lat)
+            heights[node.idx] = best
+        return heights

@@ -1,0 +1,409 @@
+"""The trace-based global scheduler (Section 3.2, Figure 4).
+
+Per procedure: regions innermost-first, traces grown along predicted edges,
+and per trace:
+
+1. build the trace dependence graph (no control edges except branch order);
+2. for each block in trace order: list-schedule its *native* instructions
+   (the block's cycle count is then frozen — a global motion never lengthens
+   a block), place the terminator under the delay-slot contract, and then
+   fill the remaining empty slots with ready instructions from later trace
+   blocks, consulting the :class:`~repro.sched.motion.MotionEngine` for
+   boosting/duplication bookkeeping;
+3. record, per crossed conditional branch, the boosted instructions pending
+   at its commit, from which the recovery code (Section 2.3) is generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.regions import RegionTree
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure, Program
+from repro.sched.bbsched import (block_length, schedule_block_local,
+                                 terminator_min_cycle)
+from repro.sched.boostmodel import BoostModel, NO_BOOST
+from repro.sched.ddg import DepGraph
+from repro.sched.machine import MachineConfig
+from repro.sched.motion import MotionEngine
+from repro.sched.schedprog import (
+    RecoveryBlock, ScheduledBlock, ScheduledProcedure, ScheduledProgram,
+)
+from repro.sched.traces import Trace, select_traces
+
+
+@dataclass
+class _TraceScheduler:
+    """Schedules one trace; accumulates blocks and recovery bookkeeping."""
+
+    proc: Procedure
+    cfg: CFG
+    trace: Trace
+    machine: MachineConfig
+    model: BoostModel
+    engine: MotionEngine
+    pending: dict[int, list[tuple[Instruction, int]]]
+    resume_label: dict[int, str]
+    stats: "GlobalScheduleStats"
+
+    def run(self) -> list[ScheduledBlock]:
+        labels = self.trace.labels
+        blocks = [self.proc.block(lab) for lab in labels]
+        instrs: list[Instruction] = []
+        homes: list[int] = []
+        term_node: dict[int, int] = {}  # trace position -> node idx
+        for pos, block in enumerate(blocks):
+            for instr in block.body:
+                instrs.append(instr)
+                homes.append(pos)
+            if block.terminator is not None:
+                term_node[pos] = len(instrs)
+                instrs.append(block.terminator)
+                homes.append(pos)
+        self.ddg = DepGraph(instrs, homes)
+        self.homes = homes
+        self.heights = self.ddg.critical_path_heights()
+        self.abs_placed: dict[int, int] = {}
+        self.placed_boost: dict[int, int] = {}
+        # boosted-write occupancy: (reg index, start pos, commit pos)
+        self.outstanding: list[tuple[int, int, int]] = []
+        # boosted-store occupancy: (start pos, commit pos)
+        self.outstanding_stores: list[tuple[int, int]] = []
+
+        scheduled_blocks: list[ScheduledBlock] = []
+        offset = 0
+        for pos, block in enumerate(blocks):
+            sblock, length = self._schedule_block(pos, block,
+                                                  term_node.get(pos), offset)
+            scheduled_blocks.append(sblock)
+            offset += length
+        return scheduled_blocks
+
+    # ------------------------------------------------------------ per block
+    def _schedule_block(self, pos: int, block, term_idx: Optional[int],
+                        offset: int) -> tuple[ScheduledBlock, int]:
+        machine = self.machine
+        width = machine.issue_width
+        rows: list[list[Optional[Instruction]]] = []
+
+        natives = [i for i, h in enumerate(self.homes)
+                   if h == pos and i != term_idx and i not in self.abs_placed]
+        # Boosted compensation copies occupy the shadow file while resident.
+        for idx in natives:
+            instr = self.ddg.nodes[idx].instr
+            if instr.is_boosted and instr.dst is not None:
+                self.outstanding.append((instr.dst.index, pos, pos))
+
+        def ensure_row(c: int) -> None:
+            while len(rows) <= c:
+                rows.append([None] * width)
+
+        def ready_at(idx: int) -> Optional[int]:
+            worst = offset
+            for p, lat, _ in self.ddg.preds_of(idx):
+                if p not in self.abs_placed:
+                    return None
+                worst = max(worst, self.abs_placed[p] + lat)
+            return worst
+
+        # --- natives ------------------------------------------------------
+        remaining = set(natives)
+        cycle = 0
+        guard = 0
+        while remaining:
+            guard += 1
+            if guard > 100_000:
+                raise RuntimeError("native scheduling did not converge")
+            ensure_row(cycle)
+            ready = []
+            for idx in remaining:
+                r = ready_at(idx)
+                if r is not None and r <= offset + cycle:
+                    ready.append(idx)
+            ready.sort(key=lambda i: (-self.heights[i], i))
+            placed_any = False
+            for idx in ready:
+                instr = self.ddg.nodes[idx].instr
+                for slot in machine.slots_for(instr):
+                    if rows[cycle][slot] is None:
+                        rows[cycle][slot] = instr
+                        self.abs_placed[idx] = offset + cycle
+                        remaining.discard(idx)
+                        placed_any = True
+                        break
+            if remaining and (not placed_any
+                              or all(x is not None for x in rows[cycle])):
+                cycle += 1
+
+        body_len = _used_cycles(rows)
+        del rows[body_len:]
+
+        # --- terminator -----------------------------------------------------
+        term_cycle: Optional[int] = None
+        term = None
+        if term_idx is not None:
+            term = self.ddg.nodes[term_idx].instr
+            ready = ready_at(term_idx)
+            if ready is None:
+                raise RuntimeError("terminator predecessors unscheduled")
+            k = max(ready - offset, terminator_min_cycle(term, body_len), 0)
+            while True:
+                ensure_row(k)
+                placed = False
+                for slot in machine.slots_for(term):
+                    if rows[k][slot] is None:
+                        rows[k][slot] = term
+                        self.abs_placed[term_idx] = offset + k
+                        placed = True
+                        break
+                if placed:
+                    break
+                if k == body_len - 1 and term.op is not Opcode.HALT:
+                    slot = self._displace_into_delay(rows, k, term_idx)
+                    if slot is not None:
+                        rows[k][slot] = term
+                        self.abs_placed[term_idx] = offset + k
+                        placed = True
+                        break
+                k += 1
+            term_cycle = k
+
+        length = block_length(term, term_cycle, _used_cycles(rows))
+        while len(rows) < length:
+            rows.append([None] * width)
+        del rows[length:]
+
+        # --- fill holes with upward code motion ----------------------------
+        if pos < len(self.trace.labels) - 1:
+            self._fill_holes(pos, rows, term_cycle, offset)
+
+        return ScheduledBlock(block.label, rows, term_cycle), length
+
+    def _displace_into_delay(self, rows, k: int, term_idx: int):
+        """Classic delay-slot fill: push one non-branch-feeding instruction
+        from row ``k`` into the empty delay row, freeing a slot for the
+        branch."""
+        while len(rows) <= k + 1:
+            rows.append([None] * self.machine.issue_width)
+        if any(x is not None for x in rows[k + 1]):
+            return None
+        term = self.ddg.nodes[term_idx].instr
+        by_instr = {id(self.ddg.nodes[i].instr): i for i in self.abs_placed}
+        for slot in self.machine.slots_for(term):
+            victim = rows[k][slot]
+            if victim is None:
+                return slot
+            v_idx = by_instr.get(id(victim))
+            if v_idx is None:
+                continue
+            if any(succ == term_idx for succ, _, _
+                   in self.ddg.succs_of(v_idx)):
+                continue
+            rows[k + 1][slot] = victim
+            rows[k][slot] = None
+            self.abs_placed[v_idx] += 1
+            return slot
+        return None
+
+    # ------------------------------------------------------------ candidates
+    def _fill_holes(self, pos: int, rows, term_cycle: Optional[int],
+                    offset: int) -> None:
+        machine = self.machine
+        for c, row in enumerate(rows):
+            for slot in range(machine.issue_width):
+                if row[slot] is not None:
+                    continue
+                idx = self._pick_candidate(pos, c, slot, term_cycle, offset)
+                if idx is None:
+                    continue
+                row[slot] = self.ddg.nodes[idx].instr
+                self.abs_placed[idx] = offset + c
+
+    def _pick_candidate(self, pos: int, cycle: int, slot: int,
+                        term_cycle: Optional[int],
+                        offset: int) -> Optional[int]:
+        in_squash_region = term_cycle is not None and cycle >= term_cycle
+        best: Optional[tuple] = None
+        best_idx = None
+        best_plan = None
+        for idx, node in enumerate(self.ddg.nodes):
+            if idx in self.abs_placed:
+                continue
+            home = self.homes[idx]
+            if home <= pos:
+                continue
+            instr = node.instr
+            if instr.is_terminator or instr.op is Opcode.NOP:
+                continue
+            if instr.is_boosted:
+                continue  # compensation copies stay home
+            if slot not in self.machine.slots_for(instr):
+                continue
+            ready = offset
+            blocked = False
+            for p, lat, _ in self.ddg.preds_of(idx):
+                if p not in self.abs_placed:
+                    blocked = True
+                    break
+                ready = max(ready, self.abs_placed[p] + lat)
+            if blocked or ready > offset + cycle:
+                continue
+            key = (-self.heights[idx], idx)
+            if best is not None and key >= best:
+                continue
+            has_spec_producer = any(
+                self.placed_boost.get(p, 0) > 0 and self.homes[p] > pos
+                for p in self.ddg.raw_preds_of(idx)
+            )
+            plan = self.engine.plan(instr, home, pos, has_spec_producer,
+                                    in_squash_region)
+            if not plan.ok:
+                continue
+            if plan.boost > 0 and not self._shadow_fits(instr, pos, home):
+                continue
+            if plan.boost == 0 and not self._sequential_write_fits(instr, pos):
+                continue
+            best, best_idx, best_plan = key, idx, plan
+        if best_idx is None:
+            return None
+        self._apply_plan(best_idx, pos, best_plan)
+        return best_idx
+
+    def _sequential_write_fits(self, instr: Instruction, pos: int) -> bool:
+        """A non-boosted write placed at ``pos`` issues before any commit at
+        the end of block ``pos`` or later.  An outstanding boosted write to
+        the same register (or, for stores, any outstanding boosted store)
+        with a commit point >= ``pos`` would architecturally land *after*
+        this write, inverting the WAW order — reject the motion."""
+        if instr.dst is not None:
+            r = instr.dst.index
+            for reg, _start, commit in self.outstanding:
+                if reg == r and commit >= pos:
+                    return False
+        if instr.op.is_store:
+            for _start, commit in self.outstanding_stores:
+                if commit >= pos:
+                    return False
+        return True
+
+    def _shadow_fits(self, instr: Instruction, place_pos: int,
+                     home_pos: int) -> bool:
+        """Single shadow register file: one outstanding level per register
+        (Figure 6c's output-like dependence)."""
+        if self.model.multi_shadow_files or instr.dst is None:
+            return True
+        commit = home_pos - 1
+        for reg, start, other_commit in self.outstanding:
+            if reg != instr.dst.index:
+                continue
+            if start <= commit and place_pos <= other_commit \
+                    and other_commit != commit:
+                return False
+        return True
+
+    def _apply_plan(self, idx: int, pos: int, plan) -> None:
+        instr = self.ddg.nodes[idx].instr
+        labels = self.trace.labels
+        if plan.boost > 0:
+            instr.boost = plan.boost
+            self.placed_boost[idx] = plan.boost
+            self.stats.boosted += 1
+            if instr.dst is not None:
+                self.outstanding.append(
+                    (instr.dst.index, pos, self.homes[idx] - 1))
+            if instr.op.is_store:
+                self.outstanding_stores.append((pos, self.homes[idx] - 1))
+            for k, m in enumerate(plan.cond_positions, start=1):
+                branch = self.proc.block(labels[m]).terminator
+                self.pending.setdefault(branch.uid, []).append(
+                    (instr, plan.boost - k))
+                self.resume_label[branch.uid] = labels[m + 1]
+        elif plan.cond_positions:
+            self.stats.safe_speculative += 1
+        for copy, dp in self.engine.apply_dups(instr, plan):
+            self.stats.duplicates += 1
+            if dp.boost > 0:
+                self.stats.boosted += 1
+                pred_term = self.proc.block(dp.pred_label).terminator
+                self.pending.setdefault(pred_term.uid, []).append((copy, 0))
+                self.resume_label[pred_term.uid] = dp.join_label
+
+
+def _used_cycles(rows) -> int:
+    for c in range(len(rows) - 1, -1, -1):
+        if any(x is not None for x in rows[c]):
+            return c + 1
+    return 0
+
+
+@dataclass
+class GlobalScheduleStats:
+    boosted: int = 0
+    duplicates: int = 0
+    safe_speculative: int = 0
+    traces: int = 0
+    split_blocks: int = 0
+
+
+def schedule_procedure_global(
+    proc: Procedure,
+    machine: MachineConfig,
+    model: BoostModel,
+    stats: Optional[GlobalScheduleStats] = None,
+) -> ScheduledProcedure:
+    """Globally schedule one procedure (mutates it: boost labels and
+    compensation copies are written back into the IR)."""
+    stats = stats if stats is not None else GlobalScheduleStats()
+    cfg = CFG(proc)
+    tree = RegionTree(cfg)
+    traces = select_traces(proc, cfg, tree)
+    scheduled_labels: set[str] = set()
+    pending: dict[int, list[tuple[Instruction, int]]] = {}
+    resume_label: dict[int, str] = {}
+    by_label: dict[str, ScheduledBlock] = {}
+
+    for trace in traces:
+        stats.traces += 1
+        engine = MotionEngine(proc, cfg, trace, model, scheduled_labels,
+                              resume_label)
+        ts = _TraceScheduler(proc, cfg, trace, machine, model, engine,
+                             pending, resume_label, stats)
+        for sblock in ts.run():
+            by_label[sblock.label] = sblock
+        scheduled_labels.update(trace.labels)
+        stats.split_blocks += len(engine.new_blocks)
+
+    # Compensation blocks created by edge splitting are scheduled locally.
+    for block in proc.blocks:
+        if block.label not in by_label:
+            by_label[block.label] = schedule_block_local(block, machine)
+
+    sp = ScheduledProcedure(proc.name)
+    for block in proc.blocks:  # original layout order keeps fall-throughs
+        sp.add_block(by_label[block.label])
+
+    for uid, entries in pending.items():
+        if not any(orig.op.can_except for orig, _ in entries):
+            continue
+        copies = [orig.copy(boost=remaining) for orig, remaining in entries]
+        sp.recovery[uid] = RecoveryBlock(
+            branch_uid=uid, instructions=copies,
+            resume_label=resume_label[uid])
+    return sp
+
+
+def schedule_program_global(
+    program: Program,
+    machine: MachineConfig,
+    model: BoostModel = NO_BOOST,
+) -> tuple[ScheduledProgram, GlobalScheduleStats]:
+    """Globally schedule a whole program under a boosting model."""
+    stats = GlobalScheduleStats()
+    sched = ScheduledProgram(program, machine, model)
+    for proc in program.procedures.values():
+        sched.add(schedule_procedure_global(proc, machine, model, stats))
+    return sched, stats

@@ -1,0 +1,111 @@
+"""Core list-scheduling machinery shared by the local and global schedulers.
+
+Top-down, cycle-by-cycle list scheduling: at each cycle the ready
+instructions (dependence predecessors scheduled, latencies fulfilled) compete
+for the issue slots their functional unit can use.  Priority is longest
+remaining critical path, then program order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.sched.ddg import DepGraph
+from repro.sched.machine import MachineConfig
+
+
+@dataclass
+class ScheduleState:
+    """A growing cycle×slot matrix with placement bookkeeping."""
+
+    machine: MachineConfig
+    rows: list[list[Optional[Instruction]]] = field(default_factory=list)
+    placed_cycle: dict[int, int] = field(default_factory=dict)  # node idx -> cycle
+
+    def ensure_row(self, cycle: int) -> None:
+        while len(self.rows) <= cycle:
+            self.rows.append([None] * self.machine.issue_width)
+
+    def free_slot(self, cycle: int, instr: Instruction) -> Optional[int]:
+        self.ensure_row(cycle)
+        for slot in self.machine.slots_for(instr):
+            if self.rows[cycle][slot] is None:
+                return slot
+        return None
+
+    def place(self, node_idx: int, instr: Instruction, cycle: int,
+              slot: int) -> None:
+        self.ensure_row(cycle)
+        if self.rows[cycle][slot] is not None:
+            raise ValueError(f"slot ({cycle},{slot}) already filled")
+        self.rows[cycle][slot] = instr
+        self.placed_cycle[node_idx] = cycle
+
+    def used_cycles(self) -> int:
+        """Index past the last non-empty row."""
+        for c in range(len(self.rows) - 1, -1, -1):
+            if any(x is not None for x in self.rows[c]):
+                return c + 1
+        return 0
+
+    def trim(self) -> None:
+        del self.rows[self.used_cycles():]
+
+    def pad_to(self, length: int) -> None:
+        self.ensure_row(length - 1)
+
+
+def earliest_cycle(ddg: DepGraph, state: ScheduleState, idx: int) -> Optional[int]:
+    """Earliest cycle ``idx`` may issue, or None if a predecessor is
+    unscheduled."""
+    earliest = 0
+    for pred, lat, _kind in ddg.preds_of(idx):
+        if pred not in state.placed_cycle:
+            return None
+        earliest = max(earliest, state.placed_cycle[pred] + lat)
+    return earliest
+
+
+def list_schedule(ddg: DepGraph, machine: MachineConfig,
+                  node_indices: list[int],
+                  state: Optional[ScheduleState] = None,
+                  start_cycle: int = 0) -> ScheduleState:
+    """Schedule exactly ``node_indices`` (a subset of the DDG) into ``state``.
+
+    Dependence predecessors outside the subset must already be placed in
+    ``state``.  Used for a whole basic block, and by the global scheduler for
+    a block's native instructions.
+    """
+    if state is None:
+        state = ScheduleState(machine)
+    heights = ddg.critical_path_heights()
+    remaining = set(node_indices)
+    cycle = start_cycle
+    guard = 0
+    while remaining:
+        guard += 1
+        if guard > 100_000:
+            raise RuntimeError("list scheduler did not converge")
+        ready = []
+        for idx in remaining:
+            e = earliest_cycle(ddg, state, idx)
+            if e is not None and e <= cycle:
+                ready.append(idx)
+        ready.sort(key=lambda i: (-heights[i], i))
+        placed_any = False
+        for idx in ready:
+            instr = ddg.nodes[idx].instr
+            slot = state.free_slot(cycle, instr)
+            if slot is not None:
+                state.place(idx, instr, cycle, slot)
+                remaining.discard(idx)
+                placed_any = True
+        if remaining and not placed_any:
+            cycle += 1
+        elif remaining:
+            # keep trying the same cycle only if slots may remain
+            if all(x is not None for x in state.rows[cycle]):
+                cycle += 1
+    return state

@@ -1,0 +1,65 @@
+"""Machine descriptions for the schedulers and timing simulators.
+
+The paper's base superscalar (Section 4.3.1) is a 2-issue machine with a
+*distributed* (non-symmetric) functional-unit mix:
+
+* **side A** (slot 0): integer ALU, branch unit, shifter, integer
+  multiply/divide unit, floating point;
+* **side B** (slot 1): integer ALU and the single memory port.
+
+An instruction fetched for one side must execute on that side — there is no
+swap logic, so the scheduler alone decides slot assignment.  Two integer ALU
+operations can issue together, but (for example) a branch and a shift
+cannot.  The scalar machine is the same pipeline, one slot wide, with every
+unit on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FU, Opcode
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Issue width and which FU classes each slot can execute."""
+
+    name: str
+    slot_fus: tuple[frozenset[FU], ...]
+    #: exception-recovery invocation overhead, cycles (Section 2.3: ~10)
+    recovery_overhead: int = 10
+
+    @property
+    def issue_width(self) -> int:
+        return len(self.slot_fus)
+
+    def slots_for(self, instr: Instruction) -> list[int]:
+        """Slot indices that can execute ``instr`` (NOP fits anywhere)."""
+        fu = instr.op.fu
+        if fu is FU.NONE:
+            return list(range(self.issue_width))
+        return [i for i, fus in enumerate(self.slot_fus) if fu in fus]
+
+    def can_execute(self, instr: Instruction) -> bool:
+        return bool(self.slots_for(instr))
+
+
+_SIDE_A = frozenset({FU.ALU, FU.BRANCH, FU.SHIFT, FU.MULDIV})
+_SIDE_B = frozenset({FU.ALU, FU.MEM})
+
+#: The paper's 2-issue base superscalar.
+SUPERSCALAR = MachineConfig("superscalar-2", (_SIDE_A, _SIDE_B))
+
+#: The scalar MIPS-R2000-like baseline: one slot, all units.
+SCALAR = MachineConfig("scalar-r2000", (_SIDE_A | _SIDE_B,))
+
+
+def latency(instr: Instruction) -> int:
+    """Result latency in cycles (1 = usable next cycle)."""
+    return instr.op.latency
+
+
+#: HALT is modelled as taking the branch path.
+assert Opcode.HALT.fu is FU.BRANCH

@@ -1,0 +1,403 @@
+"""Upward-code-motion legality and bookkeeping (Section 3.2.2, Figure 5).
+
+Moving an instruction from its *home* trace block up to an earlier
+*placement* block crosses block boundaries.  For each crossing this engine
+decides, using global data-flow information:
+
+* **boosting** — crossing a conditional branch is speculative; it needs
+  hardware support (a boost level) exactly when the motion is *unsafe* (the
+  instruction can except), *illegal* (its destination is live on the
+  off-trace path, or it writes memory), or it consumes a value that is still
+  speculative at the placement point;
+* **duplication** — crossing into a join block from above requires a copy of
+  the instruction at the end of every off-trace predecessor, unless the
+  placement block is control- and data-equivalent to the join (Figure 3's
+  ``i5`` case);
+* a duplicate that lands in a block ending in a conditional branch is itself
+  speculative there and may in turn need boosting (with the branch predicted
+  toward the join).
+
+The engine answers with a :class:`MotionPlan`; the global scheduler applies
+it.  Anything the plan cannot express safely is rejected — rejected motions
+merely leave a schedule hole, never break the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.equivalence import ControlEquivalence, conflicts_with
+from repro.analysis.liveness import Liveness, instr_defs, instr_uses
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.block import BasicBlock
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure
+from repro.sched.boostmodel import BoostModel
+from repro.sched.traces import Trace
+
+
+@dataclass
+class DupPlan:
+    """One compensation copy for an off-trace edge into ``join_label``.
+
+    ``kind`` is ``"append"`` (copy at the end of ``pred_label``, boosted one
+    level if ``boost``) or ``"split"`` (create a new basic block on the
+    ``pred_label -> join_label`` edge and put the copy there — the paper's
+    "on-demand creation of basic blocks to hold duplicated instructions")."""
+
+    pred_label: str
+    join_label: str
+    boost: int = 0  # 0 or 1; always 0 for splits
+    kind: str = "append"
+
+
+@dataclass
+class MotionPlan:
+    ok: bool
+    reason: str = ""
+    boost: int = 0
+    #: trace positions of the conditional branches crossed (for recovery)
+    cond_positions: tuple[int, ...] = ()
+    dups: list[DupPlan] = field(default_factory=list)
+
+    @classmethod
+    def fail(cls, reason: str) -> "MotionPlan":
+        return cls(ok=False, reason=reason)
+
+
+class MotionEngine:
+    """Per-trace motion oracle.  Recomputes liveness lazily after the
+    bookkeeping mutates off-trace blocks."""
+
+    def __init__(self, proc: Procedure, cfg: CFG, trace: Trace,
+                 model: BoostModel, scheduled_labels: set[str],
+                 resume_label: Optional[dict[int, str]] = None) -> None:
+        self.proc = proc
+        self.cfg = cfg
+        self.trace = trace
+        self.model = model
+        self.scheduled_labels = scheduled_labels
+        self.resume_label = resume_label if resume_label is not None else {}
+        self.equiv = ControlEquivalence(cfg)
+        self._liveness: Optional[Liveness] = None
+        self._between_cache: dict[tuple[str, str], list[Instruction]] = {}
+        #: compensation blocks created by edge splitting, for the caller to
+        #: schedule after the traces
+        self.new_blocks: list[str] = []
+
+    # ------------------------------------------------------------- liveness
+    @property
+    def liveness(self) -> Liveness:
+        if self._liveness is None:
+            self._liveness = Liveness(self.cfg)
+        return self._liveness
+
+    def invalidate_liveness(self) -> None:
+        self._liveness = None
+
+    # ----------------------------------------------------------------- plan
+    def plan(self, instr: Instruction, home_pos: int, place_pos: int,
+             has_spec_producer: bool,
+             in_squash_region: bool) -> MotionPlan:
+        if home_pos == place_pos:
+            return MotionPlan(ok=True)
+        if instr.is_boosted:
+            return MotionPlan.fail("compensation copies do not move again")
+        # The crossed terminators must all be fall-throughs, jumps, or
+        # conditional branches; traces never cross calls/returns.
+        labels = self.trace.labels
+        for m in range(place_pos, home_pos):
+            term = self.proc.block(labels[m]).terminator
+            if term is None or term.op is Opcode.J or term.op.is_cond_branch:
+                continue
+            return MotionPlan.fail(
+                f"cannot move across {term.op.mnemonic} at {labels[m]}")
+
+        plan = self._plan_nonspeculative(instr, home_pos, place_pos,
+                                         has_spec_producer)
+        if plan is not None:
+            return plan
+        return self._plan_boosted(instr, home_pos, place_pos,
+                                  in_squash_region)
+
+    def _cond_positions(self, lo: int, hi: int) -> list[int]:
+        """Trace positions in [lo, hi) whose block ends in a conditional
+        branch."""
+        labels = self.trace.labels
+        return [m for m in range(lo, hi)
+                if self.proc.block(labels[m]).ends_in_cond_branch]
+
+    def _plan_nonspeculative(self, instr: Instruction, home_pos: int,
+                             place_pos: int,
+                             has_spec_producer: bool) -> Optional[MotionPlan]:
+        """Figure 5's walk: equivalence hops where possible, otherwise plain
+        (safe-and-legal) speculative steps with plain/boosted duplicates.
+        Returns None when the motion cannot be done without boosting the
+        instruction itself."""
+        if has_spec_producer:
+            # The value it consumes lives only in shadow state; a sequential
+            # placement would read a stale register.
+            return None
+        labels = self.trace.labels
+        crossed: list[int] = []
+        dups: list[DupPlan] = []
+        cur = home_pos
+        guard = 0
+        while cur > place_pos:
+            guard += 1
+            if guard > 1000:
+                return None
+            hop = None
+            for p in range(place_pos, cur):
+                if self._equivalence_hop(instr, labels[p], labels[cur]):
+                    hop = p
+                    break
+            if hop is not None:
+                cur = hop
+                continue
+            # One plain step up: crossing the terminator of cur-1 ...
+            below = labels[cur - 1]
+            term = self.proc.block(below).terminator
+            if term is not None and term.op.is_cond_branch:
+                if instr.op.can_except or instr.op.is_store \
+                        or not instr.side_effect_free:
+                    return None
+                off = self.cfg.off_trace_succ(below, labels[cur])
+                if off is not None and any(
+                        d in self.liveness.live_in.get(off, frozenset())
+                        for d in instr_defs(instr)):
+                    return None  # illegal without renaming: needs boosting
+                crossed.append(cur - 1)
+            # ... and out of the top of cur: joins need compensation.
+            on_trace_pred = labels[cur - 1]
+            for pred in self.cfg.preds(labels[cur]):
+                if pred == on_trace_pred:
+                    continue
+                dup = self._plan_dup(instr, pred, cur, home_pos)
+                if isinstance(dup, str):
+                    return None
+                dups.append(dup)
+            cur -= 1
+        return MotionPlan(ok=True, boost=0,
+                          cond_positions=tuple(sorted(crossed)), dups=dups)
+
+    def _plan_boosted(self, instr: Instruction, home_pos: int, place_pos: int,
+                      in_squash_region: bool) -> MotionPlan:
+        """Boosted motion: under the trace encoding the instruction becomes
+        control dependent on *every* conditional branch it moves above
+        (Section 2.3), and every crossed join needs compensation copies —
+        equivalence hops do not combine with boosting."""
+        labels = self.trace.labels
+        cond_positions = self._cond_positions(place_pos, home_pos)
+        level = len(cond_positions)
+        if level == 0:
+            return MotionPlan.fail(
+                "motion blocked by compensation-code legality")
+        if not instr.side_effect_free and not instr.op.is_store:
+            return MotionPlan.fail("output instructions never speculate")
+        if not self.model.can_boost(instr, level):
+            return MotionPlan.fail(
+                f"{self.model.name} cannot boost {instr.op.mnemonic} to "
+                f"level {level}")
+        if self.model.squash_only and not (
+                level == 1 and home_pos == place_pos + 1 and in_squash_region):
+            return MotionPlan.fail(
+                "squashing pipeline boosts only into the branch and delay "
+                "cycles")
+
+        dups: list[DupPlan] = []
+        for m in range(place_pos + 1, home_pos + 1):
+            join = labels[m]
+            on_trace_pred = labels[m - 1]
+            for pred in self.cfg.preds(join):
+                if pred == on_trace_pred:
+                    continue
+                dup = self._plan_dup(instr, pred, m, home_pos)
+                if isinstance(dup, str):
+                    return MotionPlan.fail(dup)
+                dups.append(dup)
+        return MotionPlan(ok=True, boost=level,
+                          cond_positions=tuple(cond_positions), dups=dups)
+
+    # ------------------------------------------------------------- legality
+    def _dst_live_off_trace(self, instr: Instruction,
+                            cond_positions: list[int]) -> bool:
+        """Is the destination live on any off-trace path of the crossed
+        branches (the *illegal* condition, Figure 1b)?"""
+        defs = instr_defs(instr)
+        if not defs:
+            return False
+        labels = self.trace.labels
+        for m in cond_positions:
+            on_trace = labels[m + 1]
+            off = self.cfg.off_trace_succ(labels[m], on_trace)
+            if off is None:
+                continue
+            live_in = self.liveness.live_in.get(off, frozenset())
+            if any(d in live_in for d in defs):
+                return True
+        return False
+
+    # ---------------------------------------------------------- equivalence
+    def _equivalence_hop(self, instr: Instruction, place_label: str,
+                         join_label: str) -> bool:
+        """Control/data-equivalent pair: no compensation needed (§3.2.2)."""
+        if not self.equiv.equivalent(place_label, join_label):
+            return False
+        between = self._blocks_between(place_label, join_label)
+        if between is None:
+            return False
+        return not any(conflicts_with(instr, other) for other in between)
+
+    def _blocks_between(self, top: str,
+                        bottom: str) -> Optional[list[Instruction]]:
+        key = (top, bottom)
+        if key in self._between_cache:
+            return self._between_cache[key]
+        # Forward reachability from top, stopping at bottom.
+        forward: set[str] = set()
+        stack = [s for s in self.cfg.succs(top)]
+        guard = 0
+        while stack:
+            guard += 1
+            if guard > 5000:
+                return None
+            label = stack.pop()
+            if label == bottom or label in forward:
+                continue
+            forward.add(label)
+            stack.extend(self.cfg.succs(label))
+        backward: set[str] = set()
+        stack = [p for p in self.cfg.preds(bottom)]
+        while stack:
+            label = stack.pop()
+            if label == top or label in backward:
+                continue
+            backward.add(label)
+            stack.extend(self.cfg.preds(label))
+        between = forward & backward
+        instrs: list[Instruction] = []
+        for label in between:
+            instrs.extend(self.proc.block(label).instructions())
+        self._between_cache[key] = instrs
+        return instrs
+
+    # ---------------------------------------------------------- duplication
+    def _plan_dup(self, instr: Instruction, pred_label: str,
+                  join_pos: int, home_pos: int):
+        """Plan one compensation copy for the off-trace edge
+        ``pred_label -> join``.
+
+        Placement preference: a plain copy at the end of the predecessor
+        (when the copy is safe and legal there), then a boosted copy (when
+        the predecessor's branch predicts toward the join and the hardware
+        supports it), then a new block on the edge itself.  The conditional
+        branches between the join and the instruction's home constrain every
+        variant: on the off-trace path the original would only execute if
+        those branches all go the trace way, so the copy must be safe and
+        legal with respect to them (a boosted copy is limited to its own
+        block's branch, keeping each branch's recovery set unique).
+
+        Returns a :class:`DupPlan` or a failure-reason string.
+        """
+        labels = self.trace.labels
+        join_label = labels[join_pos]
+        if self.cfg.preds(join_label).count(pred_label) > 1:
+            return f"{pred_label} reaches {join_label} on both edges"
+        remaining = self._cond_positions(join_pos, home_pos)
+        if remaining:
+            # Any copy on this edge is speculative w.r.t. the branches below
+            # the join; it must be harmless there.
+            if instr.op.can_except or instr.op.is_store \
+                    or not instr.side_effect_free:
+                return ("copy would be unsafe below the join and cannot be "
+                        "boosted past its own block")
+            defs = instr_defs(instr)
+            for m in remaining:
+                off = self.cfg.off_trace_succ(labels[m], labels[m + 1])
+                if off is not None and any(
+                        d in self.liveness.live_in.get(off, frozenset())
+                        for d in defs):
+                    return "copy destination live below the join"
+
+        pred = self.proc.block(pred_label)
+        term = pred.terminator
+        appendable = (pred_label not in self.scheduled_labels
+                      and pred_label not in self.trace.labels
+                      and not (term is not None
+                               and (term.op.is_call or term.op.is_indirect))
+                      and not (term is not None
+                               and set(instr_defs(instr))
+                               & set(instr_uses(term))))
+        if appendable and (term is None or term.op is Opcode.J):
+            return DupPlan(pred_label, join_label, boost=0)
+        if appendable and term is not None and term.op.is_cond_branch:
+            off = self.cfg.off_trace_succ(pred_label, join_label)
+            unsafe = instr.op.can_except
+            illegal = (instr.op.is_store
+                       or not instr.side_effect_free
+                       or (off is not None and any(
+                           d in self.liveness.live_in.get(off, frozenset())
+                           for d in instr_defs(instr))))
+            if not unsafe and not illegal:
+                return DupPlan(pred_label, join_label, boost=0)
+            if (instr.side_effect_free or instr.op.is_store) \
+                    and not remaining \
+                    and not self.model.squash_only \
+                    and self.model.can_boost(instr, 1) \
+                    and self.cfg.predicted_succ(pred_label) == join_label:
+                return DupPlan(pred_label, join_label, boost=1)
+        # Fall back to a new block on the edge: always correct, costs two
+        # cycles (jump + delay) on the off-trace path.
+        if not instr.side_effect_free and not instr.op.is_store:
+            return "output instructions never move onto compensation edges"
+        return DupPlan(pred_label, join_label, boost=0, kind="split")
+
+    # ------------------------------------------------------------ mutation
+    def apply_dups(self, instr: Instruction,
+                   plan: MotionPlan) -> list[tuple[Instruction, DupPlan]]:
+        """Place the compensation copies (appending or edge-splitting);
+        returns (copy, plan) pairs so the caller can register recovery
+        bookkeeping for boosted copies."""
+        created = []
+        for dp in plan.dups:
+            copy = instr.copy(boost=dp.boost)
+            if dp.kind == "split":
+                target = self._split_edge(dp.pred_label, dp.join_label)
+                self.proc.block(target).body.append(copy)
+            else:
+                self.proc.block(dp.pred_label).body.append(copy)
+            created.append((copy, dp))
+        if created:
+            self.invalidate_liveness()
+        return created
+
+    def _split_edge(self, pred_label: str, join_label: str) -> str:
+        """Create (once) a compensation block on ``pred -> join``; returns
+        its label."""
+        comp_label = self.proc.fresh_label(f"{pred_label}.comp")
+        pred = self.proc.block(pred_label)
+        term = pred.terminator
+        comp = BasicBlock(comp_label)
+        comp.terminator = Instruction(Opcode.J, target=join_label)
+        if term is not None and term.target == join_label \
+                and not term.op.is_call:
+            # The branch/jump edge: retarget it (works even when the
+            # predecessor is already scheduled — the instruction object is
+            # shared with its schedule).
+            self.proc.add_block(comp)  # at the end of the layout
+            term.target = comp_label
+            if term.op.is_cond_branch \
+                    and self.resume_label.get(term.uid) == join_label:
+                self.resume_label[term.uid] = comp_label
+        else:
+            # The fall-through edge: the new block must sit right after the
+            # predecessor in the layout.
+            self.proc.add_block(comp, after=pred_label)
+        self.cfg.refresh()
+        self._between_cache.clear()
+        self.invalidate_liveness()
+        self.new_blocks.append(comp_label)
+        return comp_label

@@ -1,0 +1,152 @@
+"""Scheduled-program containers.
+
+A schedule is, per basic block, a dense matrix of cycles × issue slots.
+Empty slots are ``None`` (the hardware sees implicit NOPs).  Conditional
+branches resolve at the end of their issue cycle; the following cycle is the
+architectural *delay cycle* and always executes; block control transfer
+happens after it.  The scheduler guarantees the branch is always placed so
+that exactly one cycle follows it (or zero for ``halt``/fall-through pads).
+
+Recovery blocks (Section 2.3) hang off the procedure, indexed by the uid of
+the committing branch; they are executed one instruction per cycle after a
+boosted exception commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.isa.instruction import Instruction
+from repro.program.procedure import Program
+from repro.sched.boostmodel import BoostModel
+from repro.sched.machine import MachineConfig
+
+
+@dataclass
+class ScheduledBlock:
+    label: str
+    cycles: list[list[Optional[Instruction]]] = field(default_factory=list)
+    #: cycle index holding the terminator (branch/jump/halt), if any
+    terminator_cycle: Optional[int] = None
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.terminator_cycle is None:
+            return None
+        for instr in self.cycles[self.terminator_cycle]:
+            if instr is not None and instr.is_terminator:
+                return instr
+        return None
+
+    def instructions(self) -> Iterator[Instruction]:
+        for row in self.cycles:
+            for instr in row:
+                if instr is not None:
+                    yield instr
+
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def slot_count(self) -> int:
+        return sum(len(row) for row in self.cycles)
+
+    def dump(self) -> str:
+        lines = [f"{self.label}:"]
+        for c, row in enumerate(self.cycles):
+            cells = " | ".join(
+                f"{str(i):<28}" if i is not None else f"{'-':<28}" for i in row)
+            marker = " <branch>" if c == self.terminator_cycle else ""
+            lines.append(f"  c{c:<3} {cells}{marker}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RecoveryBlock:
+    """Compiler-generated boosted-exception recovery code (Section 2.3)."""
+
+    branch_uid: int
+    instructions: list[Instruction]
+    #: label of the predicted successor the recovery code jumps back to
+    resume_label: str
+
+
+@dataclass
+class ScheduledProcedure:
+    name: str
+    blocks: list[ScheduledBlock] = field(default_factory=list)
+    recovery: dict[int, RecoveryBlock] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_label = {b.label: b for b in self.blocks}
+
+    def add_block(self, block: ScheduledBlock) -> ScheduledBlock:
+        self.blocks.append(block)
+        self._by_label[block.label] = block
+        return block
+
+    def block(self, label: str) -> ScheduledBlock:
+        return self._by_label[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._by_label
+
+    def block_index(self, label: str) -> int:
+        for i, b in enumerate(self.blocks):
+            if b.label == label:
+                return i
+        raise KeyError(label)
+
+    def instruction_count(self) -> int:
+        n = sum(b.instruction_count() for b in self.blocks)
+        n += sum(len(r.instructions) for r in self.recovery.values())
+        return n
+
+    def dump(self) -> str:
+        parts = [f"proc {self.name}:"]
+        parts.extend(b.dump() for b in self.blocks)
+        for uid, recov in sorted(self.recovery.items()):
+            parts.append(f"  recovery for branch {uid} -> {recov.resume_label}:")
+            parts.extend(f"    {i}" for i in recov.instructions)
+        return "\n".join(parts)
+
+
+@dataclass
+class ScheduledProgram:
+    """A fully scheduled program, ready for the timing simulators."""
+
+    program: Program                      # data segment, entry, original IR
+    machine: MachineConfig
+    model: BoostModel
+    procedures: dict[str, ScheduledProcedure] = field(default_factory=dict)
+
+    def add(self, proc: ScheduledProcedure) -> ScheduledProcedure:
+        self.procedures[proc.name] = proc
+        return proc
+
+    def proc(self, name: str) -> ScheduledProcedure:
+        return self.procedures[name]
+
+    def instruction_count(self) -> int:
+        return sum(p.instruction_count() for p in self.procedures.values())
+
+    def boosted_count(self) -> int:
+        return sum(
+            1
+            for proc in self.procedures.values()
+            for block in proc.blocks
+            for instr in block.instructions()
+            if instr.is_boosted
+        )
+
+    def code_growth(self, original: Program) -> float:
+        """Static instruction count relative to the unscheduled program."""
+        base = original.instruction_count()
+        return self.instruction_count() / base if base else 1.0
+
+    def dump(self) -> str:
+        return "\n\n".join(p.dump() for p in self.procedures.values())

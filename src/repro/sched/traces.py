@@ -1,0 +1,91 @@
+"""Trace selection (Section 3.2.1).
+
+Scheduling works region by region, innermost loops first.  Within a region,
+the next unscheduled block (in topological order) seeds a trace, which grows
+along the statically-predicted successor edge until it leaves the region,
+reaches an already-selected block, closes a cycle, or hits a block whose
+terminator ends scheduling lookahead (a call, a return, an indirect jump, or
+``halt``).  Traces follow the *predicted* directions of conditional
+branches — the direction along which boosted instructions commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.regions import Region, RegionTree
+from repro.isa.opcodes import Opcode
+from repro.program.block import BasicBlock
+from repro.program.cfg import CFG
+from repro.program.procedure import Procedure
+
+
+@dataclass
+class Trace:
+    labels: list[str]
+    region: Region
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def position(self, label: str) -> int:
+        return self.labels.index(label)
+
+    def __repr__(self) -> str:
+        return f"<Trace {' -> '.join(self.labels)}>"
+
+
+def _ends_lookahead(block: BasicBlock) -> bool:
+    term = block.terminator
+    if term is None:
+        return False
+    return (term.op.is_call or term.op.is_indirect
+            or term.op is Opcode.HALT)
+
+
+def grow_trace(proc: Procedure, cfg: CFG, region: Region, seed: str,
+               taken: set[str]) -> Trace:
+    """Grow one trace from ``seed`` along predicted edges."""
+    labels = [seed]
+    taken.add(seed)
+    cur = seed
+    while True:
+        block = proc.block(cur)
+        if _ends_lookahead(block):
+            break
+        nxt = cfg.predicted_succ(cur)
+        if nxt is None:
+            break
+        if nxt not in region.blocks:
+            break
+        if nxt in labels:
+            break  # loop edge
+        if nxt in taken:
+            break  # already part of an earlier trace
+        labels.append(nxt)
+        taken.add(nxt)
+        cur = nxt
+    return Trace(labels=labels, region=region)
+
+
+def select_traces(proc: Procedure, cfg: CFG,
+                  tree: RegionTree | None = None) -> list[Trace]:
+    """All traces of a procedure, in scheduling order (inner regions
+    first)."""
+    if tree is None:
+        tree = RegionTree(cfg)
+    taken: set[str] = set()
+    traces: list[Trace] = []
+    rpo = cfg.rpo()
+    rpo_set = set(rpo)
+    for region in tree.schedule_order():
+        order = [lab for lab in rpo if lab in region.blocks]
+        for seed in order:
+            if seed in taken:
+                continue
+            traces.append(grow_trace(proc, cfg, region, seed, taken))
+    # Unreachable blocks (not in RPO) still need schedules for completeness.
+    for block in proc.blocks:
+        if block.label not in rpo_set and block.label not in taken:
+            traces.append(grow_trace(proc, cfg, tree.root, block.label, taken))
+    return traces

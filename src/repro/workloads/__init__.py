@@ -1,0 +1,5 @@
+"""The seven benchmark workloads of Table 1."""
+
+from repro.workloads.registry import InputSet, Workload, all_workloads, get
+
+__all__ = ["InputSet", "Workload", "all_workloads", "get"]

@@ -1,0 +1,53 @@
+"""Workload registry.
+
+Each workload stands in for one benchmark of Table 1 (three SPEC programs
+and four UNIX utilities, all C, all run to completion).  The Minic sources
+recreate the *shape* of each program — its control structure, branch
+behaviour, and data access patterns — at a size cycle-level simulation in
+Python handles comfortably.  Every workload has separate *train* and *eval*
+inputs: the branch profile is always collected on a different input than the
+one measured (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+InputSet = dict[str, Union[list[int], bytes, int]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    paper_benchmark: str
+    description: str
+    source: str
+    train: InputSet
+    eval: InputSet
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def all_workloads() -> list[Workload]:
+    """All seven workloads, in the paper's Table 1 order."""
+    # Import for side effects: each module registers its workload.
+    from repro.workloads import (  # noqa: F401
+        wawk, wcompress, weqntott, wespresso, wgrep, wnroff, wxlisp,
+    )
+    order = ["awk", "compress", "eqntott", "espresso", "grep", "nroff",
+             "xlisp"]
+    return [_REGISTRY[name] for name in order]
+
+
+def get(name: str) -> Workload:
+    all_workloads()
+    return _REGISTRY[name]

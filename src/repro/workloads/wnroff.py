@@ -1,0 +1,93 @@
+"""nroff-like workload: filling text into fixed-width output lines.
+
+``nroff`` spends its time in character-copy loops with mostly-predictable
+branches (Table 1: 96.7%): copy a word, check the output column, break the
+line when the next word will not fit, pad short lines.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+bytes text[4096];
+global textlen = 0;
+global width = 60;
+bytes out[6144];
+
+func main() {
+    var col = 0;
+    var outpos = 0;
+    var olines = 0;
+    var i = 0;
+    var len = textlen;
+    var w = width;
+    while (i < len) {
+        // Skip input whitespace.
+        while (i < len && (text[i] == ' ' || text[i] == '\\n')) {
+            i = i + 1;
+        }
+        if (i >= len) { break; }
+        // Measure the next word.
+        var start = i;
+        while (i < len && text[i] != ' ' && text[i] != '\\n') {
+            i = i + 1;
+        }
+        var wordlen = i - start;
+        // Break the line if the word will not fit.
+        if (col > 0 && col + 1 + wordlen > w) {
+            out[outpos] = '\\n';
+            outpos = outpos + 1;
+            olines = olines + 1;
+            col = 0;
+        }
+        if (col > 0) {
+            out[outpos] = ' ';
+            outpos = outpos + 1;
+            col = col + 1;
+        }
+        // Copy the word.
+        var k = start;
+        while (k < start + wordlen) {
+            out[outpos] = text[k];
+            outpos = outpos + 1;
+            k = k + 1;
+        }
+        col = col + wordlen;
+    }
+    if (col > 0) { olines = olines + 1; }
+    // Checksum the formatted output.
+    var sum = 0;
+    var p = 0;
+    while (p < outpos) {
+        sum = sum + out[p] * ((p & 7) + 1);
+        p = p + 1;
+    }
+    print(olines);
+    print(outpos);
+    print(sum);
+}
+"""
+
+_WORDS = ["formatting", "of", "text", "into", "lines", "is", "the", "core",
+          "task", "troff", "performs", "and", "word", "wrapping", "keeps",
+          "columns", "aligned", "justification", "a", "small", "filler"]
+
+
+def _inputs(seed: int, words: int):
+    rng = random.Random(seed)
+    text = " ".join(rng.choice(_WORDS) for _ in range(words)).encode()
+    text = text[:4096]
+    return {"text": text, "textlen": len(text), "width": 60}
+
+
+WORKLOAD = register(Workload(
+    name="nroff",
+    paper_benchmark="nroff (UNIX utility)",
+    description="word-wrap line filling with column checks",
+    source=SOURCE,
+    train=_inputs(33, 420),
+    eval=_inputs(44, 420),
+))

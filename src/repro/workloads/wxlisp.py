@@ -1,0 +1,142 @@
+"""xlisp-like workload: a bytecode interpreter dispatch loop.
+
+SPEC ``xlisp`` is an interpreter: its dominant pattern is a fetch/dispatch
+loop whose branch behaviour follows the interpreted program (Table 1:
+~83.5%).  Here a small stack-machine interpreter runs a Collatz step-count
+program over a set of seeds; train and eval use different seed sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+global code[64];
+global seeds[24];
+global nseeds = 0;
+global stack[32];
+global env[4];
+
+func run() {
+    var pc = 0;
+    var sp = 0;
+    var fuel = 20000;
+    while (fuel > 0) {
+        var op = code[pc];
+        var arg = code[pc + 1];
+        pc = pc + 2;
+        if (op == 0) { break; }
+        if (op == 1) {               // PUSH imm
+            stack[sp] = arg;
+            sp = sp + 1;
+        } else if (op == 2) {        // ADD
+            sp = sp - 1;
+            stack[sp - 1] = stack[sp - 1] + stack[sp];
+        } else if (op == 3) {        // SUB
+            sp = sp - 1;
+            stack[sp - 1] = stack[sp - 1] - stack[sp];
+        } else if (op == 4) {        // MUL
+            sp = sp - 1;
+            stack[sp - 1] = stack[sp - 1] * stack[sp];
+        } else if (op == 7) {        // JNZ abs
+            sp = sp - 1;
+            if (stack[sp] != 0) { pc = arg; }
+        } else if (op == 8) {        // JMP abs
+            pc = arg;
+        } else if (op == 9) {        // LOAD env slot
+            stack[sp] = env[arg];
+            sp = sp + 1;
+        } else if (op == 10) {       // STORE env slot
+            sp = sp - 1;
+            env[arg] = stack[sp];
+        } else if (op == 12) {       // SHR1
+            stack[sp - 1] = stack[sp - 1] >> 1;
+        } else if (op == 13) {       // AND1
+            stack[sp - 1] = stack[sp - 1] & 1;
+        }
+        fuel = fuel - 1;
+    }
+    return env[1];
+}
+
+func main() {
+    var total = 0;
+    var s = 0;
+    while (s < nseeds) {
+        env[0] = seeds[s];
+        env[1] = 0;
+        total = total + run();
+        s = s + 1;
+    }
+    print(total);
+    print(nseeds);
+}
+"""
+
+# The interpreted program: Collatz step count of env[0] into env[1].
+_HALT, _PUSH, _ADD, _SUB, _MUL = 0, 1, 2, 3, 4
+_JNZ, _JMP, _LOAD, _STORE, _SHR1, _AND1 = 7, 8, 9, 10, 12, 13
+
+
+def _collatz_bytecode() -> list[int]:
+    """Word-pair encoding: [op, arg] per instruction; jump args are word
+    indices (each instruction occupies two words)."""
+    code: list[tuple[int, int]] = []
+
+    def emit(op: int, arg: int = 0) -> int:
+        code.append((op, arg))
+        return len(code) - 1
+
+    loop = len(code)
+    emit(_LOAD, 0)
+    emit(_PUSH, 1)
+    emit(_SUB)
+    jnz_cont = emit(_JNZ)          # patched to cont
+    jmp_end = emit(_JMP)           # patched to end
+    cont = len(code)
+    emit(_LOAD, 0)
+    emit(_AND1)
+    jnz_odd = emit(_JNZ)           # patched to odd
+    emit(_LOAD, 0)                 # even: n >>= 1
+    emit(_SHR1)
+    emit(_STORE, 0)
+    jmp_step = emit(_JMP)          # patched to step
+    odd = len(code)
+    emit(_LOAD, 0)                 # odd: n = 3n + 1
+    emit(_PUSH, 3)
+    emit(_MUL)
+    emit(_PUSH, 1)
+    emit(_ADD)
+    emit(_STORE, 0)
+    step = len(code)
+    emit(_LOAD, 1)                 # steps += 1
+    emit(_PUSH, 1)
+    emit(_ADD)
+    emit(_STORE, 1)
+    emit(_JMP, loop * 2)
+    end = len(code)
+    emit(_HALT)
+
+    code[jnz_cont] = (_JNZ, cont * 2)
+    code[jmp_end] = (_JMP, end * 2)
+    code[jnz_odd] = (_JNZ, odd * 2)
+    code[jmp_step] = (_JMP, step * 2)
+    return [w for pair in code for w in pair]
+
+
+def _inputs(seed: int, nseeds: int):
+    rng = random.Random(seed)
+    seeds = [rng.randint(3, 97) for _ in range(nseeds)]
+    return {"code": _collatz_bytecode(), "seeds": seeds, "nseeds": nseeds}
+
+
+WORKLOAD = register(Workload(
+    name="xlisp",
+    paper_benchmark="xlisp (SPEC)",
+    description="stack-machine interpreter dispatch loop",
+    source=SOURCE,
+    train=_inputs(9, 8),
+    eval=_inputs(27, 8),
+))

@@ -1,0 +1,94 @@
+"""Tests for dominators, postdominators, equivalence, and regions."""
+
+from repro.analysis import ControlEquivalence, Dominators, PostDominators, RegionTree
+from repro.isa import Reg, ZERO
+from repro.program import CFG, ProcBuilder
+
+T0, T1 = Reg.named("t0"), Reg.named("t1")
+
+
+def build_diamond():
+    b = ProcBuilder("p")
+    b.label("A")
+    b.beq(T0, ZERO, "C")
+    b.label("B")
+    b.j("D")
+    b.label("C")
+    b.label("D")
+    b.halt()
+    return CFG(b.build())
+
+
+def test_dominators_diamond():
+    dom = Dominators(build_diamond())
+    assert dom.dominates("A", "D")
+    assert dom.dominates("A", "B")
+    assert not dom.dominates("B", "D")
+    assert dom.idom["D"] == "A"
+    assert dom.strictly_dominates("A", "D")
+    assert not dom.strictly_dominates("A", "A")
+
+
+def test_postdominators_diamond():
+    pdom = PostDominators(build_diamond())
+    assert pdom.postdominates("D", "A")
+    assert pdom.postdominates("D", "B")
+    assert not pdom.postdominates("B", "A")
+
+
+def test_control_equivalence_figure3():
+    # Figure 3 of the paper: A and D are equivalent; B and C are not.
+    eq = ControlEquivalence(build_diamond())
+    assert eq.equivalent("A", "D")
+    assert not eq.equivalent("A", "B")
+    assert not eq.equivalent("B", "D")
+
+
+def test_regions_simple_loop():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 10)
+    b.label("loop")
+    b.addi(T0, T0, -1)
+    b.bgtz(T0, "loop")
+    b.label("exit")
+    b.halt()
+    tree = RegionTree(CFG(b.build()))
+    assert len(tree.loops) == 1
+    loop = tree.loops[0]
+    assert loop.header == "loop"
+    assert loop.blocks == frozenset({"loop"})
+    order = tree.schedule_order()
+    assert order[0] is loop and order[-1] is tree.root
+
+
+def test_regions_nested_loops():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.label("outer")
+    b.label("inner")
+    b.addi(T0, T0, -1)
+    b.bgtz(T0, "inner")
+    b.label("outer_latch")
+    b.addi(T1, T1, -1)
+    b.bgtz(T1, "outer")
+    b.label("exit")
+    b.halt()
+    tree = RegionTree(CFG(b.build()))
+    assert len(tree.loops) == 2
+    inner = tree.innermost_region_of("inner")
+    outer = tree.innermost_region_of("outer_latch")
+    assert inner.depth > outer.depth
+    assert inner.blocks < outer.blocks
+    assert inner.parent is outer
+    # innermost-first schedule order
+    order = tree.schedule_order()
+    assert order.index(inner) < order.index(outer)
+    assert not tree.same_region("inner", "exit")
+
+
+def test_region_of_non_loop_block_is_root():
+    cfg = build_diamond()
+    tree = RegionTree(cfg)
+    assert tree.innermost_region_of("B") is tree.root
+    assert tree.root.is_loop is False

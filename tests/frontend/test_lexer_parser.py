@@ -1,0 +1,113 @@
+"""Tests for the Minic lexer and parser."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.lexer import LexError, string_bytes, tokenize
+from repro.frontend.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_numbers_and_hex(self):
+        toks = tokenize("12 0x1F")
+        assert [t.value for t in toks[:2]] == [12, 31]
+
+    def test_char_literals(self):
+        toks = tokenize(r"'a' '\n' '\0'")
+        assert [t.value for t in toks[:3]] == [97, 10, 0]
+
+    def test_keywords_vs_names(self):
+        toks = tokenize("while whilex")
+        assert toks[0].kind == "keyword"
+        assert toks[1].kind == "name"
+
+    def test_two_char_operators(self):
+        toks = tokenize("<= >= == != && || << >>")
+        assert [t.text for t in toks[:-1]] == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // comment\n b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_string_bytes(self):
+        toks = tokenize(r'"hi\n"')
+        assert string_bytes(toks[0]) == b"hi\n"
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:3]] == [1, 2, 4]
+
+
+class TestParser:
+    def test_globals(self):
+        m = parse("global x = 5; global xs[3] = {1, 2, -3}; bytes s = \"ab\";")
+        assert m.globals_[0] == ast.GlobalDecl("x", None, False, 5)
+        assert m.globals_[1].size == 3
+        assert m.globals_[1].init == [1, 2, -3]
+        assert m.globals_[2].is_bytes and m.globals_[2].init == b"ab"
+
+    def test_precedence(self):
+        m = parse("func main() { var x = 1 + 2 * 3; }")
+        init = m.function("main").body[0].init
+        assert isinstance(init, ast.Binary) and init.op == "+"
+        assert isinstance(init.rhs, ast.Binary) and init.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_shift(self):
+        m = parse("func main() { var x = 1 << 2 < 3; }")
+        init = m.function("main").body[0].init
+        assert init.op == "<"
+
+    def test_unary(self):
+        m = parse("func main() { var x = -~!1; }")
+        e = m.function("main").body[0].init
+        assert (e.op, e.operand.op, e.operand.operand.op) == ("-", "~", "!")
+
+    def test_else_if_chain(self):
+        m = parse("""
+func main() {
+    var x = 0;
+    if (x == 1) { x = 10; } else if (x == 2) { x = 20; } else { x = 30; }
+}""")
+        stmt = m.function("main").body[1]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse[0], ast.If)
+        assert stmt.orelse[0].orelse  # final else present
+
+    def test_for_loop_desugar_parts(self):
+        m = parse("func main() { for (var i = 0; i < 4; i = i + 1) { } }")
+        loop = m.function("main").body[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.cond, ast.Binary)
+        assert isinstance(loop.step, ast.Assign)
+
+    def test_index_expression_vs_assign(self):
+        m = parse("""
+global xs[4];
+func main() { xs[1] = xs[2] + 1; }
+""")
+        stmt = m.function("main").body[0]
+        assert isinstance(stmt, ast.IndexAssign)
+        assert isinstance(stmt.value.lhs, ast.Index)
+
+    def test_call_args(self):
+        m = parse("func f(a, b) { return a; } func main() { f(1, 2); }")
+        call = m.function("main").body[0].expr
+        assert isinstance(call, ast.Call) and len(call.args) == 2
+
+    def test_five_params_rejected(self):
+        with pytest.raises(ParseError):
+            parse("func f(a, b, c, d, e) { }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("func main() { var x = 1 }")
+
+    def test_junk_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("var x = 1;")

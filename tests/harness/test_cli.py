@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+global data[8];
+global n = 0;
+func main() {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) { s = s + data[i]; }
+    print(s);
+}
+"""
+TRAIN = json.dumps({"data": [1, 2, 3, 4, 5, 6, 7, 8], "n": 8})
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_run_prints_output_and_stats(source_file, capsys):
+    rc = main(["run", source_file, "--train", TRAIN])
+    out, err = capsys.readouterr()
+    assert rc == 0
+    assert out.splitlines()[0] == "36"
+    assert "cycles=" in err and "oracle=OK" in err
+
+
+def test_run_scalar_machine(source_file, capsys):
+    rc = main(["run", source_file, "--machine", "scalar",
+               "--model", "NoBoost", "--scheduler", "bb",
+               "--train", TRAIN])
+    out, err = capsys.readouterr()
+    assert rc == 0
+    assert "scalar-r2000" in err
+
+
+def test_compile_dumps_schedule(source_file, capsys):
+    rc = main(["compile", source_file, "--model", "Boost7",
+               "--train", TRAIN])
+    out, _ = capsys.readouterr()
+    assert rc == 0
+    assert "proc main:" in out
+    assert "<branch>" in out
+    assert "boosted=" in out
+
+
+def test_compile_with_unroll(source_file, capsys):
+    rc = main(["compile", source_file, "--unroll", "2", "--train", TRAIN])
+    out, _ = capsys.readouterr()
+    assert rc == 0
+    assert ".u1" in out  # the unrolled copy's labels
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out, _ = capsys.readouterr()
+    for name in ("awk", "compress", "eqntott", "espresso", "grep", "nroff",
+                 "xlisp"):
+        assert name in out
+
+
+def test_models_listing(capsys):
+    assert main(["models"]) == 0
+    out, _ = capsys.readouterr()
+    assert "MinBoost3" in out and "Squashing" in out
+
+
+def test_bench_rejects_unknown_workload(capsys):
+    assert main(["bench", "nonesuch"]) == 2
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,113 @@
+"""Tests for the compile pipeline and the experiment Lab."""
+
+import pytest
+
+from repro.harness.experiments import Lab, geometric_mean
+from repro.harness.pipeline import (
+    CompileConfig, SCALAR_CONFIG, annotate_predictions, compile_minic,
+    make_input_image,
+)
+from repro.sched.boostmodel import MINBOOST3
+from repro.sched.machine import SCALAR, SUPERSCALAR
+from repro.workloads.registry import Workload
+
+SOURCE = """
+global xs[8];
+global n = 0;
+func main() {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (xs[i] & 1) { s = s + xs[i]; }
+    }
+    print(s);
+}
+"""
+TRAIN = {"xs": [1, 2, 3, 4, 5, 6, 7, 8], "n": 8}
+EVAL = {"xs": [9, 10, 11, 12, 13, 14, 15, 16], "n": 8}
+
+
+def test_make_input_image_shapes():
+    cp = compile_minic(SOURCE, SCALAR_CONFIG, TRAIN)
+    image = make_input_image(cp.program, {"xs": [5, 6], "n": 2})
+    by_addr = dict(image)
+    xs_addr = cp.program.data.address_of("xs")
+    assert by_addr[xs_addr][:4] == (5).to_bytes(4, "little")
+    n_addr = cp.program.data.address_of("n")
+    assert by_addr[n_addr] == (2).to_bytes(4, "little")
+
+
+def test_input_too_large_rejected():
+    cp = compile_minic(SOURCE, SCALAR_CONFIG, TRAIN)
+    with pytest.raises(ValueError):
+        make_input_image(cp.program, {"xs": list(range(100))})
+
+
+def test_predictions_annotated_from_profile():
+    cp = compile_minic(SOURCE, SCALAR_CONFIG, TRAIN)
+    branches = [
+        blk.terminator
+        for proc in cp.program.procedures.values()
+        for blk in proc.blocks
+        if blk.terminator is not None and blk.terminator.op.is_cond_branch
+    ]
+    assert branches
+    assert all(t.predict_taken is not None for t in branches)
+
+
+def test_config_describe():
+    cfg = CompileConfig(machine=SUPERSCALAR, model=MINBOOST3,
+                        regalloc="infinite")
+    text = cfg.describe()
+    assert "MinBoost3" in text and "∞regs" in text
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        compile_minic(SOURCE, CompileConfig(scheduler="magic"), TRAIN)
+
+
+def _tiny_workload() -> Workload:
+    return Workload(name="tiny", paper_benchmark="n/a", description="test",
+                    source=SOURCE, train=TRAIN, eval=EVAL)
+
+
+class TestLab:
+    def test_measure_caches(self):
+        lab = Lab([_tiny_workload()])
+        first = lab.measure("tiny", "scalar")
+        second = lab.measure("tiny", "scalar")
+        assert first is second
+
+    def test_speedups_positive(self):
+        lab = Lab([_tiny_workload()])
+        assert lab.speedup("tiny", "minboost3") > 0.9
+
+    def test_output_checked_against_reference(self):
+        lab = Lab([_tiny_workload()])
+        res = lab.measure("tiny", "dynamic")
+        assert res.output == lab.reference_output("tiny")
+
+    def test_unknown_workload(self):
+        lab = Lab([_tiny_workload()])
+        with pytest.raises(KeyError):
+            lab.workload("nope")
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([1.5]) == pytest.approx(1.5)
+
+
+def test_experiment_rows_on_tiny_workload():
+    from repro.harness.experiments import figure8, figure9, table1, table2
+    lab = Lab([_tiny_workload()])
+    t1 = table1(lab)
+    assert len(t1) == 1 and t1[0].cycles > 0
+    rows8, means8 = figure8(lab)
+    assert means8["global"] >= means8["bb"] - 0.05
+    rows2, means2 = table2(lab)
+    assert set(rows2[0].improvements) == {"squashing", "boost1",
+                                          "minboost3", "boost7"}
+    rows9, means9 = figure9(lab)
+    assert rows9[0].dynamic_speedup > 0.5

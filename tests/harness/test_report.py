@@ -1,0 +1,79 @@
+"""Tests for report rendering and EXPERIMENTS.md generation (on a tiny
+single-workload lab, so they run quickly)."""
+
+import pytest
+
+from repro.harness.experiments import Lab
+from repro.harness.report import (
+    render_all, render_figure8, render_figure9, render_table1, render_table2,
+    write_experiments_md,
+)
+from repro.workloads.registry import Workload
+
+SOURCE = """
+global xs[8];
+global n = 0;
+func main() {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (xs[i] > 3) { s = s + xs[i]; }
+    }
+    print(s);
+}
+"""
+
+
+def _lab():
+    w = Workload(name="awk", paper_benchmark="n/a", description="stub",
+                 source=SOURCE,
+                 train={"xs": [1, 5, 2, 6, 3, 7, 4, 8], "n": 8},
+                 eval={"xs": [8, 1, 7, 2, 6, 3, 5, 4], "n": 8})
+    return Lab([w])
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return _lab()
+
+
+def test_render_table1_has_paper_columns(lab):
+    text = render_table1(lab)
+    assert "Table 1" in text and "paper IPC" in text and "awk" in text
+
+
+def test_render_figure8(lab):
+    text = render_figure8(lab)
+    assert "Figure 8" in text and "G.M." in text
+
+
+def test_render_table2_shows_models(lab):
+    text = render_table2(lab)
+    for name in ("Squashing", "Boost1", "MinBoost3", "Boost7"):
+        assert name in text
+
+
+def test_render_figure9(lab):
+    text = render_figure9(lab)
+    assert "dynamic" in text and "MinBoost3" in text
+
+
+def test_render_all_concatenates(lab):
+    text = render_all(lab)
+    for header in ("Table 1", "Figure 8", "Table 2", "Figure 9"):
+        assert header in text
+
+
+def test_write_experiments_md(lab, tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    text = write_experiments_md(lab, str(path))
+    assert path.read_text() == text
+    assert text.startswith("# EXPERIMENTS")
+    for header in ("## Table 1", "## Figure 8", "## Table 2", "## Figure 9",
+                   "## Known deviations"):
+        assert header in text
+    # Markdown tables are well-formed: every row has the header's columns.
+    for chunk in text.split("\n\n"):
+        lines = [ln for ln in chunk.splitlines() if ln.startswith("|")]
+        if lines:
+            width = lines[0].count("|")
+            assert all(ln.count("|") == width for ln in lines), chunk

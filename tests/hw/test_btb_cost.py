@@ -1,0 +1,86 @@
+"""Tests for the branch target buffer and the hardware cost model."""
+
+import pytest
+
+from repro.hw.btb import BranchTargetBuffer
+from repro.hw.cost import (
+    boosting_file, decoder_transistors, plain_file, section_432_comparison,
+    select_inputs,
+)
+from repro.sched.boostmodel import BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING
+
+
+class TestBTB:
+    def test_miss_then_learn(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, taken=True, target=0x2000)
+        predict, target = btb.lookup(0x1000)
+        assert predict and target == 0x2000
+
+    def test_two_bit_hysteresis(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x1000, True, 0x2000)   # counter -> 2
+        btb.update(0x1000, True, 0x2000)   # counter -> 3
+        btb.update(0x1000, False, 0x2000)  # counter -> 2: still predict taken
+        predict, _ = btb.lookup(0x1000)
+        assert predict
+        btb.update(0x1000, False, 0x2000)  # counter -> 1
+        predict, _ = btb.lookup(0x1000)
+        assert not predict
+
+    def test_not_taken_branches_do_not_allocate(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x1000, taken=False, target=0x2000)
+        assert btb.lookup(0x1000) is None
+
+    def test_set_associativity_and_lru(self):
+        btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
+        base = 0x1000
+        stride = 4 * 4  # same set: index = (pc >> 2) % 4
+        pcs = [base, base + stride, base + 2 * stride]
+        for pc in pcs:
+            btb.update(pc, True, pc + 100)
+        # first pc was least recently used: evicted
+        assert btb.lookup(pcs[0]) is None
+        assert btb.lookup(pcs[1]) is not None
+        assert btb.lookup(pcs[2]) is not None
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 4)
+
+    def test_hit_statistics(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.lookup(0x1000)
+        btb.update(0x1000, True, 0x2000)
+        btb.lookup(0x1000)
+        assert btb.misses == 1 and btb.hits == 1
+
+
+class TestCostModel:
+    def test_paper_ratios(self):
+        # Section 4.3.2: +33% for Boost1, +50% for MinBoost3, vs a plain
+        # 64-register decoder.
+        ratios = section_432_comparison()
+        assert ratios["Boost1"] == pytest.approx(1 / 3, abs=0.01)
+        assert ratios["MinBoost3"] == pytest.approx(0.5, abs=0.01)
+
+    def test_single_gate_on_access_path(self):
+        for model in (BOOST1, MINBOOST3, SQUASHING):
+            assert boosting_file(model).access_path_gates == 1
+        assert plain_file(64).access_path_gates == 0
+
+    def test_boost7_needs_unreasonable_hardware(self):
+        full = boosting_file(BOOST7)
+        minimal = boosting_file(MINBOOST3)
+        assert full.rows == 32 * 8
+        assert full.decoder > 3 * minimal.decoder
+
+    def test_no_boost_is_plain(self):
+        assert boosting_file(NO_BOOST).decoder == plain_file(32).decoder
+        assert select_inputs(NO_BOOST) == 0
+
+    def test_decoder_scales_with_rows(self):
+        assert decoder_transistors(64) == 64 * 6 * 2
+        assert decoder_transistors(64, extra_inputs=2) == 64 * 8 * 2

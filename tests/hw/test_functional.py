@@ -1,0 +1,238 @@
+"""Tests for the functional reference simulator."""
+
+import pytest
+
+from repro.hw.exceptions import Trap, TrapKind
+from repro.hw.functional import FuelExhausted, FunctionalSim, run_functional
+from repro.isa import A0, Reg, V0, ZERO
+from repro.program import ProcBuilder, Program
+
+T0, T1, T2 = (Reg.named(f"t{i}") for i in range(3))
+
+
+def program_with(builder_fn) -> Program:
+    program = Program()
+    b = ProcBuilder("main", data=program.data)
+    builder_fn(b, program)
+    program.add(b.build())
+    return program
+
+
+def test_arithmetic_and_print():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 6)
+        b.li(T1, 7)
+        b.mul(T2, T0, T1)
+        b.print_(T2)
+        b.halt()
+
+    result = run_functional(program_with(body))
+    assert result.output == [42]
+    assert result.trap is None
+
+
+def test_signed_wraparound():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 0x7FFFFFFF)
+        b.addi(T0, T0, 1)
+        b.print_(T0)
+        b.halt()
+
+    result = run_functional(program_with(body))
+    assert result.output == [-0x80000000]
+
+
+def test_loop_countdown():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 5)
+        b.li(T1, 0)
+        b.label("loop")
+        b.add(T1, T1, T0)
+        b.addi(T0, T0, -1)
+        b.bgtz(T0, "loop")
+        b.label("done")
+        b.print_(T1)
+        b.halt()
+
+    result = run_functional(program_with(body))
+    assert result.output == [15]
+    assert result.branch_count == 5
+
+
+def test_memory_roundtrip():
+    def body(b, program):
+        program.data.words("xs", [11, 22, 33])
+        b.label("entry")
+        b.la(T0, "xs")
+        b.lw(T1, T0, 8)
+        b.print_(T1)
+        b.sw(T1, T0, 0)
+        b.lw(T2, T0, 0)
+        b.print_(T2)
+        b.halt()
+
+    result = run_functional(program_with(body))
+    assert result.output == [33, 33]
+
+
+def test_byte_access_sign_extension():
+    def body(b, program):
+        program.data.bytes_("raw", bytes([0x80, 0x7F]))
+        b.label("entry")
+        b.la(T0, "raw")
+        b.lb(T1, T0, 0)
+        b.print_(T1)
+        b.lbu(T2, T0, 0)
+        b.print_(T2)
+        b.halt()
+
+    result = run_functional(program_with(body))
+    assert result.output == [-128, 128]
+
+
+def test_null_load_traps():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 0)
+        b.lw(T1, T0, 0)
+        b.halt()
+
+    with pytest.raises(Trap) as info:
+        run_functional(program_with(body))
+    assert info.value.kind is TrapKind.ADDRESS_ERROR
+
+
+def test_div_by_zero_traps():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 1)
+        b.li(T1, 0)
+        b.div(T2, T0, T1)
+        b.halt()
+
+    with pytest.raises(Trap) as info:
+        run_functional(program_with(body))
+    assert info.value.kind is TrapKind.DIV_ZERO
+
+
+def test_trap_handler_resumes():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 0)
+        b.lw(T1, T0, 0)
+        b.print_(T1)
+        b.halt()
+
+    program = program_with(body)
+    sim = FunctionalSim(program, trap_handler=lambda trap: 99)
+    result = sim.run()
+    assert result.output == [99]
+
+
+def test_call_and_return():
+    program = Program()
+    main = ProcBuilder("main")
+    main.label("entry")
+    main.li(A0, 20)
+    main.jal("double")
+    main.label("after")
+    main.print_(V0)
+    main.halt()
+    program.add(main.build())
+
+    callee = ProcBuilder("double")
+    callee.label("entry")
+    callee.add(V0, A0, A0)
+    callee.ret()
+    program.add(callee.build())
+
+    result = run_functional(program)
+    assert result.output == [40]
+
+
+def test_nested_calls_with_ra_spill():
+    from repro.isa import RA, SP
+    program = Program()
+    main = ProcBuilder("main")
+    main.label("entry")
+    main.li(A0, 3)
+    main.jal("addone_twice")
+    main.label("after")
+    main.print_(V0)
+    main.halt()
+    program.add(main.build())
+
+    outer = ProcBuilder("addone_twice")
+    outer.label("entry")
+    outer.addi(SP, SP, -8)
+    outer.sw(RA, SP, 0)
+    outer.jal("addone")
+    outer.label("mid")
+    outer.move(A0, V0)
+    outer.jal("addone")
+    outer.label("out")
+    outer.lw(RA, SP, 0)
+    outer.addi(SP, SP, 8)
+    outer.ret()
+    program.add(outer.build())
+
+    inner = ProcBuilder("addone")
+    inner.label("entry")
+    inner.addi(V0, A0, 1)
+    inner.ret()
+    program.add(inner.build())
+
+    result = run_functional(program)
+    assert result.output == [5]
+
+
+def test_fuel_exhaustion():
+    def body(b, _):
+        b.label("entry")
+        b.label("loop")
+        b.j("loop")
+
+    with pytest.raises(FuelExhausted):
+        FunctionalSim(program_with(body), max_steps=1000).run()
+
+
+def test_branch_profile_collection():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 10)
+        b.label("loop")
+        b.addi(T0, T0, -1)
+        b.bgtz(T0, "loop")
+        b.label("done")
+        b.halt()
+
+    sim = FunctionalSim(program_with(body), profile=True)
+    sim.run()
+    profile = sim.profile
+    [uid] = list(set(profile.taken) | set(profile.not_taken))
+    assert profile.taken[uid] == 9
+    assert profile.not_taken[uid] == 1
+    assert profile.taken_prob(uid) == pytest.approx(0.9)
+    assert profile.taken_prob(123456789) is None
+
+
+def test_prediction_accuracy_counted():
+    def body(b, _):
+        b.label("entry")
+        b.li(T0, 10)
+        b.label("loop")
+        b.addi(T0, T0, -1)
+        b.bgtz(T0, "loop")
+        b.label("done")
+        b.halt()
+
+    program = program_with(body)
+    loop_block = program.proc("main").block("loop")
+    loop_block.terminator.predict_taken = True
+    result = run_functional(program)
+    assert result.branch_count == 10
+    assert result.mispredict_count == 1  # final fall-through
+    assert result.prediction_accuracy == pytest.approx(0.9)

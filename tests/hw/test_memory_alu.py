@@ -1,0 +1,105 @@
+"""Tests for the memory model and the shared ALU semantics."""
+
+import pytest
+
+from repro.hw.alu import branch_taken, execute_alu, s32, u32
+from repro.hw.exceptions import Trap, TrapKind
+from repro.hw.memory import Memory
+from repro.isa import Instruction, Opcode, Reg
+from repro.program.procedure import DATA_BASE
+
+T0, T1 = Reg.named("t0"), Reg.named("t1")
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        mem = Memory(1 << 16)
+        mem.store_word(DATA_BASE, 0xDEADBEEF)
+        assert mem.load_word(DATA_BASE) == 0xDEADBEEF
+
+    def test_null_guard(self):
+        mem = Memory(1 << 16)
+        with pytest.raises(Trap) as info:
+            mem.load_word(0)
+        assert info.value.kind is TrapKind.ADDRESS_ERROR
+        with pytest.raises(Trap):
+            mem.store_word(DATA_BASE - 4, 1)
+
+    def test_out_of_range_guard(self):
+        mem = Memory(1 << 16)
+        with pytest.raises(Trap):
+            mem.load_word(1 << 16)
+
+    def test_unaligned_word_faults(self):
+        mem = Memory(1 << 16)
+        with pytest.raises(Trap) as info:
+            mem.load_word(DATA_BASE + 2)
+        assert info.value.kind is TrapKind.UNALIGNED
+
+    def test_byte_access_any_alignment(self):
+        mem = Memory(1 << 16)
+        mem.store_byte(DATA_BASE + 3, 0xAB)
+        assert mem.load_byte(DATA_BASE + 3, signed=False) == 0xAB
+        assert mem.load_byte(DATA_BASE + 3, signed=True) == s32(0xFFFFFFAB) & 0xFFFFFFFF
+
+    def test_valid_predicate(self):
+        mem = Memory(1 << 16)
+        assert mem.valid(DATA_BASE, 4)
+        assert not mem.valid(DATA_BASE + 1, 4)
+        assert mem.valid(DATA_BASE + 1, 1)
+        assert not mem.valid(4, 4)
+
+    def test_image_write(self):
+        mem = Memory(1 << 16)
+        mem.write_image([(DATA_BASE, b"\x01\x02\x03\x04")])
+        assert mem.load_word(DATA_BASE) == 0x04030201
+
+
+class TestAluSemantics:
+    def rrr(self, op):
+        return Instruction(op, dst=T0, srcs=(T0, T1))
+
+    def test_wraparound(self):
+        assert execute_alu(self.rrr(Opcode.ADD), 0xFFFFFFFF, 1) == 0
+        assert execute_alu(self.rrr(Opcode.SUB), 0, 1) == 0xFFFFFFFF
+
+    def test_signed_division_truncates_toward_zero(self):
+        assert s32(execute_alu(self.rrr(Opcode.DIV), u32(-7), 2)) == -3
+        assert s32(execute_alu(self.rrr(Opcode.REM), u32(-7), 2)) == -1
+        assert s32(execute_alu(self.rrr(Opcode.DIV), 7, u32(-2))) == -3
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(Trap) as info:
+            execute_alu(self.rrr(Opcode.DIV), 1, 0)
+        assert info.value.kind is TrapKind.DIV_ZERO
+
+    def test_shifts_mask_amount(self):
+        i = Instruction(Opcode.SLLV, dst=T0, srcs=(T0, T1))
+        assert execute_alu(i, 1, 33) == 2  # 33 & 31 == 1
+
+    def test_arithmetic_shift_sign_extends(self):
+        i = Instruction(Opcode.SRA, dst=T0, srcs=(T0,), imm=4)
+        assert s32(execute_alu(i, u32(-256))) == -16
+
+    def test_set_less_than_signed_vs_unsigned(self):
+        slt = Instruction(Opcode.SLT, dst=T0, srcs=(T0, T1))
+        sltu = Instruction(Opcode.SLTU, dst=T0, srcs=(T0, T1))
+        assert execute_alu(slt, u32(-1), 1) == 1
+        assert execute_alu(sltu, u32(-1), 1) == 0
+
+    def test_lui_and_li(self):
+        lui = Instruction(Opcode.LUI, dst=T0, imm=0x1234)
+        assert execute_alu(lui) == 0x12340000
+
+    def test_branch_conditions(self):
+        beq = Instruction(Opcode.BEQ, srcs=(T0, T1), target="x")
+        bltz = Instruction(Opcode.BLTZ, srcs=(T0,), target="x")
+        bgez = Instruction(Opcode.BGEZ, srcs=(T0,), target="x")
+        assert branch_taken(beq, 5, 5)
+        assert not branch_taken(beq, 5, 6)
+        assert branch_taken(bltz, u32(-1))
+        assert branch_taken(bgez, 0)
+
+    def test_non_alu_rejected(self):
+        with pytest.raises(ValueError):
+            execute_alu(Instruction(Opcode.LW, dst=T0, srcs=(T1,), imm=0), 0)

@@ -1,0 +1,127 @@
+"""Tests for the shadow register file organisations (Section 4.1/4.2)."""
+
+import pytest
+
+from repro.hw.shadow import (
+    MultiLevelShadowFile, NullShadowFile, ShadowConflictError,
+    SingleShadowFile, make_shadow_file,
+)
+
+
+class TestMultiLevel:
+    def test_write_read_same_level(self):
+        f = MultiLevelShadowFile(3)
+        f.write(5, 2, 42)
+        assert f.read(5, 2) == 42
+        assert f.read(5, 3) == 42  # deeper readers see shallower values
+
+    def test_sequential_reader_sees_nothing(self):
+        f = MultiLevelShadowFile(3)
+        f.write(5, 1, 42)
+        assert f.read(5, 0) is None
+
+    def test_reader_sees_highest_level_at_or_below(self):
+        # Program order: deeper level = later def; the latest def wins.
+        f = MultiLevelShadowFile(3)
+        f.write(5, 1, 10)
+        f.write(5, 2, 20)
+        assert f.read(5, 1) == 10
+        assert f.read(5, 2) == 20
+        assert f.read(5, 3) == 20
+
+    def test_commit_shifts_levels_down(self):
+        f = MultiLevelShadowFile(3)
+        f.write(5, 1, 10)
+        f.write(5, 2, 20)
+        committed = f.commit()
+        assert committed == {5: 10}
+        assert f.read(5, 1) == 20  # level 2 became level 1
+        committed = f.commit()
+        assert committed == {5: 20}
+        assert f.outstanding() == 0
+
+    def test_figure_6b_schedule_possible(self):
+        # Figure 6b: r3.B1 = 2 and r3.B2 = 3 coexist in separate files.
+        f = MultiLevelShadowFile(2)
+        f.write(3, 1, 2)
+        f.write(3, 2, 3)
+        assert f.commit() == {3: 2}
+        assert f.commit() == {3: 3}
+
+    def test_squash_discards_everything(self):
+        f = MultiLevelShadowFile(3)
+        f.write(1, 1, 11)
+        f.write(2, 3, 33)
+        f.squash()
+        assert f.outstanding() == 0
+        assert f.commit() == {}
+
+    def test_level_out_of_range(self):
+        f = MultiLevelShadowFile(2)
+        with pytest.raises(ShadowConflictError):
+            f.write(1, 3, 5)
+
+
+class TestSingleFile:
+    def test_one_outstanding_value_per_register(self):
+        # Figure 6: a single shadow file cannot hold r3.B1 and r3.B2 at once.
+        f = SingleShadowFile(3)
+        f.write(3, 1, 2)
+        with pytest.raises(ShadowConflictError):
+            f.write(3, 2, 3)
+
+    def test_same_level_overwrite_allowed(self):
+        # Two boosted writes committing at the same branch: in-order
+        # overwrite, last one wins.
+        f = SingleShadowFile(3)
+        f.write(3, 1, 2)
+        f.write(3, 1, 7)
+        assert f.commit() == {3: 7}
+
+    def test_figure_6c_sequence(self):
+        # Figure 6c: the second boosted def issues only after the first
+        # commits.
+        f = SingleShadowFile(2)
+        f.write(3, 1, 2)
+        assert f.commit() == {3: 2}
+        f.write(3, 2, 3)
+        assert f.commit() == {}     # level 2 -> 1
+        assert f.commit() == {3: 3}
+
+    def test_read_requires_level_at_or_above_count(self):
+        f = SingleShadowFile(3)
+        f.write(5, 2, 99)
+        assert f.read(5, 1) is None   # value is deeper than the reader
+        assert f.read(5, 2) == 99
+        assert f.read(5, 3) == 99
+        assert f.read(5, 0) is None
+
+    def test_commit_decrements_counter(self):
+        f = SingleShadowFile(3)
+        f.write(5, 3, 99)
+        assert f.commit() == {}
+        assert f.commit() == {}
+        assert f.commit() == {5: 99}
+        assert f.outstanding() == 0
+
+    def test_squash(self):
+        f = SingleShadowFile(2)
+        f.write(5, 2, 1)
+        f.squash()
+        assert f.outstanding() == 0
+        f.write(5, 1, 3)  # no conflict after squash
+        assert f.commit() == {5: 3}
+
+
+class TestNullAndFactory:
+    def test_null_file_rejects_boosting(self):
+        f = NullShadowFile()
+        with pytest.raises(ShadowConflictError):
+            f.write(1, 1, 1)
+        assert f.read(1, 1) is None
+        assert f.commit() == {}
+
+    def test_factory(self):
+        assert isinstance(make_shadow_file(0, False), NullShadowFile)
+        assert isinstance(make_shadow_file(3, False), SingleShadowFile)
+        assert isinstance(make_shadow_file(7, True), MultiLevelShadowFile)

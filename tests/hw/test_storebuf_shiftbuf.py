@@ -1,0 +1,137 @@
+"""Tests for the shadow store buffer and the exception shift buffer."""
+
+import pytest
+
+from repro.hw.exceptions import ExceptionShiftBuffer, Trap, TrapKind
+from repro.hw.memory import Memory
+from repro.hw.storebuf import ShadowStoreBuffer, StoreBufferError
+from repro.program.procedure import DATA_BASE
+
+
+def make_mem():
+    mem = Memory(1 << 16)
+    return mem
+
+
+class TestStoreBuffer:
+    def test_boosted_store_invisible_to_memory(self):
+        mem = make_mem()
+        buf = ShadowStoreBuffer(2)
+        addr = DATA_BASE
+        buf.store(1, addr, b"\x2a\x00\x00\x00")
+        assert mem.load_word(addr) == 0
+
+    def test_boosted_load_snoops_buffer(self):
+        mem = make_mem()
+        buf = ShadowStoreBuffer(2)
+        addr = DATA_BASE
+        buf.store(1, addr, (42).to_bytes(4, "little"))
+        raw = buf.load(mem, addr, 4, level=1)
+        assert int.from_bytes(raw, "little") == 42
+
+    def test_sequential_load_does_not_snoop(self):
+        mem = make_mem()
+        buf = ShadowStoreBuffer(2)
+        addr = DATA_BASE
+        buf.store(1, addr, (42).to_bytes(4, "little"))
+        raw = buf.load(mem, addr, 4, level=0)
+        assert int.from_bytes(raw, "little") == 0
+
+    def test_shallow_reader_misses_deeper_store(self):
+        mem = make_mem()
+        buf = ShadowStoreBuffer(3)
+        addr = DATA_BASE
+        buf.store(2, addr, b"\x07")
+        assert buf.load_byte(addr, level=1) is None
+        assert buf.load_byte(addr, level=2) == 7
+
+    def test_commit_writes_level1_and_shifts(self):
+        mem = make_mem()
+        buf = ShadowStoreBuffer(2)
+        addr = DATA_BASE
+        buf.store(1, addr, b"\x11")
+        buf.store(2, addr + 1, b"\x22")
+        n = buf.commit(mem)
+        assert n == 1
+        assert mem.load_byte(addr, signed=False) == 0x11
+        assert mem.load_byte(addr + 1, signed=False) == 0
+        buf.commit(mem)
+        assert mem.load_byte(addr + 1, signed=False) == 0x22
+
+    def test_per_level_bytes_preserve_program_order(self):
+        # A level-1 store then a level-2 store to the same byte: commits
+        # land in program order, and a squash after the first commit leaves
+        # only the first value.
+        mem = make_mem()
+        buf = ShadowStoreBuffer(2)
+        addr = DATA_BASE
+        buf.store(1, addr, b"\x01")
+        buf.store(2, addr, b"\x02")
+        buf.commit(mem)
+        assert mem.load_byte(addr, signed=False) == 1
+        buf.squash()
+        buf.commit(mem)
+        assert mem.load_byte(addr, signed=False) == 1  # second value gone
+
+    def test_squash_discards(self):
+        mem = make_mem()
+        buf = ShadowStoreBuffer(2)
+        buf.store(1, DATA_BASE, b"\xff")
+        buf.squash()
+        assert buf.outstanding() == 0
+        buf.commit(mem)
+        assert mem.load_byte(DATA_BASE, signed=False) == 0
+
+    def test_level_bounds(self):
+        buf = ShadowStoreBuffer(1)
+        with pytest.raises(StoreBufferError):
+            buf.store(2, DATA_BASE, b"\x00")
+
+    def test_word_load_merges_buffer_and_memory(self):
+        mem = make_mem()
+        mem.store_word(DATA_BASE, 0xAABBCCDD)
+        buf = ShadowStoreBuffer(1)
+        buf.store(1, DATA_BASE + 1, b"\x11")
+        raw = buf.load(mem, DATA_BASE, 4, level=1)
+        assert raw == bytes([0xDD, 0x11, 0xBB, 0xAA])
+
+
+class TestShiftBuffer:
+    def trap(self):
+        return Trap(TrapKind.ADDRESS_ERROR, addr=0)
+
+    def test_fault_commits_after_n_shifts(self):
+        buf = ExceptionShiftBuffer(3)
+        buf.record(2, self.trap(), branch_uid=0)
+        assert buf.shift(committing_branch_uid=11) is None
+        out = buf.shift(committing_branch_uid=22)
+        assert out is not None
+        assert out.branch_uid == 22
+
+    def test_clear_on_misprediction(self):
+        buf = ExceptionShiftBuffer(2)
+        buf.record(1, self.trap(), branch_uid=0)
+        buf.clear()
+        assert buf.shift(99) is None
+        assert not buf.pending()
+
+    def test_one_bit_per_level_first_fault_wins(self):
+        buf = ExceptionShiftBuffer(2)
+        t1, t2 = self.trap(), self.trap()
+        buf.record(1, t1, 0)
+        buf.record(1, t2, 0)
+        out = buf.shift(5)
+        assert out.trap is t1
+
+    def test_level_bounds(self):
+        buf = ExceptionShiftBuffer(2)
+        with pytest.raises(ValueError):
+            buf.record(3, self.trap(), 0)
+        with pytest.raises(ValueError):
+            buf.record(0, self.trap(), 0)
+
+    def test_pending(self):
+        buf = ExceptionShiftBuffer(2)
+        assert not buf.pending()
+        buf.record(2, self.trap(), 0)
+        assert buf.pending()

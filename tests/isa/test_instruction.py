@@ -1,0 +1,94 @@
+"""Tests for Instruction and the boosting annotations."""
+
+import pytest
+
+from repro.isa import (
+    BoostLabel, Direction, Instruction, Opcode, RA, Reg, ZERO,
+)
+
+T0, T1, T2 = Reg.named("t0"), Reg.named("t1"), Reg.named("t2")
+
+
+def test_defs_and_uses():
+    add = Instruction(Opcode.ADD, dst=T0, srcs=(T1, T2))
+    assert add.defs() == (T0,)
+    assert set(add.uses()) == {T1, T2}
+
+
+def test_zero_register_never_defined_or_used():
+    i = Instruction(Opcode.ADD, dst=ZERO, srcs=(ZERO, T1))
+    assert i.defs() == ()
+    assert i.uses() == (T1,)
+
+
+def test_store_has_no_defs():
+    sw = Instruction(Opcode.SW, srcs=(T0, T1), imm=4)
+    assert sw.defs() == ()
+    assert set(sw.uses()) == {T0, T1}
+
+
+def test_jal_implicitly_writes_ra():
+    jal = Instruction(Opcode.JAL, target="callee")
+    assert jal.dst is RA
+    assert jal.defs() == (RA,)
+
+
+def test_missing_dst_rejected():
+    with pytest.raises(ValueError):
+        Instruction(Opcode.ADD, srcs=(T0, T1))
+
+
+def test_negative_boost_rejected():
+    with pytest.raises(ValueError):
+        Instruction(Opcode.ADD, dst=T0, srcs=(T0, T1), boost=-1)
+
+
+def test_uids_are_unique():
+    a = Instruction(Opcode.NOP)
+    b = Instruction(Opcode.NOP)
+    assert a.uid != b.uid
+
+
+def test_copy_gets_fresh_uid_and_origin():
+    a = Instruction(Opcode.ADD, dst=T0, srcs=(T1, T2))
+    b = a.copy(boost=2)
+    assert b.uid != a.uid
+    assert b.origin == a.uid
+    assert b.boost == 2 and a.boost == 0
+    c = b.copy()
+    assert c.origin == a.uid  # origin chains back to the root
+
+
+def test_boost_suffix_in_text():
+    lw = Instruction(Opcode.LW, dst=T0, srcs=(T1,), imm=4, boost=2)
+    assert ".B2" in str(lw)
+
+
+def test_side_effect_free():
+    assert Instruction(Opcode.ADD, dst=T0, srcs=(T1, T2)).side_effect_free
+    assert Instruction(Opcode.LW, dst=T0, srcs=(T1,), imm=0).side_effect_free
+    assert not Instruction(Opcode.SW, srcs=(T0, T1), imm=0).side_effect_free
+    assert not Instruction(Opcode.PRINT, srcs=(T0,)).side_effect_free
+
+
+def test_boost_label_general_form():
+    # Figure 2: instruction boosted above two branches, both RIGHT.
+    label = BoostLabel(("R", "R"))
+    assert label.level == 2
+    assert label.suffix == ".BRR"
+
+
+def test_boost_label_dont_care():
+    label = BoostLabel((Direction.RIGHT, Direction.DONT_CARE, Direction.LEFT))
+    assert label.level == 2  # X does not count toward the level
+
+
+def test_boost_label_parse_roundtrip():
+    label = BoostLabel.parse("BRXL")
+    assert label.dirs == ("R", "X", "L")
+    assert BoostLabel.parse(label.suffix[1:]) == label
+
+
+def test_boost_label_rejects_bad_direction():
+    with pytest.raises(ValueError):
+        BoostLabel(("Q",))

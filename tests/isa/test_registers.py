@@ -1,0 +1,59 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.isa import ALLOCATABLE, NUM_ARCH_REGS, RA, SP, ZERO, Reg
+
+
+def test_interning():
+    assert Reg(5) is Reg(5)
+    assert Reg.named("t0") is Reg(8)
+    assert Reg.virtual(3) is Reg.virtual(3)
+
+
+def test_named_lookup():
+    assert Reg.named("zero") is ZERO
+    assert Reg.named("sp") is SP
+    assert Reg.named("ra") is RA
+    assert Reg.named("r10").index == 10
+    assert Reg.named("v7") is Reg.virtual(7)
+
+
+def test_named_unknown():
+    with pytest.raises(KeyError):
+        Reg.named("bogus")
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        Reg(-1)
+
+
+def test_virtual_properties():
+    v = Reg.virtual(0)
+    assert v.is_virtual
+    assert v.index == Reg.VIRTUAL_BASE
+    assert v.name == "v0"
+    assert not Reg(4).is_virtual
+
+
+def test_zero_detection():
+    assert ZERO.is_zero
+    assert not SP.is_zero
+
+
+def test_ordering_and_hash():
+    assert Reg(3) < Reg(4)
+    assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+
+def test_allocatable_excludes_reserved():
+    names = {r.name for r in ALLOCATABLE}
+    for reserved in ("zero", "at", "sp", "gp", "fp", "ra", "k0", "k1"):
+        assert reserved not in names
+    assert len(ALLOCATABLE) == 24
+
+
+def test_arch_reg_count():
+    assert NUM_ARCH_REGS == 32
+    assert all(Reg(i).name for i in range(NUM_ARCH_REGS))

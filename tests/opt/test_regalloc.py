@@ -1,0 +1,139 @@
+"""Register allocator tests: colouring, coalescing, spilling, infinite
+model."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hw.functional import run_functional
+from repro.isa import ALLOCATABLE, A0, Opcode, Reg, V0
+from repro.opt import (
+    allocate_infinite_procedure, allocate_procedure, allocate_program,
+    optimize_program, verify_no_virtuals,
+)
+from repro.program import ProcBuilder, Program
+
+
+def test_simple_coloring():
+    b = ProcBuilder("p")
+    v0, v1 = b.vreg(), b.vreg()
+    b.label("entry")
+    b.li(v0, 1)
+    b.li(v1, 2)
+    b.add(v0, v0, v1)
+    b.print_(v0)
+    b.halt()
+    proc = b.build()
+    mapping = allocate_procedure(proc)
+    assert mapping[v0] is not mapping[v1]  # simultaneously live
+    assert all(r in ALLOCATABLE for r in mapping.values())
+
+
+def test_dead_ranges_share_registers():
+    b = ProcBuilder("p")
+    v0, v1 = b.vreg(), b.vreg()
+    b.label("entry")
+    b.li(v0, 1)
+    b.print_(v0)     # v0 dies here
+    b.li(v1, 2)
+    b.print_(v1)
+    b.halt()
+    proc = b.build()
+    allocate_procedure(proc)
+    # With round-robin the registers rotate, but reuse must be *possible*:
+    # correctness is what matters.
+    from repro.program import Program
+    prog = Program()
+    proc.name = "main"
+    prog.add(proc)
+    assert run_functional(prog).output == [1, 2]
+
+
+def test_move_coalescing_preference():
+    b = ProcBuilder("p")
+    v0 = b.vreg()
+    b.label("entry")
+    b.move(v0, A0)      # prefer a0 for v0
+    b.print_(v0)
+    b.halt()
+    proc = b.build()
+    mapping = allocate_procedure(proc)
+    assert mapping[v0] is A0
+
+
+def test_interference_with_physical_register():
+    # v0 is live across a write of $a0: it must not be allocated to $a0.
+    b = ProcBuilder("p")
+    v0 = b.vreg()
+    b.label("entry")
+    b.li(v0, 5)
+    b.li(A0, 9)
+    b.add(V0, v0, A0)
+    b.print_(V0)
+    b.halt()
+    proc = b.build()
+    mapping = allocate_procedure(proc)
+    assert mapping[v0] is not A0
+
+
+def test_spilling_under_extreme_pressure():
+    # 30 simultaneously-live values cannot fit 24 registers: the allocator
+    # must spill and stay correct.
+    b = ProcBuilder("p")
+    vregs = [b.vreg() for _ in range(30)]
+    b.label("entry")
+    for i, v in enumerate(vregs):
+        b.li(v, i)
+    acc = b.vreg()
+    b.li(acc, 0)
+    for v in vregs:
+        b.add(acc, acc, v)
+    b.print_(acc)
+    b.halt()
+    proc = b.build()
+    proc.name = "main"
+    allocate_procedure(proc)
+    assert proc.frame.spill_slots > 0
+    prog = Program()
+    prog.add(proc)
+    verify_no_virtuals(prog)
+    assert run_functional(prog).output == [sum(range(30))]
+
+
+def test_infinite_model_assigns_unique_indices():
+    b = ProcBuilder("p")
+    vregs = [b.vreg() for _ in range(40)]
+    b.label("entry")
+    for i, v in enumerate(vregs):
+        b.li(v, i)
+    b.print_(vregs[-1])
+    b.halt()
+    proc = b.build()
+    mapping = allocate_infinite_procedure(proc)
+    indices = [r.index for r in mapping.values()]
+    assert len(set(indices)) == len(indices)
+    assert all(32 <= i < 32 + 40 for i in indices)
+
+
+def test_allocate_program_rejects_unknown_model():
+    prog = Program()
+    with pytest.raises(ValueError):
+        allocate_program(prog, model="magic")
+
+
+def test_allocation_preserves_program_output():
+    source = """
+global xs[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+func main() {
+    var a = xs[0] + xs[1];
+    var b = xs[2] * xs[3];
+    var c = xs[4] - xs[5];
+    var d = xs[6] ^ xs[7];
+    print(a + b + c + d);
+}
+"""
+    prog = compile_source(source)
+    expected = run_functional(prog).output
+    optimize_program(prog)
+    allocate_program(prog)
+    verify_no_virtuals(prog)
+    assert run_functional(prog).output == expected

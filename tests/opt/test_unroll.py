@@ -1,0 +1,94 @@
+"""Tests for the loop unroller."""
+
+from repro.frontend import compile_source
+from repro.hw.functional import run_functional
+from repro.opt import optimize_program, unroll_program
+from repro.program import CFG
+from repro.analysis import RegionTree
+
+SOURCE = """
+global xs[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+func main() {
+    var s = 0;
+    var i = 0;
+    while (i < 10) {
+        s = s + xs[i];
+        i = i + 1;
+    }
+    print(s);
+    print(i);
+}
+"""
+
+
+def test_unroll_preserves_semantics():
+    prog = compile_source(SOURCE)
+    optimize_program(prog)
+    expected = run_functional(prog).output
+    assert unroll_program(prog, factor=2) == 1
+    assert run_functional(prog).output == expected
+
+
+def test_unroll_by_four():
+    prog = compile_source(SOURCE)
+    optimize_program(prog)
+    expected = run_functional(prog).output
+    unroll_program(prog, factor=4)
+    assert run_functional(prog).output == expected
+
+
+def test_unroll_grows_the_loop():
+    prog = compile_source(SOURCE)
+    optimize_program(prog)
+    before = prog.instruction_count()
+    unroll_program(prog, factor=2)
+    assert prog.instruction_count() > before
+
+
+def test_unroll_keeps_all_exit_tests():
+    # Every copy keeps its exit branch: odd trip counts stay correct.
+    source = SOURCE.replace("i < 10", "i < 7")
+    prog = compile_source(source)
+    optimize_program(prog)
+    expected = run_functional(prog).output
+    unroll_program(prog, factor=4)
+    assert run_functional(prog).output == expected
+    assert expected[1] == 7
+
+
+def test_factor_one_is_noop():
+    prog = compile_source(SOURCE)
+    optimize_program(prog)
+    before = prog.instruction_count()
+    assert unroll_program(prog, factor=1) == 0
+    assert prog.instruction_count() == before
+
+
+def test_oversized_loops_skipped():
+    prog = compile_source(SOURCE)
+    optimize_program(prog)
+    assert unroll_program(prog, factor=2, max_body_instructions=2) == 0
+
+
+def test_only_innermost_loops_unrolled():
+    source = """
+global xs[4] = {1, 2, 3, 4};
+func main() {
+    var total = 0;
+    for (var r = 0; r < 3; r = r + 1) {
+        for (var c = 0; c < 4; c = c + 1) {
+            total = total + xs[c] * (r + 1);
+        }
+    }
+    print(total);
+}
+"""
+    prog = compile_source(source)
+    optimize_program(prog)
+    expected = run_functional(prog).output
+    tree_before = RegionTree(CFG(prog.proc("main")))
+    inner_before = sum(1 for r in tree_before.loops if not r.children)
+    assert unroll_program(prog, factor=2) >= 1
+    assert run_functional(prog).output == expected
+    assert expected == [sum(x * (r + 1) for r in range(3)
+                            for x in [1, 2, 3, 4])]

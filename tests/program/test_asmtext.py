@@ -1,0 +1,89 @@
+"""Round-trip tests for the textual assembly form."""
+
+import pytest
+
+from repro.isa import Opcode, Reg, ZERO
+from repro.program import (
+    ProcBuilder, Program, format_program, parse_instruction, parse_program,
+)
+from repro.program.asmtext import AsmSyntaxError
+
+T0, T1 = Reg.named("t0"), Reg.named("t1")
+
+
+def test_parse_simple_instruction():
+    i = parse_instruction("add $t0, $t1, $zero")
+    assert i.op is Opcode.ADD
+    assert i.dst is T0
+    assert i.srcs == (T1, ZERO)
+
+
+def test_parse_load_store():
+    lw = parse_instruction("lw $t0, 8($sp)")
+    assert lw.op is Opcode.LW and lw.imm == 8
+    sw = parse_instruction("sw $t0, -4($sp)")
+    assert sw.op is Opcode.SW and sw.imm == -4
+
+
+def test_parse_boosted_instruction():
+    i = parse_instruction("lw.B2 $t0, 0($t1)")
+    assert i.boost == 2
+    assert i.op is Opcode.LW
+
+
+def test_parse_branch_with_prediction():
+    i = parse_instruction("beq $t0, $zero, exit <NT>")
+    assert i.op is Opcode.BEQ
+    assert i.target == "exit"
+    assert i.predict_taken is False
+
+
+def test_parse_unknown_mnemonic():
+    with pytest.raises(AsmSyntaxError):
+        parse_instruction("frobnicate $t0")
+
+
+def test_parse_bad_memory_operand():
+    with pytest.raises(AsmSyntaxError):
+        parse_instruction("lw $t0, t1")
+
+
+def test_program_roundtrip():
+    program = Program()
+    program.data.words("xs", [10, 20])
+    b = ProcBuilder("main", data=program.data)
+    b.label("entry")
+    b.la(T0, "xs")
+    b.lw(T1, T0, 4)
+    b.print_(T1)
+    b.halt()
+    program.add(b.build())
+
+    text = format_program(program)
+    parsed = parse_program(text)
+    assert set(parsed.procedures) == {"main"}
+    main = parsed.proc("main")
+    ops = [i.op for i in main.instructions()]
+    assert ops == [Opcode.LI, Opcode.LW, Opcode.PRINT, Opcode.HALT]
+    # And the reparsed program prints the same text.
+    assert format_program(parsed) == text
+
+
+def test_roundtrip_preserves_boost_and_prediction():
+    text = """
+.proc main
+entry:
+    li $t0, 3
+    bne $t0, $zero, out <T>
+body:
+    lw.B1 $t1, 0($t0)
+    halt
+out:
+    halt
+"""
+    program = parse_program(text)
+    main = program.proc("main")
+    assert main.block("entry").terminator.predict_taken is True
+    assert main.block("body").body[0].boost == 1
+    again = parse_program(format_program(program))
+    assert again.proc("main").block("body").body[0].boost == 1

@@ -1,0 +1,128 @@
+"""Tests for the IR builder, blocks, procedures, and the CFG."""
+
+import pytest
+
+from repro.isa import Opcode, Reg, ZERO
+from repro.program import CFG, BasicBlock, DataSegment, ProcBuilder, Procedure
+
+T0, T1 = Reg.named("t0"), Reg.named("t1")
+
+
+def diamond() -> Procedure:
+    """if (t0 == 0) t1 = 1 else t1 = 2; halt"""
+    b = ProcBuilder("diamond")
+    b.label("entry")
+    b.beq(T0, ZERO, "then")
+    b.label("else_")
+    b.li(T1, 2)
+    b.j("join")
+    b.label("then")
+    b.li(T1, 1)
+    b.label("join")
+    b.halt()
+    return b.build()
+
+
+def test_block_append_terminator_closes_block():
+    block = BasicBlock("b")
+    from repro.isa import Instruction
+    block.append(Instruction(Opcode.LI, dst=T0, imm=1))
+    block.append(Instruction(Opcode.HALT))
+    assert block.is_terminated
+    with pytest.raises(ValueError):
+        block.append(Instruction(Opcode.NOP))
+
+
+def test_builder_builds_blocks():
+    proc = diamond()
+    assert [b.label for b in proc.blocks] == ["entry", "else_", "then", "join"]
+    assert proc.entry.label == "entry"
+    assert proc.block("then").terminator is None  # falls through to join
+
+
+def test_duplicate_label_rejected():
+    b = ProcBuilder("p")
+    b.label("x")
+    with pytest.raises(ValueError):
+        b.label("x")
+
+
+def test_cfg_successors():
+    proc = diamond()
+    cfg = CFG(proc)
+    assert cfg.succs("entry") == ["then", "else_"]
+    assert cfg.succs("else_") == ["join"]
+    assert cfg.succs("then") == ["join"]
+    assert cfg.succs("join") == []
+    assert sorted(cfg.preds("join")) == ["else_", "then"]
+
+
+def test_cfg_taken_and_fall():
+    cfg = CFG(diamond())
+    assert cfg.taken_succ("entry") == "then"
+    assert cfg.fall_succ("entry") == "else_"
+    assert cfg.off_trace_succ("entry", "then") == "else_"
+
+
+def test_predicted_succ_follows_annotation():
+    proc = diamond()
+    proc.block("entry").terminator.predict_taken = True
+    cfg = CFG(proc)
+    assert cfg.predicted_succ("entry") == "then"
+    proc.block("entry").terminator.predict_taken = False
+    assert cfg.predicted_succ("entry") == "else_"
+
+
+def test_rpo_starts_at_entry_and_covers_reachable():
+    cfg = CFG(diamond())
+    order = cfg.rpo()
+    assert order[0] == "entry"
+    assert set(order) == {"entry", "else_", "then", "join"}
+    # join must come after both predecessors
+    assert order.index("join") > order.index("then")
+    assert order.index("join") > order.index("else_")
+
+
+def test_call_block_has_fallthrough_successor():
+    b = ProcBuilder("caller")
+    b.label("entry")
+    b.jal("callee")
+    b.label("after")
+    b.halt()
+    cfg = CFG(b.build())
+    assert cfg.succs("entry") == ["after"]
+
+
+def test_return_block_has_no_successors():
+    b = ProcBuilder("leaf")
+    b.label("entry")
+    b.ret()
+    cfg = CFG(b.build())
+    assert cfg.succs("entry") == []
+
+
+def test_fresh_label():
+    proc = diamond()
+    assert proc.fresh_label("new") == "new"
+    assert proc.fresh_label("join") == "join.1"
+
+
+def test_data_segment_layout():
+    data = DataSegment()
+    a = data.words("xs", [1, 2, 3])
+    b = data.zeros("buf", 10)
+    c = data.bytes_("msg", b"hi")
+    assert a % 4 == 0 and b % 4 == 0 and c % 4 == 0
+    assert b == a + 12
+    assert data.address_of("xs") == a
+    assert data.size_of("buf") == 10
+    assert "msg" in data
+    image = dict(data.initial_image())
+    assert image[a][:4] == (1).to_bytes(4, "little")
+
+
+def test_data_segment_duplicate_symbol():
+    data = DataSegment()
+    data.zeros("x", 4)
+    with pytest.raises(ValueError):
+        data.zeros("x", 4)

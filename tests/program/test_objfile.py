@@ -1,0 +1,89 @@
+"""Tests for the binary object-file format."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hw.functional import run_functional
+from repro.isa import Instruction, Opcode, Reg
+from repro.opt import allocate_program, optimize_program
+from repro.program import ProcBuilder, Program
+from repro.program.objfile import (
+    MAGIC, ObjFileError, load_program, save_program,
+)
+
+SOURCE = """
+global xs[4] = {9, 8, 7, 6};
+bytes tag = "ok";
+func helper(v) { return v * 2; }
+func main() {
+    var s = 0;
+    for (var i = 0; i < 4; i = i + 1) { s = s + helper(xs[i]); }
+    print(s);
+    print(tag[0]);
+}
+"""
+
+
+def roundtrip(program: Program) -> Program:
+    return load_program(save_program(program))
+
+
+def test_semantic_roundtrip():
+    prog = compile_source(SOURCE)
+    expected = run_functional(prog).output
+    assert run_functional(roundtrip(prog)).output == expected
+
+
+def test_structural_roundtrip():
+    prog = compile_source(SOURCE)
+    optimize_program(prog)
+    allocate_program(prog)
+    again = roundtrip(prog)
+    assert set(again.procedures) == set(prog.procedures)
+    assert again.entry == prog.entry
+    assert again.mem_size == prog.mem_size
+    for name, proc in prog.procedures.items():
+        other = again.proc(name)
+        assert [b.label for b in other.blocks] == [b.label for b in proc.blocks]
+        for b1, b2 in zip(proc.blocks, other.blocks):
+            assert [str(i) for i in b1.instructions()] == \
+                   [str(i) for i in b2.instructions()]
+
+
+def test_boost_and_prediction_preserved():
+    program = Program()
+    b = ProcBuilder("main", data=program.data)
+    t0 = Reg.named("t0")
+    b.label("entry")
+    b.emit(Instruction(Opcode.LW, dst=t0, srcs=(t0,), imm=4, boost=2))
+    b.emit(Instruction(Opcode.BEQ, srcs=(t0, t0), target="entry",
+                       predict_taken=True))
+    program.add(b.build())
+    again = roundtrip(program)
+    block = again.proc("main").block("entry")
+    assert block.body[0].boost == 2
+    assert block.terminator.predict_taken is True
+
+
+def test_data_segment_preserved():
+    prog = compile_source(SOURCE)
+    again = roundtrip(prog)
+    assert again.data.symbols() == prog.data.symbols()
+    assert sorted(again.data.initial_image()) == \
+        sorted(prog.data.initial_image())
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ObjFileError):
+        load_program(b"NOPE" + b"\x00" * 64)
+
+
+def test_truncated_rejected():
+    raw = save_program(compile_source(SOURCE))
+    with pytest.raises(ObjFileError):
+        load_program(raw[: len(raw) // 2])
+
+
+def test_magic_is_stable():
+    raw = save_program(compile_source(SOURCE))
+    assert raw[:4] == MAGIC

@@ -1,0 +1,79 @@
+"""Tests for Procedure/Program plumbing and the FrameInfo contract."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.isa import Reg
+from repro.program import ProcBuilder, Program
+from repro.program.procedure import FrameInfo
+
+T0 = Reg.named("t0")
+
+
+def test_frame_bytes():
+    frame = FrameInfo(base_slots=3, spill_slots=2)
+    assert frame.frame_bytes == 20
+
+
+def test_codegen_publishes_frame_info():
+    prog = compile_source("""
+func callee(x) { return x + 1; }
+func main() { print(callee(1)); }
+""")
+    main = prog.proc("main")
+    assert main.frame.prologue is not None      # main makes a call
+    assert main.frame.base_slots >= 1           # at least the saved $ra
+    callee = prog.proc("callee")
+    assert callee.frame.prologue is not None    # non-main always has a frame
+    assert callee.frame.epilogues               # restored before jr
+
+
+def test_leaf_main_has_no_frame():
+    prog = compile_source("func main() { print(1); }")
+    assert prog.main.frame.prologue is None
+    assert prog.main.frame.base_slots == 0
+
+
+def test_layout_successor_and_instruction_count():
+    b = ProcBuilder("p")
+    b.label("a")
+    b.li(T0, 1)
+    b.label("b")
+    b.halt()
+    proc = b.build()
+    assert proc.layout_successor("a").label == "b"
+    assert proc.layout_successor("b") is None
+    assert proc.instruction_count() == 2
+
+
+def test_program_helpers():
+    prog = compile_source("func main() { print(1); }")
+    assert prog.main is prog.proc("main")
+    assert prog.instruction_count() >= 2
+    assert prog.max_register_index() >= 31
+    # Before allocation the code generator works in virtual registers.
+    assert any(r.is_virtual for r in prog.registers_used())
+
+
+def test_duplicate_procedure_rejected():
+    prog = Program()
+    b = ProcBuilder("main")
+    b.label("entry")
+    b.halt()
+    prog.add(b.build())
+    b2 = ProcBuilder("main")
+    b2.label("entry")
+    b2.halt()
+    with pytest.raises(ValueError):
+        prog.add(b2.build())
+
+
+def test_block_insertion_after():
+    from repro.program import BasicBlock
+    b = ProcBuilder("p")
+    b.label("a")
+    b.label("c")
+    b.halt()
+    proc = b.build()
+    proc.add_block(BasicBlock("b"), after="a")
+    assert [blk.label for blk in proc.blocks] == ["a", "b", "c"]

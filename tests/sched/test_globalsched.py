@@ -1,0 +1,176 @@
+"""Global scheduler: end-to-end correctness oracle and behaviour checks.
+
+Every (kernel, model) pair must produce the functional reference output —
+this is the core invariant of the whole reproduction.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.harness.pipeline import CompileConfig, SCALAR_CONFIG, compile_minic
+from repro.hw.functional import run_functional
+from repro.sched.boostmodel import (
+    ALL_MODELS, BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING,
+)
+from repro.sched.machine import SUPERSCALAR
+
+KERNELS = {
+    "branchy_loop": '''
+global data[32];
+global n = 0;
+func main() {
+    var evens = 0;
+    var total = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        var v = data[i];
+        if (v & 1) { total = total + v * 3; }
+        else { evens = evens + 1; total = total + v; }
+    }
+    print(evens);
+    print(total);
+}
+''',
+    "nested_ifs": '''
+global data[32];
+global n = 0;
+global hist[4];
+func main() {
+    for (var i = 0; i < n; i = i + 1) {
+        var v = data[i];
+        if (v < 64) {
+            if (v < 32) { hist[0] = hist[0] + 1; }
+            else { hist[1] = hist[1] + 1; }
+        } else {
+            if (v < 96) { hist[2] = hist[2] + 1; }
+            else { hist[3] = hist[3] + 1; }
+        }
+    }
+    var k = 0;
+    while (k < 4) { print(hist[k]); k = k + 1; }
+}
+''',
+    "pointer_chase": '''
+global next[16];
+global vals[16];
+func main() {
+    var p = 0;
+    var sum = 0;
+    var steps = 0;
+    while (steps < 40) {
+        sum = sum + vals[p];
+        p = next[p];
+        steps = steps + 1;
+    }
+    print(sum);
+}
+''',
+    "call_mix": '''
+global data[16];
+global n = 0;
+func classify(v) {
+    if (v > 100) { return 2; }
+    if (v > 50) { return 1; }
+    return 0;
+}
+func main() {
+    var buckets0 = 0;
+    var buckets1 = 0;
+    var buckets2 = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        var c = classify(data[i]);
+        if (c == 0) { buckets0 = buckets0 + 1; }
+        if (c == 1) { buckets1 = buckets1 + 1; }
+        if (c == 2) { buckets2 = buckets2 + 1; }
+    }
+    print(buckets0);
+    print(buckets1);
+    print(buckets2);
+}
+''',
+}
+
+INPUTS = {
+    "branchy_loop": ({"data": [(i * 37) % 128 for i in range(32)], "n": 32},
+                     {"data": [(i * 53 + 7) % 128 for i in range(32)], "n": 32}),
+    "nested_ifs": ({"data": [(i * 41) % 128 for i in range(32)], "n": 32},
+                   {"data": [(i * 29 + 3) % 128 for i in range(32)], "n": 32}),
+    "pointer_chase": ({"next": [(i * 7 + 3) % 16 for i in range(16)],
+                       "vals": list(range(0, 160, 10))},
+                      {"next": [(i * 5 + 1) % 16 for i in range(16)],
+                       "vals": list(range(5, 165, 10))}),
+    "call_mix": ({"data": [(i * 31) % 150 for i in range(16)], "n": 16},
+                 {"data": [(i * 17 + 9) % 150 for i in range(16)], "n": 16}),
+}
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+def test_all_models_match_reference(kernel, model):
+    train, evalin = INPUTS[kernel]
+    base = compile_minic(KERNELS[kernel], SCALAR_CONFIG, train)
+    ref = base.run_functional(evalin).output
+    cfg = CompileConfig(machine=SUPERSCALAR, model=model)
+    cp = compile_minic(KERNELS[kernel], cfg, train)
+    result = cp.run(evalin)
+    assert result.output == ref
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_infinite_registers_match_reference(kernel):
+    train, evalin = INPUTS[kernel]
+    base = compile_minic(KERNELS[kernel], SCALAR_CONFIG, train)
+    ref = base.run_functional(evalin).output
+    cfg = CompileConfig(machine=SUPERSCALAR, model=MINBOOST3,
+                        regalloc="infinite")
+    cp = compile_minic(KERNELS[kernel], cfg, train)
+    assert cp.run(evalin).output == ref
+
+
+def test_boosting_never_slows_down_the_branchy_loop():
+    train, evalin = INPUTS["branchy_loop"]
+    cycles = {}
+    for key, model in (("none", NO_BOOST), ("squash", SQUASHING),
+                       ("b1", BOOST1), ("mb3", MINBOOST3), ("b7", BOOST7)):
+        cfg = CompileConfig(machine=SUPERSCALAR, model=model)
+        cp = compile_minic(KERNELS["branchy_loop"], cfg, train)
+        cycles[key] = cp.run(evalin).cycle_count
+    assert cycles["squash"] <= cycles["none"]
+    assert cycles["b1"] <= cycles["none"]
+    assert cycles["mb3"] <= cycles["none"]
+    assert cycles["b7"] <= cycles["mb3"] + 2  # never meaningfully worse
+
+
+def test_global_beats_bb_scheduling_on_branchy_code():
+    train, evalin = INPUTS["branchy_loop"]
+    bb = compile_minic(KERNELS["branchy_loop"],
+                       CompileConfig(machine=SUPERSCALAR, scheduler="bb"),
+                       train).run(evalin)
+    glob = compile_minic(KERNELS["branchy_loop"],
+                         CompileConfig(machine=SUPERSCALAR), train).run(evalin)
+    assert glob.cycle_count <= bb.cycle_count
+
+
+def test_stats_report_boosting_activity():
+    train, _ = INPUTS["branchy_loop"]
+    cfg = CompileConfig(machine=SUPERSCALAR, model=BOOST7)
+    cp = compile_minic(KERNELS["branchy_loop"], cfg, train)
+    assert cp.stats is not None
+    assert cp.stats.traces > 0
+    assert cp.stats.boosted > 0
+
+
+def test_schedule_contains_every_source_instruction():
+    # No instruction may be lost by scheduling (duplication may add some).
+    train, _ = INPUTS["nested_ifs"]
+    cfg = CompileConfig(machine=SUPERSCALAR, model=MINBOOST3)
+    cp = compile_minic(KERNELS["nested_ifs"], cfg, train)
+    assert cp.sched.instruction_count() >= cp.source_instr_count
+
+
+def test_code_growth_bounded():
+    # Section 2.3: recovery code should stay below a two-times growth.
+    train, _ = INPUTS["nested_ifs"]
+    cfg = CompileConfig(machine=SUPERSCALAR, model=BOOST7)
+    cp = compile_minic(KERNELS["nested_ifs"], cfg, train)
+    growth = cp.sched.instruction_count() / cp.source_instr_count
+    assert growth < 2.0

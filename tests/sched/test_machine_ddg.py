@@ -1,0 +1,138 @@
+"""Tests for the machine description and the dependence graph."""
+
+from repro.isa import Instruction, Opcode, Reg, ZERO
+from repro.sched.ddg import DepGraph
+from repro.sched.machine import SCALAR, SUPERSCALAR
+
+T0, T1, T2, T3 = (Reg.named(f"t{i}") for i in range(4))
+
+
+def instr(op, **kw):
+    return Instruction(op, **kw)
+
+
+class TestMachine:
+    def test_superscalar_is_two_wide(self):
+        assert SUPERSCALAR.issue_width == 2
+        assert SCALAR.issue_width == 1
+
+    def test_two_alu_ops_can_pair(self):
+        add = instr(Opcode.ADD, dst=T0, srcs=(T1, T2))
+        assert SUPERSCALAR.slots_for(add) == [0, 1]
+
+    def test_branch_and_shift_cannot_pair(self):
+        # Section 4.3.1: branch unit and shifter are both on side A.
+        branch = instr(Opcode.BEQ, srcs=(T0, T1), target="x")
+        shift = instr(Opcode.SLL, dst=T0, srcs=(T1,), imm=2)
+        assert SUPERSCALAR.slots_for(branch) == [0]
+        assert SUPERSCALAR.slots_for(shift) == [0]
+
+    def test_memory_only_on_side_b(self):
+        lw = instr(Opcode.LW, dst=T0, srcs=(T1,), imm=0)
+        assert SUPERSCALAR.slots_for(lw) == [1]
+
+    def test_scalar_has_all_units(self):
+        for op in (Opcode.LW, Opcode.BEQ, Opcode.SLL, Opcode.MUL, Opcode.ADD):
+            i = {"lw": instr(Opcode.LW, dst=T0, srcs=(T1,), imm=0),
+                 "beq": instr(Opcode.BEQ, srcs=(T0, T1), target="x"),
+                 "sll": instr(Opcode.SLL, dst=T0, srcs=(T1,), imm=1),
+                 "mul": instr(Opcode.MUL, dst=T0, srcs=(T1, T2)),
+                 "add": instr(Opcode.ADD, dst=T0, srcs=(T1, T2))}[op.mnemonic]
+            assert SCALAR.slots_for(i) == [0]
+
+
+class TestDepGraph:
+    def edges(self, ddg):
+        out = {}
+        for node in ddg.nodes:
+            for succ, lat, kind in node.succs:
+                out[(node.idx, succ)] = (lat, kind)
+        return out
+
+    def test_raw_edge_with_latency(self):
+        seq = [instr(Opcode.LW, dst=T0, srcs=(T1,), imm=0),
+               instr(Opcode.ADD, dst=T2, srcs=(T0, T0))]
+        edges = self.edges(DepGraph(seq))
+        assert edges[(0, 1)] == (2, "raw")  # load has one delay slot
+
+    def test_war_edge_zero_latency(self):
+        seq = [instr(Opcode.ADD, dst=T2, srcs=(T0, T1)),
+               instr(Opcode.LI, dst=T0, imm=3)]
+        edges = self.edges(DepGraph(seq))
+        assert edges[(0, 1)] == (0, "war")
+
+    def test_waw_edge(self):
+        seq = [instr(Opcode.LI, dst=T0, imm=1),
+               instr(Opcode.LI, dst=T0, imm=2)]
+        edges = self.edges(DepGraph(seq))
+        assert edges[(0, 1)] == (1, "waw")
+
+    def test_no_control_edges_for_straightline_code(self):
+        # The whole point of boosting: instructions have no edge to the
+        # branches above them.
+        seq = [instr(Opcode.BEQ, srcs=(T0, T1), target="x"),
+               instr(Opcode.LI, dst=T2, imm=1)]
+        edges = self.edges(DepGraph(seq))
+        assert (0, 1) not in edges
+
+    def test_branches_keep_original_order(self):
+        seq = [instr(Opcode.BEQ, srcs=(T0, T1), target="x"),
+               instr(Opcode.BNE, srcs=(T0, T1), target="y")]
+        edges = self.edges(DepGraph(seq))
+        assert edges[(0, 1)] == (1, "order")
+
+    def test_store_load_dependence(self):
+        seq = [instr(Opcode.SW, srcs=(T0, T1), imm=0),
+               instr(Opcode.LW, dst=T2, srcs=(T3,), imm=0)]
+        edges = self.edges(DepGraph(seq))
+        assert edges[(0, 1)] == (1, "mem_raw")
+
+    def test_same_base_different_offset_disambiguated(self):
+        seq = [instr(Opcode.SW, srcs=(T0, T1), imm=0),
+               instr(Opcode.LW, dst=T2, srcs=(T1,), imm=8)]
+        edges = self.edges(DepGraph(seq))
+        assert (0, 1) not in edges  # provably disjoint words
+
+    def test_same_base_redefined_is_conservative(self):
+        seq = [instr(Opcode.SW, srcs=(T0, T1), imm=0),
+               instr(Opcode.ADDI, dst=T1, srcs=(T1,), imm=4),
+               instr(Opcode.LW, dst=T2, srcs=(T1,), imm=8)]
+        edges = self.edges(DepGraph(seq))
+        assert (0, 2) in edges  # base changed: may alias
+
+    def test_load_load_independent(self):
+        seq = [instr(Opcode.LW, dst=T0, srcs=(T1,), imm=0),
+               instr(Opcode.LW, dst=T2, srcs=(T1,), imm=0)]
+        edges = self.edges(DepGraph(seq))
+        assert (0, 1) not in edges
+
+    def test_print_order_preserved(self):
+        seq = [instr(Opcode.PRINT, srcs=(T0,)),
+               instr(Opcode.PRINT, srcs=(T1,))]
+        edges = self.edges(DepGraph(seq))
+        assert edges[(0, 1)] == (1, "order")
+
+    def test_call_is_a_barrier(self):
+        seq = [instr(Opcode.SW, srcs=(T0, T1), imm=0),
+               instr(Opcode.JAL, target="f"),
+               instr(Opcode.LW, dst=T2, srcs=(T3,), imm=0)]
+        edges = self.edges(DepGraph(seq))
+        assert (0, 1) in edges
+        assert (1, 2) in edges
+
+    def test_heights_reflect_critical_path(self):
+        seq = [instr(Opcode.LW, dst=T0, srcs=(T1,), imm=0),
+               instr(Opcode.ADD, dst=T2, srcs=(T0, T0)),
+               instr(Opcode.LI, dst=T3, imm=1)]
+        heights = DepGraph(seq).critical_path_heights()
+        assert heights[0] == 2
+        assert heights[1] == 0
+        assert heights[2] == 0
+
+    def test_raw_preds_of(self):
+        seq = [instr(Opcode.LI, dst=T0, imm=1),
+               instr(Opcode.SW, srcs=(T0, T1), imm=0),
+               instr(Opcode.LW, dst=T2, srcs=(T1,), imm=0)]
+        ddg = DepGraph(seq)
+        assert ddg.raw_preds_of(1) == [0]
+        assert 1 in ddg.raw_preds_of(2)

@@ -1,0 +1,212 @@
+"""Unit tests for the upward-code-motion engine (Figure 5)."""
+
+import pytest
+
+from repro.analysis.regions import RegionTree
+from repro.isa import Instruction, Opcode, Reg, ZERO
+from repro.program import CFG, ProcBuilder
+from repro.sched.boostmodel import (
+    BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING,
+)
+from repro.sched.motion import MotionEngine
+from repro.sched.traces import Trace
+
+T0, T1, T2, T3, T4 = (Reg.named(f"t{i}") for i in range(5))
+
+
+def make_engine(proc, labels, model, scheduled=frozenset()):
+    cfg = CFG(proc)
+    tree = RegionTree(cfg)
+    trace = Trace(labels=labels, region=tree.root)
+    return MotionEngine(proc, cfg, trace, model, set(scheduled)), proc
+
+
+def straight_branch_proc():
+    """entry(b)->hot->..., with a cold side; hot is predicted."""
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 0x2000)
+    b.bne(T4, ZERO, "cold")
+    b.label("hot")
+    b.lw(T1, T0, 0)
+    b.li(T2, 5)
+    b.print_(T2)
+    b.halt()
+    b.label("cold")
+    b.print_(T4)
+    b.halt()
+    proc = b.build()
+    proc.block("entry").terminator.predict_taken = False
+    return proc
+
+
+class TestSpeculativeCrossings:
+    def test_unsafe_load_needs_boost(self):
+        proc = straight_branch_proc()
+        engine, _ = make_engine(proc, ["entry", "hot"], MINBOOST3)
+        lw = proc.block("hot").body[0]
+        plan = engine.plan(lw, home_pos=1, place_pos=0,
+                           has_spec_producer=False, in_squash_region=False)
+        assert plan.ok and plan.boost == 1
+
+    def test_unsafe_load_rejected_without_hardware(self):
+        proc = straight_branch_proc()
+        engine, _ = make_engine(proc, ["entry", "hot"], NO_BOOST)
+        lw = proc.block("hot").body[0]
+        plan = engine.plan(lw, 1, 0, False, False)
+        assert not plan.ok
+
+    def test_safe_dead_destination_moves_for_free(self):
+        # t2 is dead on the cold path: the li may cross without boosting.
+        proc = straight_branch_proc()
+        engine, _ = make_engine(proc, ["entry", "hot"], NO_BOOST)
+        li = proc.block("hot").body[1]
+        plan = engine.plan(li, 1, 0, False, False)
+        assert plan.ok and plan.boost == 0
+
+    def test_live_destination_is_illegal_without_boost(self):
+        # t4 is live on the cold path (printed there).
+        proc = straight_branch_proc()
+        instr = Instruction(Opcode.LI, dst=T4, imm=9)
+        proc.block("hot").body.insert(0, instr)
+        engine, _ = make_engine(proc, ["entry", "hot"], NO_BOOST)
+        assert not engine.plan(instr, 1, 0, False, False).ok
+        engine2, _ = make_engine(straight_branch_proc(), ["entry", "hot"],
+                                 BOOST1)
+        proc2 = engine2.proc
+        instr2 = Instruction(Opcode.LI, dst=T4, imm=9)
+        proc2.block("hot").body.insert(0, instr2)
+        plan = engine2.plan(instr2, 1, 0, False, False)
+        assert plan.ok and plan.boost == 1
+
+    def test_spec_producer_forces_boost(self):
+        proc = straight_branch_proc()
+        engine, _ = make_engine(proc, ["entry", "hot"], MINBOOST3)
+        li = proc.block("hot").body[1]  # safe+legal on its own
+        plan = engine.plan(li, 1, 0, has_spec_producer=True,
+                           in_squash_region=False)
+        assert plan.ok and plan.boost == 1
+
+    def test_print_never_crosses(self):
+        proc = straight_branch_proc()
+        engine, _ = make_engine(proc, ["entry", "hot"], BOOST7)
+        pr = proc.block("hot").body[2]
+        assert not engine.plan(pr, 1, 0, False, False).ok
+
+    def test_store_needs_boost_and_store_buffer(self):
+        proc = straight_branch_proc()
+        sw = Instruction(Opcode.SW, srcs=(T2, T0), imm=0)
+        proc.block("hot").body.insert(2, sw)
+        engine, _ = make_engine(proc, ["entry", "hot"], MINBOOST3)
+        assert not engine.plan(sw, 1, 0, False, False).ok  # no store buffer
+        engine2, proc2 = make_engine(proc, ["entry", "hot"], BOOST1)
+        plan = engine2.plan(sw, 1, 0, False, False)
+        assert plan.ok and plan.boost == 1
+
+    def test_squashing_placement_restriction(self):
+        proc = straight_branch_proc()
+        engine, _ = make_engine(proc, ["entry", "hot"], SQUASHING)
+        lw = proc.block("hot").body[0]
+        assert not engine.plan(lw, 1, 0, False,
+                               in_squash_region=False).ok
+        plan = engine.plan(lw, 1, 0, False, in_squash_region=True)
+        assert plan.ok and plan.boost == 1
+
+
+def diamond_proc():
+    """entry -> {then_, else_} -> join -> tail; entry~join equivalent."""
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 1)
+    b.beq(T4, ZERO, "then_")
+    b.label("else_")
+    b.li(T1, 2)
+    b.j("join")
+    b.label("then_")
+    b.li(T1, 3)
+    b.label("join")
+    b.addi(T2, T0, 7)
+    b.print_(T1)
+    b.halt()
+    proc = b.build()
+    proc.block("entry").terminator.predict_taken = True
+    return proc
+
+
+class TestEquivalenceAndDuplication:
+    def test_equivalence_hop_is_free(self):
+        # entry and join are control equivalent; t2's addi is independent of
+        # both arms: Figure 3's i5 case — no boost, no duplication.
+        proc = diamond_proc()
+        engine, _ = make_engine(proc, ["entry", "then_", "join"], NO_BOOST)
+        addi = proc.block("join").body[0]
+        plan = engine.plan(addi, home_pos=2, place_pos=0,
+                           has_spec_producer=False, in_squash_region=False)
+        assert plan.ok
+        assert plan.boost == 0
+        assert plan.dups == []
+
+    def test_conflicting_instruction_needs_compensation(self):
+        # The print consumes t1 which both arms write: moving a new writer
+        # of t1 above the join must compensate on the off-trace arm.
+        proc = diamond_proc()
+        writer = Instruction(Opcode.LI, dst=T3, imm=9)
+        # make it conflict with the arms: define t1 instead
+        writer = Instruction(Opcode.LI, dst=T1, imm=9)
+        proc.block("join").body.insert(0, writer)
+        engine, _ = make_engine(proc, ["entry", "then_", "join"], BOOST7)
+        plan = engine.plan(writer, 2, 0, False, False)
+        if plan.ok:
+            assert plan.boost > 0 or plan.dups, (
+                "a write of t1 hoisted above the join must be boosted or "
+                "compensated")
+
+    def test_dup_applied_to_off_trace_pred(self):
+        proc = diamond_proc()
+        # t3 is independent of the arms but NOT equivalent-hoppable if we
+        # only hop when control equivalent; place at then_ (pos 1): join has
+        # off-trace pred else_.
+        addi = proc.block("join").body[0]
+        engine, _ = make_engine(proc, ["entry", "then_", "join"], NO_BOOST)
+        plan = engine.plan(addi, home_pos=2, place_pos=1,
+                           has_spec_producer=False, in_squash_region=False)
+        assert plan.ok
+        if plan.dups:
+            assert plan.dups[0].pred_label == "else_"
+            copies = engine.apply_dups(addi, plan)
+            assert len(copies) == 1
+            assert proc.block("else_").body[-1].op is Opcode.ADDI
+
+
+class TestEdgeSplitting:
+    def test_split_when_pred_predicts_away(self):
+        # Make the off-trace pred a conditional branch that predicts away
+        # from the join: an unsafe copy cannot be boosted there, so the
+        # engine must split the edge.
+        b = ProcBuilder("p")
+        b.label("top")
+        b.li(T0, 0x2000)
+        b.beq(T4, ZERO, "join")     # off-trace pred of join, target edge
+        b.label("mid")
+        b.li(T1, 1)
+        b.label("join")
+        b.lw(T2, T0, 0)             # unsafe: needs compensation when moved
+        b.print_(T2)
+        b.halt()
+        proc = b.build()
+        proc.block("top").terminator.predict_taken = False  # predicts mid
+        engine, _ = make_engine(proc, ["mid", "join"], MINBOOST3,
+                                scheduled={"top"})
+        lw = proc.block("join").body[0]
+        plan = engine.plan(lw, home_pos=1, place_pos=0,
+                           has_spec_producer=False, in_squash_region=False)
+        assert plan.ok
+        assert any(d.kind == "split" for d in plan.dups)
+        engine.apply_dups(lw, plan)
+        # The branch in 'top' now targets the compensation block.
+        assert proc.block("top").terminator.target != "join"
+        comp_label = proc.block("top").terminator.target
+        comp = proc.block(comp_label)
+        assert comp.body[0].op is Opcode.LW
+        assert comp.terminator.target == "join"
+        assert comp_label in engine.new_blocks

@@ -1,0 +1,125 @@
+"""Tests for the schedule containers and the list-scheduler core."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, Reg
+from repro.sched.ddg import DepGraph
+from repro.sched.listsched import ScheduleState, earliest_cycle, list_schedule
+from repro.sched.machine import SCALAR, SUPERSCALAR
+from repro.sched.schedprog import (
+    RecoveryBlock, ScheduledBlock, ScheduledProcedure, ScheduledProgram,
+)
+
+T0, T1, T2, T3 = (Reg.named(f"t{i}") for i in range(4))
+
+
+def li(dst, imm):
+    return Instruction(Opcode.LI, dst=dst, imm=imm)
+
+
+class TestScheduleState:
+    def test_place_and_query(self):
+        state = ScheduleState(SUPERSCALAR)
+        instr = li(T0, 1)
+        state.ensure_row(0)
+        state.place(0, instr, 0, 1)
+        assert state.rows[0][1] is instr
+        assert state.placed_cycle[0] == 0
+        with pytest.raises(ValueError):
+            state.place(1, li(T1, 2), 0, 1)
+
+    def test_free_slot_respects_fu(self):
+        state = ScheduleState(SUPERSCALAR)
+        lw = Instruction(Opcode.LW, dst=T0, srcs=(T1,), imm=0)
+        assert state.free_slot(0, lw) == 1  # memory port = side B
+        branch = Instruction(Opcode.BEQ, srcs=(T0, T1), target="x")
+        assert state.free_slot(0, branch) == 0
+
+    def test_used_cycles_and_trim(self):
+        state = ScheduleState(SUPERSCALAR)
+        state.ensure_row(4)
+        state.place(0, li(T0, 1), 1, 0)
+        assert state.used_cycles() == 2
+        state.trim()
+        assert len(state.rows) == 2
+
+
+class TestListSchedule:
+    def test_respects_latency_chain(self):
+        seq = [
+            Instruction(Opcode.LW, dst=T0, srcs=(T1,), imm=0),
+            Instruction(Opcode.ADD, dst=T2, srcs=(T0, T0)),
+            Instruction(Opcode.ADD, dst=T3, srcs=(T2, T2)),
+        ]
+        ddg = DepGraph(seq)
+        state = list_schedule(ddg, SCALAR, [0, 1, 2])
+        assert state.placed_cycle[1] >= state.placed_cycle[0] + 2
+        assert state.placed_cycle[2] >= state.placed_cycle[1] + 1
+
+    def test_packs_independent_work(self):
+        seq = [li(T0, 1), li(T1, 2), li(T2, 3), li(T3, 4)]
+        ddg = DepGraph(seq)
+        state = list_schedule(ddg, SUPERSCALAR, [0, 1, 2, 3])
+        assert state.used_cycles() == 2  # two per cycle
+
+    def test_priority_prefers_critical_path(self):
+        # The load chain is the critical path; it must start at cycle 0 even
+        # though the independent li appears first in program order.
+        seq = [
+            li(T3, 7),
+            Instruction(Opcode.LW, dst=T0, srcs=(T1,), imm=0),
+            Instruction(Opcode.ADD, dst=T2, srcs=(T0, T0)),
+        ]
+        ddg = DepGraph(seq)
+        state = list_schedule(ddg, SCALAR, [0, 1, 2])
+        assert state.placed_cycle[1] == 0
+
+    def test_earliest_cycle_none_for_unplaced_pred(self):
+        seq = [li(T0, 1), Instruction(Opcode.ADD, dst=T1, srcs=(T0, T0))]
+        ddg = DepGraph(seq)
+        state = ScheduleState(SCALAR)
+        assert earliest_cycle(ddg, state, 1) is None
+
+
+class TestContainers:
+    def build(self):
+        blk = ScheduledBlock("entry", [[li(T0, 1), None],
+                                       [None, None]], None)
+        proc = ScheduledProcedure("main", [blk])
+        return proc
+
+    def test_counts(self):
+        proc = self.build()
+        assert proc.blocks[0].instruction_count() == 1
+        assert proc.blocks[0].slot_count() == 4
+        assert proc.instruction_count() == 1
+
+    def test_recovery_counted(self):
+        proc = self.build()
+        proc.recovery[42] = RecoveryBlock(42, [li(T1, 2), li(T2, 3)], "entry")
+        assert proc.instruction_count() == 3
+
+    def test_terminator_lookup(self):
+        halt = Instruction(Opcode.HALT)
+        blk = ScheduledBlock("b", [[halt, None]], 0)
+        assert blk.terminator is halt
+
+    def test_dump_contains_cycles_and_marker(self):
+        br = Instruction(Opcode.BEQ, srcs=(T0, T1), target="x")
+        blk = ScheduledBlock("b", [[li(T0, 1), None], [br, None],
+                                   [None, None]], 1)
+        text = blk.dump()
+        assert "c0" in text and "<branch>" in text
+
+    def test_program_boosted_count(self):
+        from repro.program import Program
+        from repro.sched.boostmodel import MINBOOST3
+        from repro.sched.machine import SUPERSCALAR as M
+        boosted = li(T0, 1)
+        boosted.boost = 2
+        blk = ScheduledBlock("entry", [[boosted, li(T1, 2)]], None)
+        proc = ScheduledProcedure("main", [blk])
+        prog = ScheduledProgram(Program(), M, MINBOOST3)
+        prog.add(proc)
+        assert prog.boosted_count() == 1
+        assert prog.instruction_count() == 2

@@ -1,0 +1,103 @@
+"""Tests for trace selection (Section 3.2.1)."""
+
+from repro.analysis import RegionTree
+from repro.isa import Reg, ZERO
+from repro.program import CFG, ProcBuilder
+from repro.sched.traces import select_traces
+
+T0, T1 = Reg.named("t0"), Reg.named("t1")
+
+
+def build_loop_proc():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.li(T0, 10)
+    b.label("loop")
+    b.addi(T0, T0, -1)
+    b.bgtz(T0, "loop")
+    b.label("exit")
+    b.halt()
+    return b.build()
+
+
+def test_traces_cover_every_block_once():
+    proc = build_loop_proc()
+    proc.block("loop").terminator.predict_taken = True
+    traces = select_traces(proc, CFG(proc))
+    seen = [lab for t in traces for lab in t.labels]
+    assert sorted(seen) == sorted(b.label for b in proc.blocks)
+
+
+def test_loop_region_scheduled_first():
+    proc = build_loop_proc()
+    proc.block("loop").terminator.predict_taken = True
+    traces = select_traces(proc, CFG(proc))
+    assert traces[0].labels == ["loop"]  # innermost region first
+    assert traces[0].region.is_loop
+
+
+def test_trace_follows_predicted_direction():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.beq(T0, ZERO, "cold")
+    b.label("hot")
+    b.li(T1, 1)
+    b.j("join")
+    b.label("cold")
+    b.li(T1, 2)
+    b.label("join")
+    b.halt()
+    proc = b.build()
+    proc.block("entry").terminator.predict_taken = False  # predict hot
+    traces = select_traces(proc, CFG(proc))
+    assert traces[0].labels == ["entry", "hot", "join"]
+
+    proc2 = build_predicted_taken()
+    traces2 = select_traces(proc2, CFG(proc2))
+    assert traces2[0].labels == ["entry", "cold", "join"]
+
+
+def build_predicted_taken():
+    b = ProcBuilder("p2")
+    b.label("entry")
+    b.beq(T0, ZERO, "cold")
+    b.label("hot")
+    b.li(T1, 1)
+    b.j("join")
+    b.label("cold")
+    b.li(T1, 2)
+    b.label("join")
+    b.halt()
+    proc = b.build()
+    proc.block("entry").terminator.predict_taken = True
+    return proc
+
+
+def test_trace_stops_at_call():
+    b = ProcBuilder("p")
+    b.label("entry")
+    b.jal("callee")
+    b.label("after")
+    b.halt()
+    proc = b.build()
+    traces = select_traces(proc, CFG(proc))
+    assert traces[0].labels == ["entry"]  # the call ends lookahead
+    assert ["after"] in [t.labels for t in traces]
+
+
+def test_trace_stops_at_already_selected_block():
+    proc = build_loop_proc()
+    proc.block("loop").terminator.predict_taken = True
+    traces = select_traces(proc, CFG(proc))
+    # 'loop' is taken by the region trace; the entry trace must stop before it
+    entry_trace = next(t for t in traces if "entry" in t.labels)
+    assert entry_trace.labels == ["entry"]
+
+
+def test_trace_does_not_leave_region():
+    proc = build_loop_proc()
+    proc.block("loop").terminator.predict_taken = False  # predict exit!
+    traces = select_traces(proc, CFG(proc))
+    loop_trace = next(t for t in traces if "loop" in t.labels)
+    # even predicting the exit, the trace cannot leave the loop region
+    assert loop_trace.labels == ["loop"]

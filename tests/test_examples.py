@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion and prints what its
+docstring promises.  ``paper_experiments.py`` runs on a single workload to
+stay fast."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "scalar (R2000)" in out
+    assert "MinBoost3" in out
+    assert ".B" in out  # a boosted schedule was printed
+
+
+def test_shadow_file_options():
+    out = run_example("shadow_file_options.py")
+    assert "Figure 6b" in out
+    assert "hardware refuses" in out
+    assert "+33%" in out and "+50%" in out
+
+
+def test_exception_recovery():
+    out = run_example("exception_recovery.py")
+    assert "[mispredicted path]" in out and "trap=None" in out
+    assert "recoveries=1" in out
+    assert "precise fault" in out
+
+
+def test_text_search():
+    out = run_example("text_search.py")
+    assert "matches" in out
+    assert "dynamic (RS + ROB + BTB)" in out
+
+
+@pytest.mark.slow
+def test_paper_experiments_single_workload():
+    out = run_example("paper_experiments.py", "eqntott", timeout=500)
+    assert "Table 1" in out and "Figure 9" in out
+    assert "eqntott" in out

@@ -1,0 +1,275 @@
+"""Property-based tests.
+
+The central invariant of the reproduction: **every machine model executes
+every program to the same observable output** — the functional reference,
+the scalar pipeline, the 2-issue superscalar under every boosting model, and
+the dynamic scheduler.  Hypothesis generates random (guaranteed-terminating,
+trap-free) Minic programs and random hardware op sequences to drive that
+invariant far beyond the hand-written cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.harness.pipeline import (
+    CompileConfig, SCALAR_CONFIG, compile_minic, make_input_image,
+)
+from repro.hw.dynamic import run_dynamic
+from repro.hw.shadow import MultiLevelShadowFile, SingleShadowFile
+from repro.hw.storebuf import ShadowStoreBuffer
+from repro.hw.memory import Memory
+from repro.sched.boostmodel import BOOST1, BOOST7, MINBOOST3, SQUASHING
+from repro.sched.machine import SUPERSCALAR
+
+# --------------------------------------------------------------- program gen
+
+_VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def expressions(draw, depth: int = 0):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(-100, 100)))
+        if choice == 1:
+            return draw(st.sampled_from(_VARS))
+        return f"xs[{draw(st.integers(0, 15))}]"
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    lhs = draw(expressions(depth + 1))
+    rhs = draw(expressions(depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+@st.composite
+def conditions(draw):
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    lhs = draw(expressions(2))
+    rhs = draw(expressions(2))
+    return f"({lhs}) {op} ({rhs})"
+
+
+@st.composite
+def statements(draw, names: list, depth: int = 0):
+    kind = draw(st.integers(0, 4 if depth < 2 else 2))
+    if kind <= 1:
+        var = draw(st.sampled_from(_VARS))
+        return [f"{var} = {draw(expressions())};"]
+    if kind == 2:
+        return [f"xs[{draw(st.integers(0, 15))}] = {draw(expressions())};"]
+    if kind == 3:
+        cond = draw(conditions())
+        then = draw(st.lists(statements(names, depth + 1),
+                             min_size=1, max_size=2))
+        orelse = draw(st.lists(statements(names, depth + 1),
+                               min_size=0, max_size=2))
+        body = [line for group in then for line in group]
+        lines = [f"if ({cond}) {{", *body, "}"]
+        if orelse:
+            else_body = [line for group in orelse for line in group]
+            lines = [f"if ({cond}) {{", *body, "} else {",
+                     *else_body, "}"]
+        return lines
+    # bounded loop; Minic locals are function-scoped, so loop variables
+    # must be globally unique within one generated program
+    loop_var = f"i{len(names)}"
+    names.append(loop_var)
+    body_groups = draw(st.lists(statements(names, depth + 1),
+                                min_size=1, max_size=2))
+    body = [line for group in body_groups for line in group]
+    bound = draw(st.integers(1, 6))
+    return [f"for (var {loop_var} = 0; {loop_var} < {bound}; "
+            f"{loop_var} = {loop_var} + 1) {{", *body, "}"]
+
+
+@st.composite
+def programs(draw):
+    names: list = []
+    groups = draw(st.lists(statements(names), min_size=2, max_size=5))
+    body = [line for group in groups for line in group]
+    prints = "\n    ".join(f"print({v});" for v in _VARS)
+    source = (
+        "global xs[16];\n"
+        "func main() {\n"
+        + "\n".join(f"    var {v} = 0;" for v in _VARS) + "\n    "
+        + "\n    ".join(body) + "\n    "
+        + prints + "\n"
+        + "    var q = 0;\n"
+        + "    while (q < 16) { print(xs[q]); q = q + 1; }\n"
+        + "}\n"
+    )
+    xs = draw(st.lists(st.integers(-1000, 1000), min_size=16, max_size=16))
+    return source, {"xs": xs}
+
+
+_ORACLE_SETTINGS = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(programs())
+@_ORACLE_SETTINGS
+def test_every_machine_model_agrees(case):
+    source, inputs = case
+    base = compile_minic(source, SCALAR_CONFIG, inputs)
+    ref = base.run_functional(inputs).output
+    assert base.run(inputs).output == ref
+    for model in (SQUASHING, BOOST1, MINBOOST3, BOOST7):
+        cfg = CompileConfig(machine=SUPERSCALAR, model=model)
+        cp = compile_minic(source, cfg, inputs)
+        assert cp.run(inputs).output == ref, model.name
+    image = make_input_image(base.program, inputs)
+    assert run_dynamic(base.program, input_image=image).output == ref
+
+
+@given(programs())
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_infinite_registers_agree(case):
+    source, inputs = case
+    base = compile_minic(source, SCALAR_CONFIG, inputs)
+    ref = base.run_functional(inputs).output
+    cfg = CompileConfig(machine=SUPERSCALAR, model=MINBOOST3,
+                        regalloc="infinite")
+    assert compile_minic(source, cfg, inputs).run(inputs).output == ref
+
+
+# --------------------------------------------------------- hardware property
+
+_shadow_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 3), st.integers(1, 3),
+                  st.integers(0, 255)),
+        st.tuples(st.just("commit")),
+        st.tuples(st.just("squash")),
+    ),
+    max_size=40,
+)
+
+
+class _RefShadow:
+    """Reference model: explicit per-level dicts."""
+
+    def __init__(self, levels: int) -> None:
+        self.levels = [dict() for _ in range(levels + 1)]
+
+    def write(self, reg, level, value):
+        self.levels[level][reg] = value
+
+    def read(self, reg, level):
+        for lvl in range(level, 0, -1):
+            if reg in self.levels[lvl]:
+                return self.levels[lvl][reg]
+        return None
+
+    def commit(self):
+        out = self.levels[1]
+        self.levels[1:] = self.levels[2:] + [{}]
+        return out
+
+    def squash(self):
+        for lvl in range(1, len(self.levels)):
+            self.levels[lvl] = {}
+
+
+@given(_shadow_ops)
+@settings(max_examples=200, deadline=None)
+def test_multilevel_shadow_matches_reference(ops):
+    dut = MultiLevelShadowFile(3)
+    ref = _RefShadow(3)
+    for op in ops:
+        if op[0] == "write":
+            _, reg, level, value = op
+            dut.write(reg, level, value)
+            ref.write(reg, level, value)
+        elif op[0] == "commit":
+            assert dut.commit() == ref.commit()
+        else:
+            dut.squash()
+            ref.squash()
+        for reg in range(4):
+            for level in range(0, 4):
+                assert dut.read(reg, level) == ref.read(reg, level)
+
+
+@given(_shadow_ops)
+@settings(max_examples=200, deadline=None)
+def test_single_file_is_restriction_of_multilevel(ops):
+    """Whenever the single file accepts a write sequence, it must agree with
+    the general multi-level semantics."""
+    from repro.hw.shadow import ShadowConflictError
+    dut = SingleShadowFile(3)
+    ref = _RefShadow(3)
+    for op in ops:
+        if op[0] == "write":
+            _, reg, level, value = op
+            try:
+                dut.write(reg, level, value)
+            except ShadowConflictError:
+                # hardware refused: the register must already hold a value
+                # at a different level
+                assert any(reg in ref.levels[lvl]
+                           for lvl in range(1, 4) if lvl != level)
+                continue
+            ref.write(reg, level, value)
+            # single file holds one level per register: clear other levels
+            for lvl in range(1, 4):
+                if lvl != level:
+                    ref.levels[lvl].pop(reg, None)
+        elif op[0] == "commit":
+            assert dut.commit() == ref.commit()
+        else:
+            dut.squash()
+            ref.squash()
+        for reg in range(4):
+            for level in range(0, 4):
+                assert dut.read(reg, level) == ref.read(reg, level)
+
+
+_store_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), st.integers(1, 2),
+                  st.integers(0, 15), st.integers(0, 255)),
+        st.tuples(st.just("commit")),
+        st.tuples(st.just("squash")),
+    ),
+    max_size=40,
+)
+
+
+@given(_store_ops)
+@settings(max_examples=200, deadline=None)
+def test_store_buffer_matches_reference(ops):
+    from repro.program.procedure import DATA_BASE
+    mem = Memory(1 << 16)
+    buf = ShadowStoreBuffer(2)
+    ref_levels = [dict(), dict(), dict()]
+    ref_mem = {}
+    for op in ops:
+        if op[0] == "store":
+            _, level, off, byte = op
+            addr = DATA_BASE + off
+            buf.store(level, addr, bytes([byte]))
+            ref_levels[level][addr] = byte
+        elif op[0] == "commit":
+            buf.commit(mem)
+            ref_mem.update(ref_levels[1])
+            ref_levels[1:] = ref_levels[2:] + [{}]
+        else:
+            buf.squash()
+            ref_levels[1] = {}
+            ref_levels[2] = {}
+        for off in range(16):
+            addr = DATA_BASE + off
+            mem_byte = ref_mem.get(addr, 0)
+            assert mem.load_byte(addr, signed=False) == mem_byte
+            for level in range(0, 3):
+                expect = mem_byte
+                for lvl in range(1, level + 1):
+                    if addr in ref_levels[lvl]:
+                        expect = ref_levels[lvl][addr]
+                got = buf.load(mem, addr, 1, level)[0]
+                assert got == expect
