@@ -7,6 +7,8 @@ Commands:
 * ``run FILE`` — compile and simulate, printing the program output and the
   cycle statistics;
 * ``bench [WORKLOAD ...]`` — regenerate the paper's tables and figures;
+* ``verify`` — fault-injection differential verification of the boosting
+  machinery (see ``docs/fault-injection.md``);
 * ``workloads`` — list the Table-1 workload suite;
 * ``models`` — list the boosting hardware models and their parameters.
 """
@@ -48,8 +50,25 @@ def _load_inputs(spec: Optional[str]) -> Optional[dict]:
             for k, v in raw.items()}
 
 
+def _read_source(path: str) -> str:
+    """Read a source file, closing the handle even on a decode error."""
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _source_or_exit(path: str) -> Optional[str]:
+    try:
+        return _read_source(path)
+    except OSError as err:
+        reason = err.strerror or str(err)
+        print(f"repro: cannot read {path}: {reason}", file=sys.stderr)
+        return None
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
-    source = open(args.file).read()
+    source = _source_or_exit(args.file)
+    if source is None:
+        return 2
     config = _build_config(args)
     cp = compile_minic(source, config, _load_inputs(args.train))
     print(f"# {config.describe()}")
@@ -62,7 +81,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    source = open(args.file).read()
+    source = _source_or_exit(args.file)
+    if source is None:
+        return 2
     config = _build_config(args)
     train = _load_inputs(args.train)
     inputs = _load_inputs(args.input) or train
@@ -90,15 +111,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         workloads = [w for w in workloads if w.name in args.workloads]
+    if args.sabotage and args.sabotage not in {w.name for w in workloads}:
+        print(f"unknown sabotage workload: {args.sabotage}", file=sys.stderr)
+        return 2
     t0 = time.time()
-    lab = Lab(workloads)
+    lab = Lab(workloads, sabotage=args.sabotage)
     print(render_all(lab))
     print(f"\n[{time.time() - t0:.0f}s of simulation]")
     if args.write_experiments:
         from repro.harness.report import write_experiments_md
         write_experiments_md(lab, args.write_experiments)
         print(f"wrote {args.write_experiments}")
+    if lab.errors:
+        print(f"bench: {len(lab.errors)} cell(s) failed — see the error "
+              "summary above", file=sys.stderr)
+        return 1
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import VerifyCampaign, run_selftest
+
+    def progress(msg: str) -> None:
+        print(msg, file=sys.stderr, flush=True)
+
+    exit_code = 0
+    if not args.no_selftest:
+        selftest = run_selftest()
+        print(selftest.format())
+        print()
+        if not selftest.caught:
+            return 2
+
+    if args.seed is not None:
+        seeds, seed_start = 1, args.seed
+    else:
+        seeds, seed_start = args.seeds, args.seed_start
+    try:
+        campaign = VerifyCampaign(
+            workload_names=args.workloads or None,
+            model_keys=args.models or None,
+            seeds=seeds, seed_start=seed_start, progress=progress)
+    except ValueError as err:
+        print(f"repro verify: {err}", file=sys.stderr)
+        return 2
+    summary = campaign.run()
+    print(summary.format())
+    if not summary.ok:
+        exit_code = 1
+    return exit_code
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -154,7 +215,29 @@ def make_parser() -> argparse.ArgumentParser:
                    help="subset of workloads (default: all seven)")
     p.add_argument("--write-experiments", metavar="PATH",
                    help="also write an EXPERIMENTS.md-style report")
+    p.add_argument("--sabotage", metavar="WORKLOAD",
+                   help="deliberately strangle one workload's simulations "
+                        "(demonstrates graceful degradation of the report)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential fault-injection verification of boosting")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="fault-plan seeds per (workload, model) "
+                        "(default: 20)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="run exactly one seed (reproduce a report)")
+    p.add_argument("--seed-start", type=int, default=0,
+                   help="first seed of the range (default: 0)")
+    p.add_argument("--workloads", nargs="+", metavar="NAME",
+                   help="subset of workloads (default: all seven)")
+    p.add_argument("--models", nargs="+", metavar="MODEL",
+                   help="boosting models to verify (default: squashing "
+                        "boost1 minboost3 boost7)")
+    p.add_argument("--no-selftest", action="store_true",
+                   help="skip the broken-shift-buffer checker self-test")
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("workloads", help="list the workload suite")
     p.set_defaults(fn=cmd_workloads)

@@ -28,7 +28,8 @@ from repro.harness.pipeline import (
     make_input_image,
 )
 from repro.hw.dynamic import DynamicConfig, DynamicSim
-from repro.hw.exceptions import ExecutionResult
+from repro.hw.exceptions import ExecutionResult, Trap
+from repro.verify.errors import Divergence, DivergenceError
 from repro.sched.boostmodel import (
     BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING,
 )
@@ -51,20 +52,37 @@ CONFIGS: dict[str, CompileConfig] = {
 }
 
 
-def geometric_mean(values: list[float]) -> float:
+def geometric_mean(values: list[float]) -> Optional[float]:
     if not values:
-        return 0.0
+        return None  # every contributing cell failed — render as ERR
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 class Lab:
-    """Memoising compile-and-measure service shared by all experiments."""
+    """Memoising compile-and-measure service shared by all experiments.
 
-    def __init__(self, workloads: Optional[list[Workload]] = None) -> None:
+    :meth:`measure` is strict (raises on any failure); :meth:`cell` and
+    :meth:`speedup` degrade gracefully, returning ``None`` and recording the
+    failure in :attr:`errors` so one broken (workload, configuration) pair
+    costs its own table cells, not the whole benchmark report.
+
+    ``sabotage`` names a workload whose non-scalar simulations are
+    deliberately strangled (a 1000-cycle watchdog) — the mechanism behind
+    ``bench --sabotage``, which demonstrates and tests that degradation.
+    """
+
+    #: cycle budget for sabotaged runs — far below any real workload
+    SABOTAGE_CYCLES = 1000
+
+    def __init__(self, workloads: Optional[list[Workload]] = None,
+                 sabotage: Optional[str] = None) -> None:
         self.workloads = workloads if workloads is not None else all_workloads()
+        self.sabotage = sabotage
         self._compiled: dict[tuple[str, str], CompiledProgram] = {}
         self._measured: dict[tuple[str, str], ExecutionResult] = {}
         self._reference: dict[str, list[int]] = {}
+        #: (workload, config) -> error text for every degraded cell
+        self.errors: dict[tuple[str, str], str] = {}
 
     def workload(self, name: str) -> Workload:
         for w in self.workloads:
@@ -94,27 +112,48 @@ class Lab:
         if key in self._measured:
             return self._measured[key]
         w = self.workload(wname)
+        sabotaged = (self.sabotage == wname and config_key != "scalar")
         if config_key in ("dynamic", "dynamic_rename"):
             base = self.compiled(wname, "scalar")
             image = make_input_image(base.program, w.eval)
             config = DynamicConfig(rename=(config_key == "dynamic_rename"))
+            kwargs = {"max_cycles": self.SABOTAGE_CYCLES} if sabotaged else {}
             result = DynamicSim(base.program, config=config,
-                                input_image=image).run()
+                                input_image=image, **kwargs).run()
         else:
             cp = self.compiled(wname, config_key)
-            result = cp.run(w.eval)
+            kwargs = {"max_cycles": self.SABOTAGE_CYCLES} if sabotaged else {}
+            result = cp.run(w.eval, **kwargs)
         expected = self.reference_output(wname)
         if result.output != expected:
-            raise AssertionError(
-                f"{wname}/{config_key}: output mismatch "
-                f"(got {result.output[:4]}..., want {expected[:4]}...)")
+            raise DivergenceError(
+                divergences=[Divergence(
+                    "output", f"{expected[:4]}...", f"{result.output[:4]}...",
+                    f"lengths {len(expected)} vs {len(result.output)}")],
+                workload=wname, config=config_key,
+                plan_text="(benchmark run, no faults injected)")
         self._measured[key] = result
         return result
 
-    def speedup(self, wname: str, config_key: str) -> float:
-        """Cycle-count speedup of a configuration over the scalar machine."""
-        scalar = self.measure(wname, "scalar")
-        other = self.measure(wname, config_key)
+    def cell(self, wname: str, config_key: str) -> Optional[ExecutionResult]:
+        """:meth:`measure`, degraded: a failed cell returns ``None`` and is
+        recorded in :attr:`errors` instead of aborting the experiment."""
+        key = (wname, config_key)
+        if key in self.errors:
+            return None
+        try:
+            return self.measure(wname, config_key)
+        except (Trap, RuntimeError) as err:
+            self.errors[key] = f"{type(err).__name__}: {err}"
+            return None
+
+    def speedup(self, wname: str, config_key: str) -> Optional[float]:
+        """Cycle-count speedup of a configuration over the scalar machine;
+        ``None`` if either measurement failed."""
+        scalar = self.cell(wname, "scalar")
+        other = self.cell(wname, config_key)
+        if scalar is None or other is None:
+            return None
         return scalar.cycle_count / other.cycle_count
 
 
@@ -122,15 +161,18 @@ class Lab:
 @dataclass
 class Table1Row:
     name: str
-    cycles: int
-    ipc: float
-    prediction_accuracy: float
+    cycles: Optional[int]
+    ipc: Optional[float]
+    prediction_accuracy: Optional[float]
 
 
 def table1(lab: Lab) -> list[Table1Row]:
     rows = []
     for w in lab.workloads:
-        res = lab.measure(w.name, "scalar")
+        res = lab.cell(w.name, "scalar")
+        if res is None:
+            rows.append(Table1Row(w.name, None, None, None))
+            continue
         rows.append(Table1Row(
             name=w.name,
             cycles=res.cycle_count,
@@ -144,9 +186,9 @@ def table1(lab: Lab) -> list[Table1Row]:
 @dataclass
 class Figure8Row:
     name: str
-    bb_speedup: float
-    global_speedup: float
-    global_inf_speedup: float
+    bb_speedup: Optional[float]
+    global_speedup: Optional[float]
+    global_inf_speedup: Optional[float]
 
 
 def figure8(lab: Lab) -> tuple[list[Figure8Row], dict[str, float]]:
@@ -159,9 +201,12 @@ def figure8(lab: Lab) -> tuple[list[Figure8Row], dict[str, float]]:
             global_inf_speedup=lab.speedup(w.name, "global_inf"),
         ))
     means = {
-        "bb": geometric_mean([r.bb_speedup for r in rows]),
-        "global": geometric_mean([r.global_speedup for r in rows]),
-        "global_inf": geometric_mean([r.global_inf_speedup for r in rows]),
+        "bb": geometric_mean([r.bb_speedup for r in rows
+                              if r.bb_speedup is not None]),
+        "global": geometric_mean([r.global_speedup for r in rows
+                                  if r.global_speedup is not None]),
+        "global_inf": geometric_mean([r.global_inf_speedup for r in rows
+                                      if r.global_inf_speedup is not None]),
     }
     return rows, means
 
@@ -173,23 +218,28 @@ TABLE2_MODELS = ("squashing", "boost1", "minboost3", "boost7")
 @dataclass
 class Table2Row:
     name: str
-    improvements: dict[str, float]  # model key -> % improvement over global
+    #: model key -> % improvement over global; None where a run failed
+    improvements: dict[str, Optional[float]]
 
 
 def table2(lab: Lab) -> tuple[list[Table2Row], dict[str, float]]:
     rows = []
     for w in lab.workloads:
-        base = lab.measure(w.name, "global").cycle_count
-        improvements = {}
+        base_res = lab.cell(w.name, "global")
+        improvements: dict[str, Optional[float]] = {}
         for key in TABLE2_MODELS:
-            cycles = lab.measure(w.name, key).cycle_count
-            improvements[key] = (base / cycles - 1.0) * 100.0
+            res = lab.cell(w.name, key)
+            if base_res is None or res is None:
+                improvements[key] = None
+            else:
+                improvements[key] = (base_res.cycle_count
+                                     / res.cycle_count - 1.0) * 100.0
         rows.append(Table2Row(name=w.name, improvements=improvements))
-    means = {
-        key: (geometric_mean(
-            [1.0 + r.improvements[key] / 100.0 for r in rows]) - 1.0) * 100.0
-        for key in TABLE2_MODELS
-    }
+    means = {}
+    for key in TABLE2_MODELS:
+        gm = geometric_mean([1.0 + r.improvements[key] / 100.0 for r in rows
+                             if r.improvements[key] is not None])
+        means[key] = None if gm is None else (gm - 1.0) * 100.0
     return rows, means
 
 
@@ -197,10 +247,10 @@ def table2(lab: Lab) -> tuple[list[Table2Row], dict[str, float]]:
 @dataclass
 class Figure9Row:
     name: str
-    minboost3_speedup: float
-    minboost3_inf_speedup: float
-    dynamic_speedup: float
-    dynamic_rename_speedup: float
+    minboost3_speedup: Optional[float]
+    minboost3_inf_speedup: Optional[float]
+    dynamic_speedup: Optional[float]
+    dynamic_rename_speedup: Optional[float]
 
 
 def figure9(lab: Lab) -> tuple[list[Figure9Row], dict[str, float]]:
@@ -214,11 +264,17 @@ def figure9(lab: Lab) -> tuple[list[Figure9Row], dict[str, float]]:
             dynamic_rename_speedup=lab.speedup(w.name, "dynamic_rename"),
         ))
     means = {
-        "minboost3": geometric_mean([r.minboost3_speedup for r in rows]),
+        "minboost3": geometric_mean(
+            [r.minboost3_speedup for r in rows
+             if r.minboost3_speedup is not None]),
         "minboost3_inf": geometric_mean(
-            [r.minboost3_inf_speedup for r in rows]),
-        "dynamic": geometric_mean([r.dynamic_speedup for r in rows]),
+            [r.minboost3_inf_speedup for r in rows
+             if r.minboost3_inf_speedup is not None]),
+        "dynamic": geometric_mean(
+            [r.dynamic_speedup for r in rows
+             if r.dynamic_speedup is not None]),
         "dynamic_rename": geometric_mean(
-            [r.dynamic_rename_speedup for r in rows]),
+            [r.dynamic_rename_speedup for r in rows
+             if r.dynamic_rename_speedup is not None]),
     }
     return rows, means

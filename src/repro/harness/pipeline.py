@@ -20,7 +20,7 @@ from repro.opt import (
     allocate_program, clean_program, dce_program, fold_program,
     optimize_program, propagate_program, unroll_program,
 )
-from repro.program.procedure import Program
+from repro.program.procedure import Program, clone_program
 from repro.sched.bbsched import schedule_program_bb
 from repro.sched.boostmodel import BoostModel, NO_BOOST
 from repro.sched.globalsched import GlobalScheduleStats, schedule_program_global
@@ -54,10 +54,22 @@ SCALAR_CONFIG = CompileConfig(machine=SCALAR, model=NO_BOOST, scheduler="bb")
 
 def make_input_image(program: Program, inputs: Optional[InputSet]
                      ) -> list[tuple[int, bytes]]:
-    """Turn a {global name: contents} mapping into a memory patch."""
+    """Turn a {global name: contents} mapping into a memory patch.
+
+    Every name must be a global the program declares, and no two patches may
+    overlap — both are caller mistakes that would otherwise surface as a bare
+    ``KeyError`` or silent data corruption deep inside the simulator.
+    """
     if not inputs:
         return []
+    unknown = sorted(name for name in inputs if name not in program.data)
+    if unknown:
+        known = ", ".join(sorted(program.data.symbols())) or "(none)"
+        raise ValueError(
+            f"unknown input name(s) {', '.join(repr(n) for n in unknown)}; "
+            f"program globals are: {known}")
     image: list[tuple[int, bytes]] = []
+    spans: list[tuple[int, int, str]] = []
     for name, contents in inputs.items():
         addr = program.data.address_of(name)
         size = program.data.size_of(name)
@@ -71,6 +83,13 @@ def make_input_image(program: Program, inputs: Optional[InputSet]
         if len(raw) > size:
             raise ValueError(
                 f"input for {name!r} is {len(raw)} bytes; buffer is {size}")
+        for other_addr, other_end, other in spans:
+            if addr < other_end and other_addr < addr + len(raw):
+                raise ValueError(
+                    f"input {name!r} overlaps input {other!r} "
+                    f"({addr:#x}..{addr + len(raw):#x} vs "
+                    f"{other_addr:#x}..{other_end:#x})")
+        spans.append((addr, addr + len(raw), name))
         image.append((addr, raw))
     return image
 
@@ -96,6 +115,10 @@ class CompiledProgram:
     sched: ScheduledProgram
     stats: Optional[GlobalScheduleStats] = None
     source_instr_count: int = 0
+    #: pre-schedule snapshot of the IR — the functional oracle.  Scheduling
+    #: mutates ``program`` in place in ways that are only correct under the
+    #: schedule's interpretation, so the reference semantics live here.
+    reference: Optional[Program] = None
 
     def run(self, inputs: Optional[InputSet] = None,
             **kwargs) -> ExecutionResult:
@@ -105,17 +128,24 @@ class CompiledProgram:
 
     def run_functional(self, inputs: Optional[InputSet] = None,
                        **kwargs) -> ExecutionResult:
-        image = make_input_image(self.program, inputs)
-        return FunctionalSim(self.program, input_image=image, **kwargs).run()
+        oracle = self.reference if self.reference is not None else self.program
+        image = make_input_image(oracle, inputs)
+        return FunctionalSim(oracle, input_image=image, **kwargs).run()
 
 
-def compile_ir(
+def prepare_ir(
     program: Program,
     config: CompileConfig,
     train_inputs: Optional[InputSet] = None,
     max_profile_steps: int = 50_000_000,
-) -> CompiledProgram:
-    """Optimize, allocate, profile, and schedule an IR program (in place)."""
+) -> Program:
+    """Everything before scheduling, in place: optimize, allocate, clean up,
+    profile on the training input, and annotate static predictions.
+
+    The returned program is *schedulable but not yet scheduled* — snapshot it
+    with :func:`~repro.program.procedure.clone_program` to schedule the same
+    preparation several times (the verification campaign does exactly this).
+    """
     if config.optimize:
         optimize_program(program)
     if config.unroll > 1:
@@ -128,24 +158,39 @@ def compile_ir(
     fold_program(program)
     dce_program(program)
     clean_program(program)
-    source_count = program.instruction_count()
 
     image = make_input_image(program, train_inputs)
     profiler = FunctionalSim(program, profile=True, input_image=image,
                              max_steps=max_profile_steps)
     profiler.run()
     annotate_predictions(program, profiler.profile)
+    return program
 
-    stats: Optional[GlobalScheduleStats] = None
+
+def schedule_ir(program: Program, config: CompileConfig
+                ) -> tuple[ScheduledProgram, Optional[GlobalScheduleStats]]:
+    """Schedule a prepared IR program (mutates it in place)."""
     if config.scheduler == "bb":
-        sched = schedule_program_bb(program, config.machine, config.model)
-    elif config.scheduler == "global":
-        sched, stats = schedule_program_global(program, config.machine,
-                                               config.model)
-    else:
-        raise ValueError(f"unknown scheduler {config.scheduler!r}")
+        return schedule_program_bb(program, config.machine, config.model), None
+    if config.scheduler == "global":
+        return schedule_program_global(program, config.machine, config.model)
+    raise ValueError(f"unknown scheduler {config.scheduler!r}")
+
+
+def compile_ir(
+    program: Program,
+    config: CompileConfig,
+    train_inputs: Optional[InputSet] = None,
+    max_profile_steps: int = 50_000_000,
+) -> CompiledProgram:
+    """Optimize, allocate, profile, and schedule an IR program (in place)."""
+    prepare_ir(program, config, train_inputs, max_profile_steps)
+    source_count = program.instruction_count()
+    reference = clone_program(program)
+    sched, stats = schedule_ir(program, config)
     return CompiledProgram(config=config, program=program, sched=sched,
-                           stats=stats, source_instr_count=source_count)
+                           stats=stats, source_instr_count=source_count,
+                           reference=reference)
 
 
 def compile_minic(

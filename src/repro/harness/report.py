@@ -26,6 +26,12 @@ PAPER_TABLE2_GM = (9.9, 17.0, 19.3, 20.5)
 PAPER_FIGURE8_GM = {"bb": 1.14, "global": 1.24}
 
 
+def _f(value, spec: str, width: int = 0) -> str:
+    """Format a measurement that may have degraded to ``None`` (-> ERR)."""
+    text = "ERR" if value is None else spec.format(value)
+    return f"{text:>{width}s}" if width else text
+
+
 def render_table1(lab: Lab) -> str:
     lines = [
         "Table 1: benchmark programs and their simulation information",
@@ -34,15 +40,19 @@ def render_table1(lab: Lab) -> str:
     ]
     for row in table1(lab):
         p_ipc, p_acc = PAPER_TABLE1[row.name]
+        acc = (None if row.prediction_accuracy is None
+               else row.prediction_accuracy * 100)
         lines.append(
-            f"{row.name:10s} {row.cycles:>13,} {row.ipc:>6.2f} "
-            f"{row.prediction_accuracy * 100:>8.1f}% "
+            f"{row.name:10s} {_f(row.cycles, '{:,}', 13)} "
+            f"{_f(row.ipc, '{:.2f}', 6)} {_f(acc, '{:.1f}%', 9)} "
             f"{p_ipc:>10.2f} {p_acc:>9.1f}%")
     return "\n".join(lines)
 
 
-def _speedup_bar(value: float, full: float = 2.5, width: int = 30) -> str:
+def _speedup_bar(value, full: float = 2.5, width: int = 30) -> str:
     """A one-line bar for a speedup value (the paper's figures are bars)."""
+    if value is None:
+        return "E" * 3 + "·" * (width - 3)
     filled = max(0, min(width, round((value - 1.0) / (full - 1.0) * width)))
     return "█" * filled + "·" * (width - filled)
 
@@ -54,21 +64,22 @@ def render_figure8(lab: Lab) -> str:
         f"{'':10s} {'bb sched':>9s} {'global':>8s} {'global+∞regs':>13s}",
     ]
     for row in rows:
-        lines.append(f"{row.name:10s} {row.bb_speedup:>9.2f} "
-                     f"{row.global_speedup:>8.2f} "
-                     f"{row.global_inf_speedup:>13.2f}")
+        lines.append(f"{row.name:10s} {_f(row.bb_speedup, '{:.2f}', 9)} "
+                     f"{_f(row.global_speedup, '{:.2f}', 8)} "
+                     f"{_f(row.global_inf_speedup, '{:.2f}', 13)}")
     lines.append(
-        f"{'G.M.':10s} {means['bb']:>9.2f} {means['global']:>8.2f} "
-        f"{means['global_inf']:>13.2f}")
+        f"{'G.M.':10s} {_f(means['bb'], '{:.2f}', 9)} "
+        f"{_f(means['global'], '{:.2f}', 8)} "
+        f"{_f(means['global_inf'], '{:.2f}', 13)}")
     lines.append(
         f"{'paper G.M.':10s} {PAPER_FIGURE8_GM['bb']:>9.2f} "
         f"{PAPER_FIGURE8_GM['global']:>8.2f} {'—':>13s}")
     lines.append("")
     for row in rows:
         lines.append(f"  {row.name:10s} bb     {_speedup_bar(row.bb_speedup)}"
-                     f" {row.bb_speedup:.2f}x")
+                     f" {_f(row.bb_speedup, '{:.2f}x')}")
         lines.append(f"  {'':10s} global {_speedup_bar(row.global_speedup)}"
-                     f" {row.global_speedup:.2f}x")
+                     f" {_f(row.global_speedup, '{:.2f}x')}")
     return "\n".join(lines)
 
 
@@ -81,11 +92,12 @@ def render_table2(lab: Lab) -> str:
         f"{'':10s} {header}",
     ]
     for row in rows:
-        cells = " ".join(f"{row.improvements[k]:>9.1f}%" for k in TABLE2_MODELS)
+        cells = " ".join(_f(row.improvements[k], "{:.1f}%", 10)
+                         for k in TABLE2_MODELS)
         paper = PAPER_TABLE2[row.name]
         lines.append(f"{row.name:10s} {cells}   (paper: "
                      + "/".join(f"{v:.1f}" for v in paper) + ")")
-    cells = " ".join(f"{means[k]:>9.1f}%" for k in TABLE2_MODELS)
+    cells = " ".join(_f(means[k], "{:.1f}%", 10) for k in TABLE2_MODELS)
     lines.append(f"{'G.M.':10s} {cells}   (paper: "
                  + "/".join(f"{v:.1f}" for v in PAPER_TABLE2_GM) + ")")
     return "\n".join(lines)
@@ -100,33 +112,49 @@ def render_figure9(lab: Lab) -> str:
     ]
     for row in rows:
         lines.append(
-            f"{row.name:10s} {row.minboost3_speedup:>10.2f} "
-            f"{row.minboost3_inf_speedup:>10.2f} "
-            f"{row.dynamic_speedup:>9.2f} "
-            f"{row.dynamic_rename_speedup:>11.2f}")
+            f"{row.name:10s} {_f(row.minboost3_speedup, '{:.2f}', 10)} "
+            f"{_f(row.minboost3_inf_speedup, '{:.2f}', 10)} "
+            f"{_f(row.dynamic_speedup, '{:.2f}', 9)} "
+            f"{_f(row.dynamic_rename_speedup, '{:.2f}', 11)}")
     lines.append(
-        f"{'G.M.':10s} {means['minboost3']:>10.2f} "
-        f"{means['minboost3_inf']:>10.2f} {means['dynamic']:>9.2f} "
-        f"{means['dynamic_rename']:>11.2f}")
+        f"{'G.M.':10s} {_f(means['minboost3'], '{:.2f}', 10)} "
+        f"{_f(means['minboost3_inf'], '{:.2f}', 10)} "
+        f"{_f(means['dynamic'], '{:.2f}', 9)} "
+        f"{_f(means['dynamic_rename'], '{:.2f}', 11)}")
     lines.append(f"{'paper':10s} {'≈1.5x':>10s} {'':>10s} {'≈1.5x':>9s}")
     lines.append("")
     for row in rows:
         lines.append(f"  {row.name:10s} MinBoost3 "
                      f"{_speedup_bar(row.minboost3_speedup)} "
-                     f"{row.minboost3_speedup:.2f}x")
+                     f"{_f(row.minboost3_speedup, '{:.2f}x')}")
         lines.append(f"  {'':10s} dynamic   "
                      f"{_speedup_bar(row.dynamic_speedup)} "
-                     f"{row.dynamic_speedup:.2f}x")
+                     f"{_f(row.dynamic_speedup, '{:.2f}x')}")
+    return "\n".join(lines)
+
+
+def render_errors(lab: Lab) -> str:
+    """Error summary for every degraded cell (empty string when clean)."""
+    if not lab.errors:
+        return ""
+    lines = [f"Errors: {len(lab.errors)} (workload, configuration) cell(s) "
+             "failed; geometric means cover the successful rows only"]
+    for (wname, config_key), text in sorted(lab.errors.items()):
+        lines.append(f"  {wname}/{config_key}: {text}")
     return "\n".join(lines)
 
 
 def render_all(lab: Lab) -> str:
-    return "\n\n".join([
+    parts = [
         render_table1(lab),
         render_figure8(lab),
         render_table2(lab),
         render_figure9(lab),
-    ])
+    ]
+    errors = render_errors(lab)
+    if errors:
+        parts.append(errors)
+    return "\n\n".join(parts)
 
 
 def _md_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -163,8 +191,10 @@ def write_experiments_md(lab: Lab, path: str) -> str:
     rows = []
     for r in t1:
         p_ipc, p_acc = PAPER_TABLE1[r.name]
-        rows.append([r.name, f"{r.cycles:,}", f"{r.ipc:.2f}", f"{p_ipc:.2f}",
-                     f"{100 * r.prediction_accuracy:.1f}%", f"{p_acc:.1f}%"])
+        acc = (None if r.prediction_accuracy is None
+               else 100 * r.prediction_accuracy)
+        rows.append([r.name, _f(r.cycles, "{:,}"), _f(r.ipc, "{:.2f}"),
+                     f"{p_ipc:.2f}", _f(acc, "{:.1f}%"), f"{p_acc:.1f}%"])
     parts.append(_md_table(
         ["benchmark", "cycles (measured)", "IPC", "IPC (paper)",
          "pred. acc.", "pred. acc. (paper)"], rows))
@@ -177,11 +207,13 @@ def write_experiments_md(lab: Lab, path: str) -> str:
         "## Figure 8 — speedup without speculative-execution hardware",
         "",
     ]
-    rows = [[r.name, f"{r.bb_speedup:.2f}x", f"{r.global_speedup:.2f}x",
-             f"{r.global_inf_speedup:.2f}x"] for r in f8_rows]
-    rows.append(["**G.M.**", f"**{f8_means['bb']:.2f}x**",
-                 f"**{f8_means['global']:.2f}x**",
-                 f"**{f8_means['global_inf']:.2f}x**"])
+    rows = [[r.name, _f(r.bb_speedup, "{:.2f}x"),
+             _f(r.global_speedup, "{:.2f}x"),
+             _f(r.global_inf_speedup, "{:.2f}x")] for r in f8_rows]
+    rows.append(["**G.M.**",
+                 f"**{_f(f8_means['bb'], '{:.2f}x')}**",
+                 f"**{_f(f8_means['global'], '{:.2f}x')}**",
+                 f"**{_f(f8_means['global_inf'], '{:.2f}x')}**"])
     rows.append(["paper G.M.", "1.14x", "1.24x", "—"])
     parts.append(_md_table(
         ["benchmark", "bb sched", "global sched", "global + ∞ regs"], rows))
@@ -198,10 +230,11 @@ def write_experiments_md(lab: Lab, path: str) -> str:
     for r in t2_rows:
         paper = PAPER_TABLE2[r.name]
         rows.append([r.name]
-                    + [f"{r.improvements[k]:.1f}%" for k in TABLE2_MODELS]
+                    + [_f(r.improvements[k], "{:.1f}%")
+                       for k in TABLE2_MODELS]
                     + ["/".join(f"{v:.1f}" for v in paper)])
     rows.append(["**G.M.**"]
-                + [f"**{t2_means[k]:.1f}%**" for k in TABLE2_MODELS]
+                + [f"**{_f(t2_means[k], '{:.1f}%')}**" for k in TABLE2_MODELS]
                 + ["/".join(f"{v:.1f}" for v in PAPER_TABLE2_GM)])
     parts.append(_md_table(
         ["benchmark", "Squashing", "Boost1", "MinBoost3", "Boost7",
@@ -216,14 +249,15 @@ def write_experiments_md(lab: Lab, path: str) -> str:
         "## Figure 9 — MinBoost3 vs the dynamically-scheduled machine",
         "",
     ]
-    rows = [[r.name, f"{r.minboost3_speedup:.2f}x",
-             f"{r.minboost3_inf_speedup:.2f}x",
-             f"{r.dynamic_speedup:.2f}x",
-             f"{r.dynamic_rename_speedup:.2f}x"] for r in f9_rows]
-    rows.append(["**G.M.**", f"**{f9_means['minboost3']:.2f}x**",
-                 f"**{f9_means['minboost3_inf']:.2f}x**",
-                 f"**{f9_means['dynamic']:.2f}x**",
-                 f"**{f9_means['dynamic_rename']:.2f}x**"])
+    rows = [[r.name, _f(r.minboost3_speedup, "{:.2f}x"),
+             _f(r.minboost3_inf_speedup, "{:.2f}x"),
+             _f(r.dynamic_speedup, "{:.2f}x"),
+             _f(r.dynamic_rename_speedup, "{:.2f}x")] for r in f9_rows]
+    rows.append(["**G.M.**",
+                 f"**{_f(f9_means['minboost3'], '{:.2f}x')}**",
+                 f"**{_f(f9_means['minboost3_inf'], '{:.2f}x')}**",
+                 f"**{_f(f9_means['dynamic'], '{:.2f}x')}**",
+                 f"**{_f(f9_means['dynamic_rename'], '{:.2f}x')}**"])
     rows.append(["paper", "≈1.5x", "—", "≈1.5x", "—"])
     parts.append(_md_table(
         ["benchmark", "MinBoost3", "MinBoost3 + ∞ regs", "dynamic",
@@ -262,6 +296,9 @@ def write_experiments_md(lab: Lab, path: str) -> str:
         "the authors' trace-driven simulator.",
         "",
     ]
+    errors = render_errors(lab)
+    if errors:
+        parts += ["## Errors", "", "```", errors, "```", ""]
     text = "\n".join(parts)
     with open(path, "w") as fh:
         fh.write(text)

@@ -7,6 +7,9 @@ from repro.hw.cost import (
     section_432_comparison, select_inputs,
 )
 from repro.hw.dynamic import DynamicConfig, DynamicSim, run_dynamic
+from repro.hw.errors import (
+    CycleLimitExceeded, ScheduleError, SimulationError, WallClockExceeded,
+)
 from repro.hw.exceptions import (
     ExceptionShiftBuffer, ExecutionResult, PendingBoostException, Trap,
     TrapKind,
@@ -21,17 +24,18 @@ from repro.hw.shadow import (
     SingleShadowFile, make_shadow_file,
 )
 from repro.hw.storebuf import ShadowStoreBuffer, StoreBufferError
-from repro.hw.superscalar import SimulationError, SuperscalarSim, run_scheduled
+from repro.hw.superscalar import SuperscalarSim, run_scheduled
 
 __all__ = [
-    "BranchProfile", "BranchTargetBuffer", "DynamicConfig", "DynamicSim",
-    "EXIT_TOKEN", "ExceptionShiftBuffer", "ExecutionResult", "FuelExhausted",
-    "FunctionalSim", "MASK32", "Memory", "MultiLevelShadowFile",
-    "NullShadowFile", "PendingBoostException", "RegisterFileCost",
-    "ShadowConflictError", "ShadowStoreBuffer", "SimulationError",
-    "SingleShadowFile", "StoreBufferError", "SuperscalarSim", "Trap",
-    "TrapKind", "boosting_file", "branch_taken", "decoder_transistors",
-    "execute_alu", "make_shadow_file", "plain_file", "profile_program",
-    "run_dynamic", "run_functional", "run_scheduled", "s32",
-    "section_432_comparison", "select_inputs", "u32",
+    "BranchProfile", "BranchTargetBuffer", "CycleLimitExceeded",
+    "DynamicConfig", "DynamicSim", "EXIT_TOKEN", "ExceptionShiftBuffer",
+    "ExecutionResult", "FuelExhausted", "FunctionalSim", "MASK32", "Memory",
+    "MultiLevelShadowFile", "NullShadowFile", "PendingBoostException",
+    "RegisterFileCost", "ScheduleError", "ShadowConflictError",
+    "ShadowStoreBuffer", "SimulationError", "SingleShadowFile",
+    "StoreBufferError", "SuperscalarSim", "Trap", "TrapKind",
+    "WallClockExceeded", "boosting_file", "branch_taken",
+    "decoder_transistors", "execute_alu", "make_shadow_file", "plain_file",
+    "profile_program", "run_dynamic", "run_functional", "run_scheduled",
+    "s32", "section_432_comparison", "select_inputs", "u32",
 ]

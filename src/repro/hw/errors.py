@@ -1,0 +1,36 @@
+"""Structured simulation-failure hierarchy.
+
+Everything that can go wrong *inside* a machine model — as opposed to a
+program-level :class:`~repro.hw.exceptions.Trap` — derives from
+:class:`SimulationError`, so harness layers can isolate a failing run
+without blindly catching ``Exception``:
+
+* :class:`ScheduleError` — the schedule asked the hardware for something it
+  cannot do (e.g. a boosted store on a model without a shadow store buffer);
+* :class:`CycleLimitExceeded` / :class:`FuelExhausted` — the watchdog cycle
+  or step budget ran out, almost certainly an infinite loop;
+* :class:`WallClockExceeded` — the optional real-time watchdog fired.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class: a machine model could not complete a run."""
+
+
+class ScheduleError(SimulationError):
+    """The schedule asked the hardware for something it cannot do."""
+
+
+class CycleLimitExceeded(SimulationError):
+    """The timing simulator ran past its ``max_cycles`` watchdog."""
+
+
+class FuelExhausted(SimulationError):
+    """The functional step budget ran out — almost certainly an infinite
+    loop."""
+
+
+class WallClockExceeded(SimulationError):
+    """A simulation exceeded its wall-clock time limit."""

@@ -12,10 +12,12 @@ compiler turns into static predictions and trace probabilities.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.errors import FuelExhausted, WallClockExceeded
 from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
 from repro.hw.memory import Memory
 from repro.isa.instruction import Instruction
@@ -23,12 +25,13 @@ from repro.isa.opcodes import Opcode
 from repro.isa.registers import RA, SP, Reg
 from repro.program.procedure import Procedure, Program
 
+__all__ = [
+    "BranchProfile", "EXIT_TOKEN", "FuelExhausted", "FunctionalSim",
+    "profile_program", "run_functional",
+]
+
 EXIT_TOKEN = 0x4000_0000
 _TOKEN_STRIDE = 16
-
-
-class FuelExhausted(RuntimeError):
-    """The step budget ran out — almost certainly an infinite loop."""
 
 
 @dataclass
@@ -61,11 +64,15 @@ class FunctionalSim:
         profile: bool = False,
         trap_handler: Optional[Callable[[Trap], Optional[int]]] = None,
         input_image: Optional[list[tuple[int, bytes]]] = None,
+        fault_hook: Optional[Callable[[Instruction], Optional[Trap]]] = None,
+        wall_clock_limit: Optional[float] = None,
     ) -> None:
         self.program = program
         self.max_steps = max_steps
         self.profile = BranchProfile() if profile else None
         self.trap_handler = trap_handler
+        self.fault_hook = fault_hook
+        self.wall_clock_limit = wall_clock_limit
 
         nregs = max(program.max_register_index() + 1, 32)
         self.regs = [0] * nregs
@@ -94,7 +101,9 @@ class FunctionalSim:
 
     def _handle_trap(self, trap: Trap, instr: Instruction) -> bool:
         """Returns True if the handler resumed execution with a value."""
-        trap.instr_uid = instr.uid
+        # Architectural identity: duplicated instructions (unrolled copies,
+        # compensation code) report their origin, matching the timing sims.
+        trap.instr_uid = instr.origin or instr.uid
         if self.trap_handler is not None:
             fix = self.trap_handler(trap)
             if fix is not None:
@@ -111,8 +120,14 @@ class FunctionalSim:
         fuel = self.max_steps
         result = self.result
         profile = self.profile
+        deadline = (time.monotonic() + self.wall_clock_limit
+                    if self.wall_clock_limit is not None else None)
 
         while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise WallClockExceeded(
+                    f"exceeded {self.wall_clock_limit}s wall clock "
+                    f"({result.instr_count:,} instructions executed)")
             block = proc.blocks[block_idx]
             if profile is not None:
                 key = (proc.name, block.label)
@@ -190,6 +205,10 @@ class FunctionalSim:
             self.result.nop_count += 1
             self.result.instr_count -= 1
             return
+        if self.fault_hook is not None and op is not Opcode.PRINT:
+            injected = self.fault_hook(instr)
+            if injected is not None:
+                raise injected
         if op is Opcode.PRINT:
             self.result.output.append(s32(self._read(instr.srcs[0])))
             return

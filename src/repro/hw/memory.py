@@ -57,6 +57,10 @@ class Memory:
         self._mem[addr] = value & 0xFF
 
     # ------------------------------------------------------------------- misc
+    def snapshot(self) -> bytes:
+        """The full memory image, for state comparison between machines."""
+        return bytes(self._mem)
+
     def write_image(self, image: list[tuple[int, bytes]]) -> None:
         for addr, raw in image:
             self._mem[addr:addr + len(raw)] = raw

@@ -24,9 +24,13 @@ with the NO_BOOST model.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.errors import (
+    CycleLimitExceeded, ScheduleError, SimulationError, WallClockExceeded,
+)
 from repro.hw.exceptions import ExecutionResult, ExceptionShiftBuffer, Trap, TrapKind
 from repro.hw.functional import EXIT_TOKEN
 from repro.hw.memory import Memory
@@ -37,11 +41,13 @@ from repro.isa.opcodes import Opcode
 from repro.isa.registers import RA, SP, Reg
 from repro.sched.schedprog import ScheduledProcedure, ScheduledProgram
 
+__all__ = ["SimulationError", "SuperscalarSim", "run_scheduled"]
+
 _TOKEN_STRIDE = 16
 
-
-class SimulationError(RuntimeError):
-    """The schedule asked the hardware for something it cannot do."""
+#: called before an eligible instruction executes; returning a Trap makes
+#: the machine behave as if the instruction itself faulted (fault injection)
+FaultHook = Callable[[Instruction], Optional[Trap]]
 
 
 class SuperscalarSim:
@@ -51,6 +57,9 @@ class SuperscalarSim:
         max_cycles: int = 100_000_000,
         trap_handler: Optional[Callable[[Trap], Optional[int]]] = None,
         input_image: Optional[list[tuple[int, bytes]]] = None,
+        fault_hook: Optional[FaultHook] = None,
+        wall_clock_limit: Optional[float] = None,
+        shiftbuf: Optional[ExceptionShiftBuffer] = None,
     ) -> None:
         self.sched = sched
         self.program = sched.program
@@ -58,6 +67,8 @@ class SuperscalarSim:
         self.machine = sched.machine
         self.max_cycles = max_cycles
         self.trap_handler = trap_handler
+        self.fault_hook = fault_hook
+        self.wall_clock_limit = wall_clock_limit
 
         nregs = max(self.program.max_register_index() + 1, 32)
         self.regs = [0] * nregs
@@ -73,7 +84,10 @@ class SuperscalarSim:
         self.storebuf = (ShadowStoreBuffer(self.model.max_level)
                          if self.model.max_level > 0 and self.model.boost_stores
                          else None)
-        self.shiftbuf = ExceptionShiftBuffer(max(self.model.max_level, 1))
+        # Injectable for fault-injection self-tests (a deliberately broken
+        # buffer must be detectable by the differential checker).
+        self.shiftbuf = (shiftbuf if shiftbuf is not None
+                         else ExceptionShiftBuffer(max(self.model.max_level, 1)))
 
         self._ready: dict[int, int] = {}
         self._tokens: dict[int, tuple[ScheduledProcedure, int]] = {}
@@ -111,8 +125,14 @@ class SuperscalarSim:
 
     def _trap(self, trap: Trap, instr: Instruction) -> Optional[int]:
         """Handle a fault at issue.  For boosted instructions the fault is
-        deferred; for sequential ones it is precise."""
-        trap.instr_uid = instr.uid
+        deferred; for sequential ones it is precise.
+
+        The reported location is the *architectural* identity of the
+        instruction (``origin`` for recovery/compensation copies), so a fault
+        surfacing from compiler-generated recovery code names the same source
+        instruction the functional reference would.
+        """
+        trap.instr_uid = instr.origin or instr.uid
         if instr.boost > 0:
             self.shiftbuf.record(instr.boost, trap, branch_uid=0)
             return None
@@ -127,9 +147,15 @@ class SuperscalarSim:
     def run(self, entry: Optional[str] = None) -> ExecutionResult:
         proc = self.sched.proc(entry or self.program.entry)
         block_idx = 0
+        deadline = (time.monotonic() + self.wall_clock_limit
+                    if self.wall_clock_limit is not None else None)
         while True:
             if self.now > self.max_cycles:
-                raise SimulationError(f"exceeded {self.max_cycles} cycles")
+                raise CycleLimitExceeded(f"exceeded {self.max_cycles} cycles")
+            if deadline is not None and time.monotonic() > deadline:
+                raise WallClockExceeded(
+                    f"exceeded {self.wall_clock_limit}s wall clock "
+                    f"({self.now:,} cycles simulated)")
             block = proc.blocks[block_idx]
             self._ctl = None
             self._cur = (proc, block_idx)
@@ -167,6 +193,14 @@ class SuperscalarSim:
         result.instr_count += 1
         if instr.boost > 0:
             self.boosted_executed += 1
+        if (self.fault_hook is not None and op is not Opcode.PRINT
+                and not instr.is_terminator):
+            injected = self.fault_hook(instr)
+            if injected is not None:
+                fix = self._trap(injected, instr)
+                if fix is not None:
+                    self._write(instr, fix)
+                return
         if op is Opcode.PRINT:
             result.output.append(s32(vals[0]))
             return
@@ -219,7 +253,7 @@ class SuperscalarSim:
         data = (value & 0xFFFFFFFF).to_bytes(4, "little")[:size]
         if instr.boost > 0:
             if self.storebuf is None:
-                raise SimulationError(
+                raise ScheduleError(
                     f"{self.model.name}: boosted store but no shadow store "
                     f"buffer ({instr})")
             self.storebuf.store(instr.boost, addr, data)
@@ -250,7 +284,7 @@ class SuperscalarSim:
         elif op is Opcode.HALT:
             self._ctl = ("halt",)
         else:
-            raise SimulationError(f"unhandled terminator {instr}")
+            raise ScheduleError(f"unhandled terminator {instr}")
 
     # -------------------------------------------------------------- block end
     def _block_end(self, proc: ScheduledProcedure, block_idx: int,
@@ -308,7 +342,7 @@ class SuperscalarSim:
         resume at (the predicted target of the committing branch)."""
         recov = proc.recovery.get(branch_uid)
         if recov is None:
-            raise SimulationError(
+            raise ScheduleError(
                 f"boosted exception committed at branch {branch_uid} but the "
                 "compiler generated no recovery code")
         self.recovery_invocations += 1

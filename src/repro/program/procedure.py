@@ -209,3 +209,35 @@ class Program:
 
     def __str__(self) -> str:
         return "\n\n".join(str(p) for p in self.procedures.values())
+
+
+def clone_program(program: Program) -> Program:
+    """A structural deep copy of the IR that *preserves instruction uids*.
+
+    Scheduling mutates the IR in place (boost labels, instruction motion,
+    compensation code), so anything that needs the pre-schedule program — the
+    functional oracle of the differential checker, a seed for an alternative
+    schedule — must snapshot it first.  ``copy.deepcopy`` cannot be used
+    (:class:`~repro.isa.registers.Reg` instances are interned) and
+    ``Instruction.copy`` deliberately assigns fresh uids; this clone keeps
+    uids and origins intact so fault-injection plans keyed on architectural
+    identity apply to the clone and the original interchangeably.  The data
+    segment is shared — nothing downstream mutates it.
+    """
+    from dataclasses import replace
+
+    clone = Program(data=program.data, entry=program.entry,
+                    mem_size=program.mem_size)
+    for proc in program.procedures.values():
+        copy = Procedure(proc.name)
+        for block in proc.blocks:
+            copy.add_block(BasicBlock(
+                label=block.label,
+                body=[replace(instr) for instr in block.body],
+                terminator=(replace(block.terminator)
+                            if block.terminator is not None else None),
+                exec_count=block.exec_count,
+                taken_prob=block.taken_prob,
+            ))
+        clone.add(copy)
+    return clone

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.analysis.liveness import instr_defs, instr_uses
 from repro.analysis.regions import RegionTree
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
@@ -203,6 +204,16 @@ class _TraceScheduler:
             if any(succ == term_idx for succ, _, _
                    in self.ddg.succs_of(v_idx)):
                 continue
+            # The victim slides one cycle down, so every already-placed
+            # dependence successor must still issue at or after its new
+            # position.  A WAR successor co-issued in row ``k`` (legal:
+            # reads precede writes within a cycle) would otherwise end up
+            # writing a register one cycle *before* the victim reads it.
+            new_pos = self.abs_placed[v_idx] + 1
+            if any(self.abs_placed.get(s) is not None
+                   and self.abs_placed[s] < new_pos + lat
+                   for s, lat, _ in self.ddg.succs_of(v_idx)):
+                continue
             rows[k + 1][slot] = victim
             rows[k][slot] = None
             self.abs_placed[v_idx] += 1
@@ -267,6 +278,8 @@ class _TraceScheduler:
                 continue
             if plan.boost == 0 and not self._sequential_write_fits(instr, pos):
                 continue
+            if plan.boost == 0 and not self._writeback_fits(instr, pos):
+                continue
             best, best_idx, best_plan = key, idx, plan
         if best_idx is None:
             return None
@@ -290,6 +303,21 @@ class _TraceScheduler:
                     return False
         return True
 
+    def _writeback_fits(self, instr: Instruction, pos: int) -> bool:
+        """A sequential cross-block motion is written back into the placement
+        block's *body*, i.e. textually before its terminator.  If that
+        terminator *reads* a register the moved instruction writes, the
+        schedule is fine (the branch co-issues with the write and reads the
+        old value, like a delay slot) but the IR cannot express that order:
+        liveness would see the register killed before the branch's read and
+        report it dead upstream, licensing later illegal speculation.  The
+        duplication path already refuses this shape (``_plan_dup``); refuse
+        it here too."""
+        term = self.proc.block(self.trace.labels[pos]).terminator
+        if term is None:
+            return True
+        return not (set(instr_defs(instr)) & set(instr_uses(term)))
+
     def _shadow_fits(self, instr: Instruction, place_pos: int,
                      home_pos: int) -> bool:
         """Single shadow register file: one outstanding level per register
@@ -308,6 +336,21 @@ class _TraceScheduler:
     def _apply_plan(self, idx: int, pos: int, plan) -> None:
         instr = self.ddg.nodes[idx].instr
         labels = self.trace.labels
+        if plan.boost == 0 and self.homes[idx] != pos:
+            # A sequential (non-boosted) motion architecturally executes at
+            # its placement block, on every path through it.  Write it back
+            # into the IR so liveness stays truthful for later motions: the
+            # classic failure is hoisting a kill out of its home block and
+            # then letting a later trace speculate a write above a branch
+            # because the destination still *looks* dead on that path.
+            # Boosted motions stay home — their write commits at the branch,
+            # and off-trace paths never see it, which is exactly what the
+            # home placement models.
+            home_block = self.proc.block(labels[self.homes[idx]])
+            home_block.body[:] = [x for x in home_block.body if x is not instr]
+            self.proc.block(labels[pos]).body.append(instr)
+            self.engine.invalidate_liveness()
+            self.engine.invalidate_between()
         if plan.boost > 0:
             instr.boost = plan.boost
             self.placed_boost[idx] = plan.boost
@@ -364,12 +407,13 @@ def schedule_procedure_global(
     scheduled_labels: set[str] = set()
     pending: dict[int, list[tuple[Instruction, int]]] = {}
     resume_label: dict[int, str] = {}
+    comp_defs: dict[str, set] = {}
     by_label: dict[str, ScheduledBlock] = {}
 
     for trace in traces:
         stats.traces += 1
         engine = MotionEngine(proc, cfg, trace, model, scheduled_labels,
-                              resume_label)
+                              resume_label, comp_defs)
         ts = _TraceScheduler(proc, cfg, trace, machine, model, engine,
                              pending, resume_label, stats)
         for sblock in ts.run():

@@ -73,13 +73,22 @@ class MotionEngine:
 
     def __init__(self, proc: Procedure, cfg: CFG, trace: Trace,
                  model: BoostModel, scheduled_labels: set[str],
-                 resume_label: Optional[dict[int, str]] = None) -> None:
+                 resume_label: Optional[dict[int, str]] = None,
+                 comp_defs: Optional[dict[str, set]] = None) -> None:
         self.proc = proc
         self.cfg = cfg
         self.trace = trace
         self.model = model
         self.scheduled_labels = scheduled_labels
         self.resume_label = resume_label if resume_label is not None else {}
+        #: registers killed by plain compensation copies, per block label —
+        #: shared across the procedure's traces.  A plain copy appended to a
+        #: predecessor stands in for its original on that edge (the original
+        #: is boosted or moved away in the *schedule*, even though it still
+        #: sits in its home block in the IR), so it must remain the last
+        #: write of its register in that block: a later sequential motion
+        #: into the block may not redefine these.
+        self.comp_defs = comp_defs if comp_defs is not None else {}
         self.equiv = ControlEquivalence(cfg)
         self._liveness: Optional[Liveness] = None
         self._between_cache: dict[tuple[str, str], list[Instruction]] = {}
@@ -96,6 +105,11 @@ class MotionEngine:
 
     def invalidate_liveness(self) -> None:
         self._liveness = None
+
+    def invalidate_between(self) -> None:
+        """Instructions moved between blocks change the equivalence-hop
+        conflict sets."""
+        self._between_cache.clear()
 
     # ----------------------------------------------------------------- plan
     def plan(self, instr: Instruction, home_pos: int, place_pos: int,
@@ -169,6 +183,15 @@ class MotionEngine:
                         d in self.liveness.live_in.get(off, frozenset())
                         for d in instr_defs(instr)):
                     return None  # illegal without renaming: needs boosting
+                if self.comp_defs.get(below, frozenset()) \
+                        & set(instr_defs(instr)):
+                    # A compensation copy in ``below`` kills one of these
+                    # registers for its off-trace edge; IR liveness still
+                    # thinks the kill happens in the copy's home block, but
+                    # in the schedule the copy is the last write — a
+                    # sequential redefinition after it would leak across
+                    # that edge.
+                    return None
                 crossed.append(cur - 1)
             # ... and out of the top of cur: joins need compensation.
             on_trace_pred = labels[cur - 1]
@@ -369,6 +392,12 @@ class MotionEngine:
                 self.proc.block(target).body.append(copy)
             else:
                 self.proc.block(dp.pred_label).body.append(copy)
+                if dp.boost == 0:
+                    # Boosted copies commit at the branch, after any
+                    # sequential write in the block; plain copies must stay
+                    # the last write of their register.
+                    self.comp_defs.setdefault(dp.pred_label, set()).update(
+                        instr_defs(copy))
             created.append((copy, dp))
         if created:
             self.invalidate_liveness()

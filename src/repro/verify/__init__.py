@@ -1,0 +1,40 @@
+"""Fault-injection and differential verification of the boosting machinery.
+
+The paper's central correctness claim (Section 2.3) is that boosting is
+*safe*: squashed speculative state leaves no trace, and deferred exceptions
+surface precisely through compiler-generated recovery code.  The benign
+benchmark runs barely exercise those paths, so this package attacks them
+directly:
+
+* :mod:`repro.verify.faults` — seeded fault *plans*: forced traps on chosen
+  sequential and boosted instructions, and adversarial inversion of the
+  profile-derived static predictions (which drives shadow squashes,
+  compensation blocks, and recovery jump tables at run time);
+* :mod:`repro.verify.differential` — runs one scheduled program and its
+  pre-schedule functional twin under the same plan and cross-checks output,
+  final memory, and the precise trap (kind, architectural location,
+  address), raising a :class:`~repro.verify.errors.DivergenceError` with a
+  minimized reproduction recipe;
+* :mod:`repro.verify.campaign` — whole campaigns over the workload suite ×
+  boosting models × seeds, plus a self-test that plants a broken exception
+  shift buffer and demands the checker catch it.
+
+Entry point: ``python -m repro verify [--seeds N]``.
+"""
+
+from repro.verify.campaign import (
+    CampaignResult, CampaignSummary, SelfTestResult, VerifyCampaign,
+    run_selftest,
+)
+from repro.verify.differential import CheckReport, DifferentialChecker, RunOutcome
+from repro.verify.errors import Divergence, DivergenceError
+from repro.verify.faults import (
+    FaultInjector, FaultPlan, TrapInjection, apply_flips, make_plan,
+)
+
+__all__ = [
+    "CampaignResult", "CampaignSummary", "CheckReport", "DifferentialChecker",
+    "Divergence", "DivergenceError", "FaultInjector", "FaultPlan",
+    "RunOutcome", "SelfTestResult", "TrapInjection", "VerifyCampaign",
+    "apply_flips", "make_plan", "run_selftest",
+]

@@ -1,0 +1,73 @@
+"""Structured divergence reporting.
+
+A *divergence* is the differential checker's unit of failure: one observable
+on which the scheduled superscalar machine and the functional reference
+disagree.  :class:`DivergenceError` carries every divergence found in one
+run plus the exact recipe (workload, configuration, seed, fault plan) needed
+to reproduce it — a verification failure that cannot be replayed is worth
+very little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observable on which the two machines disagree."""
+
+    #: what diverged: "output", "trap", "memory", or "machine-error"
+    observable: str
+    expected: str
+    actual: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = (f"{self.observable}: reference={self.expected} "
+                f"superscalar={self.actual}")
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class DivergenceError(SimulationError):
+    """The scheduled machine observably disagrees with the reference.
+
+    ``repro`` is a human-runnable recipe; ``plan_text`` describes the
+    (possibly minimized) fault plan that still triggers the disagreement.
+    """
+
+    divergences: list[Divergence]
+    workload: str = "?"
+    config: str = "?"
+    seed: Optional[int] = None
+    plan_text: str = "(no faults injected)"
+    minimized: bool = False
+    context: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__init__(self.describe())
+
+    @property
+    def repro(self) -> str:
+        seed = "-" if self.seed is None else str(self.seed)
+        return (f"python -m repro verify --workloads {self.workload} "
+                f"--models {self.config} --seed {seed}")
+
+    def describe(self) -> str:
+        lines = [f"divergence in {self.workload}/{self.config}"
+                 + (f" seed={self.seed}" if self.seed is not None else "")]
+        lines.append(f"  plan: {self.plan_text}"
+                     + (" [minimized]" if self.minimized else ""))
+        for d in self.divergences:
+            lines.append(f"  - {d}")
+        lines.append(f"  repro: {self.repro}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,210 @@
+"""Seeded fault plans: forced traps and adversarial branch predictions.
+
+A :class:`FaultPlan` is a deterministic function of ``(program, seed)`` and
+describes two kinds of provocation:
+
+* **Trap injection** — one excepting instruction (load, store, divide) is
+  chosen to *always fault*, whatever its operands.  The choice is keyed on
+  the instruction's **architectural identity** (``origin or uid``), so the
+  very same fault fires in the functional reference, in the sequential home
+  copy, in a boosted speculative copy, in compensation code on an off-trace
+  edge, and in compiler-generated recovery code.  A boosted hit must be
+  deferred through the exception shift buffer and re-surface *precisely* —
+  exactly the Section 2.3 machinery under test.  At most one instruction is
+  targeted per plan: two independent excepting instructions in one block may
+  legally reorder in the schedule, which would make "who faults first"
+  schedule-dependent rather than architectural.
+
+* **Prediction flips** — a subset of conditional branches has its
+  profile-derived static prediction inverted *before scheduling*.  The
+  scheduler then builds traces along the wrong paths and boosts instructions
+  above branches that will usually mispredict, driving the shadow-squash and
+  compensation paths hard at run time.  Architectural behaviour is unchanged
+  (branch outcomes are data-driven), so the functional reference still
+  defines the expected observables.
+
+Trap targets always satisfy ``op.can_except``: those are the instructions
+for which the compiler must provide recovery when boosted, and the three
+injectable kinds (address error, unaligned, divide-by-zero) are the ISA's
+real trap vocabulary.  Injecting on a never-excepting ALU op would instead
+test a machine the compiler was never asked to build.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.exceptions import Trap, TrapKind
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.procedure import Program
+
+#: sentinel base for injected fault addresses — far outside the data
+#: segment so a reported address is unmistakably ours
+_ADDR_SENTINEL = 0xFA00_0000
+
+
+@dataclass(frozen=True)
+class TrapInjection:
+    """Always-fault directive for one architectural instruction."""
+
+    target_uid: int
+    kind: TrapKind
+    addr: Optional[int] = None
+    #: mnemonic of the targeted op, for human-readable plan descriptions
+    mnemonic: str = "?"
+
+    def fresh_trap(self) -> Trap:
+        """A new Trap instance per hit — the simulators mutate and raise
+        these, so sharing one object across hits would corrupt reports."""
+        return Trap(self.kind, addr=self.addr)
+
+    def __str__(self) -> str:
+        addr = f"@{self.addr:#x}" if self.addr is not None else ""
+        return f"{self.kind.name}{addr} on uid {self.target_uid} ({self.mnemonic})"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything :func:`make_plan` decided for one seed."""
+
+    seed: int
+    traps: tuple[TrapInjection, ...] = ()
+    #: uids of conditional branches whose static prediction is inverted
+    flips: frozenset[int] = frozenset()
+
+    @property
+    def benign(self) -> bool:
+        return not self.traps and not self.flips
+
+    def without_traps(self) -> "FaultPlan":
+        return FaultPlan(self.seed, (), self.flips)
+
+    def without_flips(self) -> "FaultPlan":
+        return FaultPlan(self.seed, self.traps, frozenset())
+
+    def describe(self) -> str:
+        parts = [str(t) for t in self.traps]
+        if self.flips:
+            uids = ", ".join(str(u) for u in sorted(self.flips))
+            parts.append(f"flip predictions of branch uids {{{uids}}}")
+        return "; ".join(parts) if parts else "(benign)"
+
+
+def trap_candidates(program: Program) -> list[Instruction]:
+    """Excepting body instructions, in deterministic program order."""
+    out = []
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            for instr in block.body:
+                if instr.op.can_except:
+                    out.append(instr)
+    return out
+
+
+def flip_candidates(program: Program) -> list[Instruction]:
+    """Conditional branches carrying a profile-derived prediction."""
+    out = []
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            term = block.terminator
+            if (term is not None and term.op.is_cond_branch
+                    and term.predict_taken is not None):
+                out.append(term)
+    return out
+
+
+def _injection_for(instr: Instruction, rng: random.Random) -> TrapInjection:
+    uid = instr.origin or instr.uid
+    if instr.op.is_mem:
+        kind = rng.choice((TrapKind.ADDRESS_ERROR, TrapKind.UNALIGNED))
+        addr = _ADDR_SENTINEL + 4 * (uid & 0xFFFF)
+        if kind is TrapKind.UNALIGNED:
+            addr += 1  # an unaligned report should carry an unaligned address
+    else:  # DIV / REM
+        kind = TrapKind.DIV_ZERO
+        addr = None
+    return TrapInjection(target_uid=uid, kind=kind, addr=addr,
+                         mnemonic=instr.op.mnemonic)
+
+
+def make_plan(
+    program: Program,
+    seed: int,
+    trap_prob: float = 0.7,
+    flip_prob: float = 0.5,
+    max_flips: int = 3,
+) -> FaultPlan:
+    """Draw a deterministic fault plan for ``(program, seed)``.
+
+    ``program`` must be the *prepared* (pre-schedule) IR: candidate uids are
+    architectural identities, shared by every clone and schedule derived from
+    the same preparation, so one plan applies to all of them.
+    """
+    rng = random.Random(seed)
+    traps: tuple[TrapInjection, ...] = ()
+    candidates = trap_candidates(program)
+    if candidates and rng.random() < trap_prob:
+        traps = (_injection_for(rng.choice(candidates), rng),)
+
+    flips: frozenset[int] = frozenset()
+    branches = flip_candidates(program)
+    if branches and rng.random() < flip_prob:
+        count = rng.randint(1, min(max_flips, len(branches)))
+        flips = frozenset(b.uid for b in rng.sample(branches, count))
+    return FaultPlan(seed=seed, traps=traps, flips=flips)
+
+
+def apply_flips(program: Program, flips: frozenset[int]) -> int:
+    """Invert the static prediction of every branch in ``flips`` (in place).
+
+    Must run on a pre-schedule clone: the trace selector follows
+    ``predict_taken`` (``cfg.predicted_succ``), so flipping before scheduling
+    yields a schedule that is *internally consistent* but systematically
+    boosts along usually-wrong paths.  ``taken_prob`` is inverted alongside
+    so trace-growth probabilities agree with the flipped prediction.
+    Returns the number of branches actually flipped.
+    """
+    hit = 0
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            term = block.terminator
+            if (term is None or not term.op.is_cond_branch
+                    or term.uid not in flips):
+                continue
+            if term.predict_taken is None:
+                continue
+            term.predict_taken = not term.predict_taken
+            if block.taken_prob is not None:
+                block.taken_prob = 1.0 - block.taken_prob
+            hit += 1
+    return hit
+
+
+class FaultInjector:
+    """The ``fault_hook`` both simulators accept, driven by a plan.
+
+    Matches on architectural identity so every copy of a targeted
+    instruction faults — speculative hits are *supposed* to happen and be
+    deferred or squashed; ``hits`` counts them for campaign statistics.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._targets = {t.target_uid: t for t in plan.traps}
+        self.hits: dict[int, int] = {}
+
+    def __call__(self, instr: Instruction) -> Optional[Trap]:
+        if instr.op is Opcode.NOP:
+            return None
+        injection = self._targets.get(instr.origin or instr.uid)
+        if injection is None:
+            return None
+        uid = injection.target_uid
+        self.hits[uid] = self.hits.get(uid, 0) + 1
+        return injection.fresh_trap()
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())

@@ -77,6 +77,57 @@ def test_bench_rejects_unknown_workload(capsys):
     assert main(["bench", "nonesuch"]) == 2
 
 
+def test_bench_rejects_unknown_sabotage_target(capsys):
+    assert main(["bench", "grep", "--sabotage", "nonesuch"]) == 2
+    _, err = capsys.readouterr()
+    assert "unknown sabotage workload" in err
+
+
+@pytest.mark.parametrize("command", ["compile", "run"])
+def test_missing_source_file_is_one_line_error(command, tmp_path, capsys):
+    missing = str(tmp_path / "no" / "such.mc")
+    rc = main([command, missing])
+    out, err = capsys.readouterr()
+    assert rc == 2
+    assert out == ""
+    assert err.count("\n") == 1
+    assert err.startswith(f"repro: cannot read {missing}: ")
+
+
+@pytest.mark.parametrize("command", ["compile", "run"])
+def test_unreadable_source_file_is_one_line_error(command, tmp_path, capsys):
+    # A directory triggers the OSError branch even when running as root.
+    rc = main([command, str(tmp_path)])
+    _, err = capsys.readouterr()
+    assert rc == 2
+    assert err.count("\n") == 1
+    assert err.startswith(f"repro: cannot read {tmp_path}: ")
+
+
+def test_verify_rejects_unknown_workload(capsys):
+    rc = main(["verify", "--workloads", "nonesuch",
+               "--seeds", "1", "--no-selftest"])
+    _, err = capsys.readouterr()
+    assert rc == 2
+    assert "nonesuch" in err
+
+
+def test_verify_rejects_unknown_model(capsys):
+    rc = main(["verify", "--models", "nonesuch",
+               "--seeds", "1", "--no-selftest"])
+    _, err = capsys.readouterr()
+    assert rc == 2
+    assert "nonesuch" in err
+
+
+def test_verify_single_seed_runs(capsys):
+    rc = main(["verify", "--workloads", "grep", "--models", "boost1",
+               "--seed", "3", "--no-selftest"])
+    out, _ = capsys.readouterr()
+    assert rc == 0
+    assert "divergences: 0" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -95,7 +95,7 @@ class TestLab:
 
 def test_geometric_mean():
     assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
-    assert geometric_mean([]) == 0.0
+    assert geometric_mean([]) is None
     assert geometric_mean([1.5]) == pytest.approx(1.5)
 
 

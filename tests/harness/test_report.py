@@ -5,8 +5,8 @@ import pytest
 
 from repro.harness.experiments import Lab
 from repro.harness.report import (
-    render_all, render_figure8, render_figure9, render_table1, render_table2,
-    write_experiments_md,
+    render_all, render_errors, render_figure8, render_figure9, render_table1,
+    render_table2, write_experiments_md,
 )
 from repro.workloads.registry import Workload
 
@@ -23,12 +23,15 @@ func main() {
 """
 
 
+def _stub(name="awk"):
+    return Workload(name=name, paper_benchmark="n/a", description="stub",
+                    source=SOURCE,
+                    train={"xs": [1, 5, 2, 6, 3, 7, 4, 8], "n": 8},
+                    eval={"xs": [8, 1, 7, 2, 6, 3, 5, 4], "n": 8})
+
+
 def _lab():
-    w = Workload(name="awk", paper_benchmark="n/a", description="stub",
-                 source=SOURCE,
-                 train={"xs": [1, 5, 2, 6, 3, 7, 4, 8], "n": 8},
-                 eval={"xs": [8, 1, 7, 2, 6, 3, 5, 4], "n": 8})
-    return Lab([w])
+    return Lab([_stub()])
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +64,41 @@ def test_render_all_concatenates(lab):
     text = render_all(lab)
     for header in ("Table 1", "Figure 8", "Table 2", "Figure 9"):
         assert header in text
+
+
+def test_render_errors_empty_without_failures(lab):
+    assert render_errors(lab) == ""
+
+
+@pytest.fixture(scope="module")
+def hurt_lab():
+    """Two stub workloads, one strangled by the cycle-watchdog sabotage."""
+    lab = Lab([_stub("awk"), _stub("grep")], sabotage="grep")
+    lab.SABOTAGE_CYCLES = 5  # the stub finishes under the real 1000 budget
+    return lab
+
+
+def test_sabotaged_lab_records_errors_not_crashes(hurt_lab):
+    # cells are computed lazily; the sabotaged one fails, the healthy survive
+    assert hurt_lab.cell("awk", "global") is not None
+    assert hurt_lab.speedup("awk", "global") is not None
+    assert hurt_lab.speedup("grep", "global") is None
+    assert hurt_lab.errors
+    assert all(wname == "grep" for wname, _ in hurt_lab.errors)
+
+
+def test_sabotaged_report_degrades_gracefully(hurt_lab):
+    text = render_all(hurt_lab)
+    assert "ERR" in text
+    assert "Errors:" in text and "grep" in text
+    # the healthy row still renders with real numbers
+    assert "awk" in render_figure8(hurt_lab)
+
+
+def test_sabotaged_experiments_md_lists_errors(hurt_lab, tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    text = write_experiments_md(hurt_lab, str(path))
+    assert "## Errors" in text and "grep" in text
 
 
 def test_write_experiments_md(lab, tmp_path):

@@ -1,0 +1,91 @@
+"""Trap precision after recovery, differentially, for every boost model.
+
+Promotion of ``examples/exception_recovery.py`` into an assertion: for each
+boosting hardware model, a program whose predicted path loads through a null
+pointer must surface *exactly* the trap the functional reference surfaces —
+same kind, same architectural instruction, same faulting address — no
+matter whether the schedule ran the load sequentially, boosted it and went
+through the shift buffer + recovery code, or squashed it on the wrong path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.exceptions import Trap
+from repro.hw.functional import FunctionalSim
+from repro.hw.superscalar import SuperscalarSim
+from repro.isa import Reg, ZERO
+from repro.program import ProcBuilder, Program
+from repro.program.procedure import clone_program
+from repro.sched.boostmodel import BOOST1, BOOST7, MINBOOST3, SQUASHING
+from repro.sched.globalsched import schedule_program_global
+from repro.sched.machine import SUPERSCALAR
+
+T0, T2, T3, T4 = (Reg.named(f"t{i}") for i in (0, 2, 3, 4))
+
+MODELS = [SQUASHING, BOOST1, MINBOOST3, BOOST7]
+
+
+def faulting_program(cond_value: int) -> Program:
+    """Predicted fall-through path loads through a null pointer."""
+    program = Program()
+    program.data.words("good", [123])
+    b = ProcBuilder("main", data=program.data)
+    b.label("entry")
+    b.li(T4, cond_value)
+    b.li(T0, 0)
+    b.bne(T4, ZERO, "other")
+    b.label("hot")
+    b.lw(T2, T0, 0)
+    b.print_(T2)
+    b.halt()
+    b.label("other")
+    b.li(T3, 7)
+    b.print_(T3)
+    b.halt()
+    program.add(b.build())
+    program.proc("main").block("entry").terminator.predict_taken = False
+    return program
+
+
+def _run_both(model, cond_value: int):
+    program = faulting_program(cond_value)
+    twin = clone_program(program)  # BEFORE scheduling mutates the IR
+    sched, _ = schedule_program_global(program, SUPERSCALAR, model)
+
+    ssc_trap = None
+    ssc = SuperscalarSim(sched)
+    try:
+        ssc.run()
+    except Trap as trap:
+        ssc_trap = trap
+
+    ref_trap = None
+    ref = FunctionalSim(twin)
+    try:
+        ref.run()
+    except Trap as trap:
+        ref_trap = trap
+    return ssc, ssc_trap, ref, ref_trap
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_trap_location_matches_functional_sim(model):
+    ssc, ssc_trap, ref, ref_trap = _run_both(model, cond_value=0)
+    assert ref_trap is not None, "the reference must fault on the null load"
+    assert ssc_trap is not None, f"{model.name}: machine missed the fault"
+    assert ssc_trap.kind == ref_trap.kind
+    assert ssc_trap.addr == ref_trap.addr
+    # The precision claim: the same architectural instruction is blamed,
+    # even when the fault travelled through the shift buffer and recovery.
+    assert ssc_trap.instr_uid == ref_trap.instr_uid
+    assert ssc.result.output == ref.result.output == []
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_squashed_speculative_fault_vanishes(model):
+    ssc, ssc_trap, ref, ref_trap = _run_both(model, cond_value=1)
+    assert ref_trap is None and ssc_trap is None
+    assert ssc.result.output == ref.result.output == [7]
+    assert ssc.recovery_invocations == 0

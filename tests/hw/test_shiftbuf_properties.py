@@ -1,0 +1,125 @@
+"""Property tests for the one-bit exception shift buffer (Section 2.3).
+
+The buffer is compared against an independent reference formulation: a set
+of ``(token, remaining_shifts)`` pairs where ``record(level)`` adds
+``(token, level)`` unless some pending fault already has that many shifts
+remaining, ``shift`` decrements every pair and commits the (unique) pair
+reaching zero, and ``clear`` empties the set.  Driving both models with
+random operation sequences checks every invariant at once:
+
+* at most one pending fault per level, first recorded wins;
+* a fault commits after exactly ``level`` correct predictions;
+* the committed fault reports the *committing* branch, not the recording one;
+* a misprediction (``clear``) silently discards everything;
+* out-of-range levels are rejected loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.exceptions import ExceptionShiftBuffer, Trap, TrapKind
+
+
+def _trap(token: int) -> Trap:
+    return Trap(TrapKind.DIV_ZERO, instr_uid=token)
+
+
+class ReferenceModel:
+    """Independent semantics: pending faults as (token, remaining) pairs."""
+
+    def __init__(self, levels: int) -> None:
+        self.levels = levels
+        self.pending: list[tuple[int, int]] = []
+
+    def record(self, level: int, token: int) -> None:
+        assert 1 <= level <= self.levels
+        if all(remaining != level for _, remaining in self.pending):
+            self.pending.append((token, level))
+
+    def shift(self) -> int | None:
+        self.pending = [(tok, rem - 1) for tok, rem in self.pending]
+        done = [tok for tok, rem in self.pending if rem == 0]
+        self.pending = [(tok, rem) for tok, rem in self.pending if rem > 0]
+        assert len(done) <= 1, "two faults can never commit on one shift"
+        return done[0] if done else None
+
+
+def _ops(levels: int):
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("record"),
+                      st.integers(min_value=1, max_value=levels),
+                      st.integers(min_value=0, max_value=1 << 20)),
+            st.tuples(st.just("shift"),
+                      st.integers(min_value=0, max_value=1 << 20),
+                      st.just(0)),
+            st.tuples(st.just("clear"), st.just(0), st.just(0)),
+        ),
+        max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(levels=st.integers(min_value=1, max_value=8), data=st.data())
+def test_shiftbuf_matches_reference_model(levels, data):
+    ops = data.draw(_ops(levels))
+    buf = ExceptionShiftBuffer(levels)
+    model = ReferenceModel(levels)
+    for op, a, b in ops:
+        if op == "record":
+            buf.record(a, _trap(b), branch_uid=0)
+            model.record(a, b)
+        elif op == "shift":
+            out = buf.shift(committing_branch_uid=a)
+            expected = model.shift()
+            if expected is None:
+                assert out is None
+            else:
+                assert out is not None
+                assert out.trap.instr_uid == expected
+                # the commit is attributed to the branch doing the shifting
+                assert out.branch_uid == a
+        else:
+            buf.clear()
+            model.pending = []
+        assert buf.pending() == bool(model.pending)
+
+
+@settings(max_examples=50, deadline=None)
+@given(levels=st.integers(min_value=1, max_value=8), data=st.data())
+def test_clear_discards_everything(levels, data):
+    buf = ExceptionShiftBuffer(levels)
+    for level in data.draw(st.lists(
+            st.integers(min_value=1, max_value=levels), max_size=8)):
+        buf.record(level, _trap(level), branch_uid=0)
+    buf.clear()
+    assert not buf.pending()
+    for _ in range(levels + 1):
+        assert buf.shift(committing_branch_uid=1) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(levels=st.integers(min_value=1, max_value=8),
+       level=st.integers(min_value=1, max_value=8),
+       extra=st.integers(min_value=0, max_value=5))
+def test_fault_commits_after_exactly_level_shifts(levels, level, extra):
+    if level > levels:
+        return
+    buf = ExceptionShiftBuffer(levels)
+    buf.record(level, _trap(99), branch_uid=0)
+    for _ in range(level - 1):
+        assert buf.shift(committing_branch_uid=7) is None
+    out = buf.shift(committing_branch_uid=42)
+    assert out is not None and out.trap.instr_uid == 99
+    assert out.branch_uid == 42
+    for _ in range(extra):
+        assert buf.shift(committing_branch_uid=7) is None
+
+
+@given(levels=st.integers(min_value=1, max_value=8))
+def test_out_of_range_levels_rejected(levels):
+    buf = ExceptionShiftBuffer(levels)
+    for bad in (0, -1, levels + 1):
+        with pytest.raises(ValueError):
+            buf.record(bad, _trap(1), branch_uid=0)

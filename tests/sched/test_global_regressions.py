@@ -1,0 +1,86 @@
+"""Regressions the fault-injection campaign found in the global scheduler.
+
+Both were exposed by flipping branch predictions before scheduling (the
+campaign's misprediction-stress mode) and checking the scheduled machine
+against the functional reference on the same flipped program:
+
+* awk, squashing (flip else13): a non-boosted cross-block motion was not
+  written back into the IR, so a later trace saw stale liveness and
+  speculated a write over a hoisted kill's off-trace path.
+* awk, minboost3/boost7 (same flip): a plain compensation copy of a kill,
+  appended to a predecessor when the kill itself was boosted away, was
+  later overwritten by a sequential hoist into that predecessor — the copy
+  must remain the block's last write of its register.
+* compress, boost1 (flips endwhile9+and19): delay-slot displacement pushed
+  a register reader one cycle below a same-cycle WAR writer, corrupting
+  the hash keys until the probe loop scanned a full table forever.
+* grep, every model (flip endwhile14): a sequential motion was written
+  back into a block whose terminator *reads* the moved destination.  The
+  schedule co-issues the pair (branch reads the old value, like a delay
+  slot) but a block body cannot express "after the terminator", so
+  liveness saw the register killed before the branch's read, reported it
+  dead upstream, and licensed a later hoist of the match flag above the
+  flipped branch.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.harness.pipeline import make_input_image, prepare_ir
+from repro.hw.functional import FunctionalSim
+from repro.hw.superscalar import SuperscalarSim
+from repro.program.procedure import clone_program
+from repro.sched.globalsched import schedule_program_global
+from repro.sched.machine import SUPERSCALAR
+from repro.verify.campaign import CAMPAIGN_CONFIGS
+from repro.verify.faults import apply_flips
+from repro.workloads import all_workloads
+
+
+def _branch_uids(prog, block_labels):
+    """Architectural uids of the conditional branches ending the named
+    blocks.  uid literals would silently stop matching anything: instruction
+    uids are process-global, so they depend on what was compiled earlier in
+    the test run."""
+    uids = set()
+    for proc in prog.procedures.values():
+        for block in proc.blocks:
+            term = block.terminator
+            if block.label in block_labels and term is not None \
+                    and term.op.is_cond_branch:
+                uids.add(term.origin or term.uid)
+    assert len(uids) == len(block_labels), block_labels
+    return frozenset(uids)
+
+
+def _diff_check(workload_name, model_key, flip_blocks, max_cycles):
+    workload = next(w for w in all_workloads() if w.name == workload_name)
+    config = CAMPAIGN_CONFIGS[model_key]
+    prog = prepare_ir(compile_source(workload.source), config, workload.train)
+    image = make_input_image(prog, workload.eval)
+    flipped = clone_program(prog)
+    apply_flips(flipped, _branch_uids(prog, flip_blocks))
+    reference = clone_program(flipped)
+    sched, _ = schedule_program_global(flipped, SUPERSCALAR, config.model)
+    ref = FunctionalSim(reference, input_image=image).run()
+    ssc = SuperscalarSim(sched, max_cycles=max_cycles,
+                         input_image=image).run()
+    assert ssc.output == ref.output
+
+
+@pytest.mark.parametrize("model_key", ["squashing", "minboost3"])
+def test_awk_flip_stale_liveness_regression(model_key):
+    # awk's flipped branch is the `slti`-guarded range test in else13.
+    _diff_check("awk", model_key, {"else13"}, max_cycles=500_000)
+
+
+def test_compress_flips_delay_slot_war_regression():
+    _diff_check("compress", "boost1", {"endwhile9", "and19"},
+                max_cycles=500_000)
+
+
+@pytest.mark.parametrize("model_key", ["global", "boost7"])
+def test_grep_flip_writeback_before_terminator_read_regression(model_key):
+    # Model-independent (even NO_BOOST diverged): the bad write-back order
+    # poisons liveness for purely sequential motions too.
+    _diff_check("grep", model_key, {"endwhile14"}, max_cycles=500_000)

@@ -1,0 +1,37 @@
+"""Campaign orchestration and the broken-hardware self-test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.campaign import VerifyCampaign, run_selftest
+
+
+def test_small_campaign_is_clean():
+    campaign = VerifyCampaign(workload_names=["grep"],
+                              model_keys=["boost1"], seeds=3)
+    summary = campaign.run()
+    assert summary.ok
+    assert summary.runs == 3
+    assert not summary.divergences and not summary.oracle_errors
+    (result,) = summary.results
+    assert result.workload == "grep" and result.config == "boost1"
+    assert result.runs == 3
+    assert result.trapped + result.clean == 3
+    text = summary.format()
+    assert "grep" in text and "boost1" in text
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(ValueError):
+        VerifyCampaign(workload_names=["no-such-workload"])
+    with pytest.raises(ValueError):
+        VerifyCampaign(model_keys=["no-such-model"])
+
+
+def test_selftest_catches_broken_shift_buffer():
+    result = run_selftest()
+    assert result.caught
+    assert result.seed is not None
+    assert result.seeds_tried >= 1
+    assert "PASSED" in result.format()

@@ -1,0 +1,118 @@
+"""Fault-plan generation and application."""
+
+from __future__ import annotations
+
+from repro.frontend import compile_source
+from repro.harness.pipeline import prepare_ir
+from repro.hw.exceptions import TrapKind
+from repro.program.procedure import clone_program
+from repro.verify.campaign import CAMPAIGN_CONFIGS
+from repro.verify.faults import (
+    FaultInjector, FaultPlan, TrapInjection, apply_flips, flip_candidates,
+    make_plan, trap_candidates,
+)
+
+SOURCE = """
+global xs[8];
+
+func main() {
+    var s = 0;
+    var i = 0;
+    while (i < 16) {
+        if (i % 2 == 0) { s = s + xs[i % 8]; }
+        print(s);
+        i = i + 1;
+    }
+}
+"""
+
+
+def _prepared():
+    return prepare_ir(compile_source(SOURCE),
+                      CAMPAIGN_CONFIGS["minboost3"], None)
+
+
+def test_make_plan_is_deterministic():
+    prog = _prepared()
+    for seed in range(10):
+        assert make_plan(prog, seed) == make_plan(prog, seed)
+
+
+def test_plans_vary_across_seeds():
+    prog = _prepared()
+    plans = {make_plan(prog, seed) for seed in range(16)}
+    assert len(plans) > 4
+
+
+def test_traps_target_excepting_instructions_only():
+    prog = _prepared()
+    excepting = {i.origin or i.uid for i in trap_candidates(prog)}
+    assert excepting, "the test program must contain excepting instructions"
+    for seed in range(32):
+        plan = make_plan(prog, seed)
+        assert len(plan.traps) <= 1
+        for trap in plan.traps:
+            assert trap.target_uid in excepting
+            if trap.kind is TrapKind.DIV_ZERO:
+                assert trap.addr is None
+            else:
+                assert trap.addr is not None
+            if trap.kind is TrapKind.UNALIGNED:
+                assert trap.addr % 4 != 0
+
+
+def test_apply_flips_inverts_prediction_and_probability():
+    prog = _prepared()
+    branches = flip_candidates(prog)
+    assert branches
+    target = branches[0]
+    before_pred = target.predict_taken
+    block = next(b for p in prog.procedures.values() for b in p.blocks
+                 if b.terminator is target)
+    before_prob = block.taken_prob
+
+    clone = clone_program(prog)
+    assert apply_flips(clone, frozenset({target.uid})) == 1
+    flipped = next(b.terminator for p in clone.procedures.values()
+                   for b in p.blocks
+                   if b.terminator is not None
+                   and b.terminator.uid == target.uid)
+    assert flipped.predict_taken == (not before_pred)
+    if before_prob is not None:
+        flipped_block = next(b for p in clone.procedures.values()
+                             for b in p.blocks
+                             if b.terminator is flipped)
+        assert abs(flipped_block.taken_prob - (1.0 - before_prob)) < 1e-9
+    # the original program is untouched
+    assert target.predict_taken == before_pred
+
+
+def test_injector_matches_architectural_identity():
+    prog = _prepared()
+    target = trap_candidates(prog)[0]
+    plan = FaultPlan(seed=0, traps=(TrapInjection(
+        target_uid=target.origin or target.uid, kind=TrapKind.ADDRESS_ERROR,
+        addr=0xFA000000, mnemonic=target.op.mnemonic),))
+    injector = FaultInjector(plan)
+
+    copy = target.copy(boost=1)          # a boosted duplicate, new uid
+    assert copy.uid != target.uid and copy.origin == target.uid
+    t1 = injector(target)
+    t2 = injector(copy)
+    assert t1 is not None and t2 is not None and t1 is not t2
+    assert injector.total_hits == 2
+    other = flip_candidates(prog)[0]
+    assert injector(other) is None
+
+
+def test_plan_describe_mentions_everything():
+    prog = _prepared()
+    for seed in range(16):
+        plan = make_plan(prog, seed)
+        text = plan.describe()
+        if plan.benign:
+            assert text == "(benign)"
+        for trap in plan.traps:
+            assert str(trap.target_uid) in text
+        if plan.flips:
+            assert "flip predictions" in text
