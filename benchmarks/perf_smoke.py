@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Perf-smoke microbenchmark: times the hot paths and writes BENCH_pr2.json.
+
+Measures three things so future PRs have a perf trajectory to regress
+against:
+
+* **simulator instr/sec** — the pre-decoded fast paths of ``FunctionalSim``
+  and ``SuperscalarSim`` against the reference interpreters
+  (``REPRO_FAST_SIM=0`` semantics), single-threaded;
+* **compile cells/sec + cache hit rate** — cold compile vs warm reload
+  through the on-disk :class:`~repro.harness.cache.CompileCache`;
+* **end-to-end bench wall clock** — ``python -m repro bench`` baseline
+  (reference interpreters, no cache, serial) vs optimized (fast sims, warm
+  cache, ``--jobs N``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # full suite
+    PYTHONPATH=src python benchmarks/perf_smoke.py --quick    # CI subset
+
+Exits non-zero if the single-threaded simulator speedup falls below the
+1.3x floor this PR establishes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.cache import CompileCache                     # noqa: E402
+from repro.harness.experiments import CONFIGS                    # noqa: E402
+from repro.harness.pipeline import (                             # noqa: E402
+    compile_minic, make_input_image,
+)
+from repro.hw.functional import FunctionalSim                    # noqa: E402
+from repro.hw.superscalar import SuperscalarSim                  # noqa: E402
+from repro.workloads import all_workloads                        # noqa: E402
+
+#: floor the acceptance criteria pin for the single-threaded fast paths
+SIM_SPEEDUP_FLOOR = 1.3
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _time(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def sim_microbench(workload_names: list[str]) -> dict:
+    """Single-threaded instr/sec, fast path vs reference interpreter."""
+    workloads = [w for w in all_workloads() if w.name in workload_names]
+    func = {"fast_s": 0.0, "ref_s": 0.0, "instr": 0}
+    sup = {"fast_s": 0.0, "ref_s": 0.0, "instr": 0}
+    for w in workloads:
+        cp = compile_minic(w.source, CONFIGS["minboost3"], w.train)
+        scalar = compile_minic(w.source, CONFIGS["scalar"], w.train)
+        image = make_input_image(cp.program, w.eval)
+        simage = make_input_image(scalar.program, w.eval)
+
+        dt, res = _time(lambda: FunctionalSim(
+            scalar.reference, input_image=make_input_image(
+                scalar.reference, w.eval), fast=True).run())
+        func["fast_s"] += dt
+        func["instr"] += res.instr_count
+        dt, ref = _time(lambda: FunctionalSim(
+            scalar.reference, input_image=make_input_image(
+                scalar.reference, w.eval), fast=False).run())
+        func["ref_s"] += dt
+        assert ref.output == res.output, f"functional mismatch on {w.name}"
+
+        dt, res = _time(lambda: SuperscalarSim(
+            cp.sched, input_image=image, fast=True).run())
+        sup["fast_s"] += dt
+        sup["instr"] += res.instr_count
+        dt, ref = _time(lambda: SuperscalarSim(
+            cp.sched, input_image=image, fast=False).run())
+        sup["ref_s"] += dt
+        assert ref.output == res.output, f"superscalar mismatch on {w.name}"
+
+        dt, res = _time(lambda: SuperscalarSim(
+            scalar.sched, input_image=simage, fast=True).run())
+        sup["fast_s"] += dt
+        sup["instr"] += res.instr_count
+        dt, ref = _time(lambda: SuperscalarSim(
+            scalar.sched, input_image=simage, fast=False).run())
+        sup["ref_s"] += dt
+        assert ref.output == res.output
+
+    def pack(d):
+        return {
+            "instructions": d["instr"],
+            "fast_instr_per_sec": round(d["instr"] / d["fast_s"]),
+            "reference_instr_per_sec": round(d["instr"] / d["ref_s"]),
+            "speedup": round(d["ref_s"] / d["fast_s"], 2),
+        }
+
+    return {"functional": pack(func), "superscalar": pack(sup)}
+
+
+def cache_microbench(workload_names: list[str]) -> dict:
+    """Cold compile vs warm reload through the on-disk cache."""
+    workloads = [w for w in all_workloads() if w.name in workload_names]
+    config_keys = ["scalar", "global", "minboost3"]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = CompileCache(tmp)
+        cells = [(w, k) for w in workloads for k in config_keys]
+        cold_s, _ = _time(lambda: [
+            cache.compile_minic(w.source, CONFIGS[k], w.train)
+            for w, k in cells])
+        warm_cache = CompileCache(tmp)
+        warm_s, _ = _time(lambda: [
+            warm_cache.compile_minic(w.source, CONFIGS[k], w.train)
+            for w, k in cells])
+        return {
+            "cells": len(cells),
+            "cold_cells_per_sec": round(len(cells) / cold_s, 2),
+            "warm_cells_per_sec": round(len(cells) / warm_s, 2),
+            "warm_speedup": round(cold_s / warm_s, 1),
+            "hit_rate": warm_cache.stats()["hit_rate"],
+        }
+
+
+def _run_bench(extra_args: list[str], env_extra: dict) -> float:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"), **env_extra)
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", *extra_args],
+        cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        raise RuntimeError(f"bench {extra_args} exited {proc.returncode}")
+    return time.perf_counter() - t0
+
+
+def end_to_end_bench(workload_names: list[str], jobs: int) -> dict:
+    """Baseline (reference sims, no cache, serial) vs optimized
+    (fast sims, warm cache, ``--jobs N``) wall clock."""
+    subset = [n for n in workload_names]
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_s = _run_bench([*subset, "--no-cache"],
+                                {"REPRO_FAST_SIM": "0"})
+        cold_s = _run_bench([*subset, "--cache-dir", tmp], {})
+        warm_jobs_s = _run_bench(
+            [*subset, "--cache-dir", tmp, "--jobs", str(jobs)], {})
+    return {
+        "workloads": subset,
+        "jobs": jobs,
+        "baseline_seconds": round(baseline_s, 1),
+        "optimized_cold_seconds": round(cold_s, 1),
+        "optimized_warm_seconds": round(warm_jobs_s, 1),
+        "speedup": round(baseline_s / warm_jobs_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset: two workloads, skips nothing else")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the end-to-end run "
+                             "(default: 4)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_pr2.json"),
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    names = (["grep", "compress"] if args.quick
+             else [w.name for w in all_workloads()])
+    micro_names = ["grep", "compress"] if args.quick else \
+        ["grep", "compress", "espresso"]
+
+    print(f"perf_smoke: sim microbench on {micro_names} ...", flush=True)
+    sims = sim_microbench(micro_names)
+    print(f"  functional  {sims['functional']['speedup']}x "
+          f"({sims['functional']['fast_instr_per_sec']:,} instr/s)")
+    print(f"  superscalar {sims['superscalar']['speedup']}x "
+          f"({sims['superscalar']['fast_instr_per_sec']:,} instr/s)")
+
+    print("perf_smoke: compile-cache microbench ...", flush=True)
+    cache = cache_microbench(micro_names)
+    print(f"  {cache['warm_cells_per_sec']} cells/s warm "
+          f"(x{cache['warm_speedup']} vs cold, "
+          f"hit rate {cache['hit_rate']:.2f})")
+
+    print(f"perf_smoke: end-to-end bench on {names} "
+          f"(--jobs {args.jobs}) ...", flush=True)
+    e2e = end_to_end_bench(names, args.jobs)
+    print(f"  baseline {e2e['baseline_seconds']}s -> warm "
+          f"{e2e['optimized_warm_seconds']}s "
+          f"({e2e['speedup']}x)")
+
+    nproc = os.cpu_count() or 1
+    record = {
+        "schema": "repro-bench/1",
+        "section": "perf_smoke",
+        "environment": {"cpus": nproc, "python": sys.version.split()[0]},
+        "simulators": sims,
+        "compile_cache": cache,
+        "end_to_end": e2e,
+        "targets": {
+            "sim_speedup_floor": SIM_SPEEDUP_FLOOR,
+            "end_to_end_speedup_target": 2.0,
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = []
+    for name in ("functional", "superscalar"):
+        if sims[name]["speedup"] < SIM_SPEEDUP_FLOOR:
+            failed.append(f"{name} fast path {sims[name]['speedup']}x "
+                          f"< {SIM_SPEEDUP_FLOOR}x floor")
+    for msg in failed:
+        print(f"perf_smoke: FAIL: {msg}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,11 @@ import sys
 import time
 from typing import Optional
 
+from repro.frontend import CodegenError, LexError, ParseError
+from repro.harness.cache import CompileCache
 from repro.harness.experiments import Lab
 from repro.harness.pipeline import CompileConfig, compile_minic
-from repro.harness.report import render_all
+from repro.harness.report import bench_json, render_all
 from repro.sched.boostmodel import ALL_MODELS, BY_NAME
 from repro.sched.machine import SCALAR, SUPERSCALAR
 from repro.workloads import all_workloads
@@ -65,12 +67,30 @@ def _source_or_exit(path: str) -> Optional[str]:
         return None
 
 
+def _compile_or_exit(source: str, path: str, config: CompileConfig, train):
+    """Compile, reporting Minic front-end errors as a one-line message
+    (matching the missing-file convention) instead of a traceback."""
+    try:
+        return compile_minic(source, config, train)
+    except (LexError, ParseError, CodegenError) as err:
+        print(f"repro: {path}: {err}", file=sys.stderr)
+        return None
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[CompileCache]:
+    if args.no_cache:
+        return None
+    return CompileCache(args.cache_dir)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     source = _source_or_exit(args.file)
     if source is None:
         return 2
     config = _build_config(args)
-    cp = compile_minic(source, config, _load_inputs(args.train))
+    cp = _compile_or_exit(source, args.file, config, _load_inputs(args.train))
+    if cp is None:
+        return 2
     print(f"# {config.describe()}")
     if cp.stats is not None:
         print(f"# traces={cp.stats.traces} boosted={cp.stats.boosted} "
@@ -87,7 +107,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _build_config(args)
     train = _load_inputs(args.train)
     inputs = _load_inputs(args.input) or train
-    cp = compile_minic(source, config, train)
+    cp = _compile_or_exit(source, args.file, config, train)
+    if cp is None:
+        return 2
     result = cp.run(inputs)
     reference = cp.run_functional(inputs)
     status = "OK" if result.output == reference.output else "MISMATCH"
@@ -115,13 +137,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown sabotage workload: {args.sabotage}", file=sys.stderr)
         return 2
     t0 = time.time()
-    lab = Lab(workloads, sabotage=args.sabotage)
+    lab = Lab(workloads, sabotage=args.sabotage, cache=_make_cache(args))
+    if args.jobs > 1:
+        lab.populate(args.jobs)
     print(render_all(lab))
-    print(f"\n[{time.time() - t0:.0f}s of simulation]")
+    # Timing is nondeterministic — keep it off stdout so reports diff clean.
+    print(f"[{time.time() - t0:.0f}s of simulation]", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(bench_json(lab), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
     if args.write_experiments:
         from repro.harness.report import write_experiments_md
         write_experiments_md(lab, args.write_experiments)
-        print(f"wrote {args.write_experiments}")
+        print(f"wrote {args.write_experiments}", file=sys.stderr)
     if lab.errors:
         print(f"bench: {len(lab.errors)} cell(s) failed — see the error "
               "summary above", file=sys.stderr)
@@ -151,11 +181,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
         campaign = VerifyCampaign(
             workload_names=args.workloads or None,
             model_keys=args.models or None,
-            seeds=seeds, seed_start=seed_start, progress=progress)
+            seeds=seeds, seed_start=seed_start, progress=progress,
+            cache=_make_cache(args))
     except ValueError as err:
         print(f"repro verify: {err}", file=sys.stderr)
         return 2
-    summary = campaign.run()
+    summary = campaign.run(jobs=args.jobs)
     print(summary.format())
     if not summary.ok:
         exit_code = 1
@@ -210,14 +241,27 @@ def make_parser() -> argparse.ArgumentParser:
                    "--train)", default=None)
     p.set_defaults(fn=cmd_run)
 
+    def add_parallel_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1 = in-process; "
+                            "reports are byte-identical at any N)")
+        p.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="compile-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-boost)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk compile cache")
+
     p = sub.add_parser("bench", help="regenerate the paper's tables/figures")
     p.add_argument("workloads", nargs="*",
                    help="subset of workloads (default: all seven)")
     p.add_argument("--write-experiments", metavar="PATH",
                    help="also write an EXPERIMENTS.md-style report")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the tables/figures as structured JSON")
     p.add_argument("--sabotage", metavar="WORKLOAD",
                    help="deliberately strangle one workload's simulations "
                         "(demonstrates graceful degradation of the report)")
+    add_parallel_opts(p)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -237,6 +281,7 @@ def make_parser() -> argparse.ArgumentParser:
                         "boost1 minboost3 boost7)")
     p.add_argument("--no-selftest", action="store_true",
                    help="skip the broken-shift-buffer checker self-test")
+    add_parallel_opts(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("workloads", help="list the workload suite")

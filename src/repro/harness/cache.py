@@ -1,0 +1,253 @@
+"""On-disk compile cache.
+
+``bench`` and ``verify`` recompile the same (workload source, config) cells
+from Minic on every run — and, with the parallel executor, once per worker
+process.  Compilation dominates an end-to-end sweep, so the results are
+memoized on disk, keyed by everything that could change the output:
+
+* :data:`CODE_VERSION` — bumped whenever the compiler/scheduler/simulator
+  semantics change, invalidating every prior entry;
+* the kind of artifact ("compiled" for a full :class:`CompiledProgram`,
+  "reference" for a functional-reference run);
+* a SHA-256 of the Minic source text;
+* a fingerprint of the :class:`CompileConfig` (machine, model, scheduler,
+  register allocator, optimization and unroll settings);
+* a fingerprint of the training inputs used for profiling.
+
+Entries are pickled to ``<cache_dir>/<key>.pkl`` with an atomic
+tempfile-and-rename write, so concurrent workers never observe a partial
+file.  A file that fails to load — truncated, corrupted, or written by an
+incompatible pickle — is **discarded with a warning and deleted**, never
+trusted.
+
+Instruction uids are process-local counters, so a cached program's uids can
+collide with instructions created later in a loading process (corrupting
+fault-plan and recovery-code indexing).  Each entry therefore records the
+maximum uid it contains, and loading bumps the global counter past it via
+:func:`~repro.isa.instruction.ensure_uid_floor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Optional
+
+from repro.frontend import compile_source
+from repro.harness.pipeline import (
+    CompileConfig, CompiledProgram, InputSet, compile_ir, prepare_ir,
+)
+from repro.isa.instruction import ensure_uid_floor
+from repro.program.procedure import Program
+
+__all__ = ["CODE_VERSION", "CompileCache", "default_cache_dir"]
+
+#: Version tag of the whole compile pipeline.  Bump on any change to the
+#: front end, optimizer, register allocator, profiler, or schedulers that
+#: can alter their output for unchanged source + config.
+CODE_VERSION = 2
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-boost``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-boost"
+
+
+def _fingerprint_config(config: CompileConfig) -> str:
+    """A stable text form of every semantically relevant config field."""
+    return "|".join([
+        config.machine.name, str(config.machine.issue_width),
+        str(config.machine.recovery_overhead),
+        config.model.name, str(config.model.max_level),
+        str(config.model.boost_stores), str(config.model.multi_shadow_files),
+        str(config.model.squash_only),
+        config.scheduler, config.regalloc,
+        str(config.optimize), str(config.unroll),
+    ])
+
+
+def _fingerprint_prepare(config: CompileConfig) -> str:
+    """Fingerprint of only the fields :func:`prepare_ir` depends on.
+
+    Preparation (optimize, allocate, profile) is independent of the machine
+    model and scheduler, so every model in a campaign shares one entry.
+    """
+    return "|".join([config.regalloc, str(config.optimize),
+                     str(config.unroll)])
+
+
+def _fingerprint_inputs(inputs: Optional[InputSet]) -> str:
+    if not inputs:
+        return "-"
+    parts = []
+    for name in sorted(inputs):
+        value = inputs[name]
+        if isinstance(value, bytes):
+            parts.append(f"{name}=b:{value.hex()}")
+        elif isinstance(value, int):
+            parts.append(f"{name}=i:{value}")
+        else:
+            parts.append(f"{name}=l:{','.join(str(v) for v in value)}")
+    return ";".join(parts)
+
+
+def _max_uid(*programs) -> int:
+    """Largest instruction uid reachable from the given programs/schedules."""
+    best = 0
+    for obj in programs:
+        if obj is None:
+            continue
+        if isinstance(obj, Program):
+            for proc in obj.procedures.values():
+                for instr in proc.instructions():
+                    if instr.uid > best:
+                        best = instr.uid
+            continue
+        # ScheduledProgram: issue rows plus recovery code.
+        for proc in obj.procedures.values():
+            for block in proc.blocks:
+                for row in block.cycles:
+                    for instr in row:
+                        if instr is not None and instr.uid > best:
+                            best = instr.uid
+            for recov in proc.recovery.values():
+                for instr in recov.instructions:
+                    if instr.uid > best:
+                        best = instr.uid
+    return best
+
+
+class CompileCache:
+    """Pickle-on-disk memoization of the compile pipeline.
+
+    ``hits``/``misses`` count lookups; ``discarded`` counts cache files that
+    existed but could not be trusted (and were deleted).
+    """
+
+    def __init__(self, cache_dir: Optional[Path | str] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.discarded = 0
+
+    # ------------------------------------------------------------------ keys
+    def key(self, kind: str, source: str, config: Optional[CompileConfig],
+            train_inputs: Optional[InputSet] = None, extra: str = "") -> str:
+        text = "\x00".join([
+            f"v{CODE_VERSION}", kind,
+            hashlib.sha256(source.encode()).hexdigest(),
+            _fingerprint_config(config) if config is not None else "-",
+            _fingerprint_inputs(train_inputs),
+            extra,
+        ])
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    # ------------------------------------------------------------- load/store
+    def load(self, key: str):
+        """The cached payload for ``key``, or None on miss.
+
+        Any failure to read or unpickle discards the file: a cache entry
+        that cannot be loaded cleanly must not be trusted.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload, max_uid = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception as exc:  # corrupted / truncated / incompatible
+            self.discarded += 1
+            self.misses += 1
+            warnings.warn(f"discarding corrupted compile-cache entry "
+                          f"{path.name}: {exc}")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        ensure_uid_floor(max_uid + 1)
+        return payload
+
+    def store(self, key: str, payload) -> None:
+        """Atomically persist ``payload`` under ``key``.
+
+        Best effort: an unwritable cache directory degrades to a no-op
+        rather than failing the experiment.
+        """
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump((payload, self._payload_max_uid(payload)), fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            warnings.warn(f"compile cache write failed ({exc}); continuing "
+                          "uncached")
+
+    @staticmethod
+    def _payload_max_uid(payload) -> int:
+        if isinstance(payload, CompiledProgram):
+            return _max_uid(payload.program, payload.reference, payload.sched)
+        if isinstance(payload, Program):
+            return _max_uid(payload)
+        return 0
+
+    # ------------------------------------------------------------ memoization
+    def compile_minic(self, source: str, config: CompileConfig,
+                      train_inputs: Optional[InputSet] = None,
+                      ) -> CompiledProgram:
+        """Memoized :func:`repro.harness.pipeline.compile_minic`."""
+        key = self.key("compiled", source, config, train_inputs)
+        cached = self.load(key)
+        if cached is not None:
+            return cached
+        compiled = compile_ir(compile_source(source), config, train_inputs)
+        self.store(key, compiled)
+        return compiled
+
+    def prepare_ir(self, source: str, config: CompileConfig,
+                   train_inputs: Optional[InputSet] = None) -> Program:
+        """Memoized front-end + :func:`prepare_ir` (schedulable, unscheduled).
+
+        Returns a program the caller may mutate: the cache keeps its own
+        pickled copy, so each load materializes a fresh object graph.
+        """
+        key = self.key("prepared", source, None, train_inputs,
+                       extra=_fingerprint_prepare(config))
+        cached = self.load(key)
+        if cached is not None:
+            return cached
+        prepared = prepare_ir(compile_source(source), config, train_inputs)
+        self.store(key, prepared)
+        return prepared
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "discarded": self.discarded,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.harness.cache import CompileCache
+from repro.harness.parallel import run_tasks
 from repro.harness.pipeline import (
     CompileConfig, CompiledProgram, SCALAR_CONFIG, compile_minic,
     make_input_image,
@@ -51,6 +53,10 @@ CONFIGS: dict[str, CompileConfig] = {
                                    regalloc="infinite"),
 }
 
+#: every configuration the bench report measures, in report order — the
+#: static compile configs plus the two dynamically-scheduled machines
+BENCH_CONFIG_KEYS: list[str] = list(CONFIGS) + ["dynamic", "dynamic_rename"]
+
 
 def geometric_mean(values: list[float]) -> Optional[float]:
     if not values:
@@ -75,9 +81,11 @@ class Lab:
     SABOTAGE_CYCLES = 1000
 
     def __init__(self, workloads: Optional[list[Workload]] = None,
-                 sabotage: Optional[str] = None) -> None:
+                 sabotage: Optional[str] = None,
+                 cache: Optional[CompileCache] = None) -> None:
         self.workloads = workloads if workloads is not None else all_workloads()
         self.sabotage = sabotage
+        self.cache = cache
         self._compiled: dict[tuple[str, str], CompiledProgram] = {}
         self._measured: dict[tuple[str, str], ExecutionResult] = {}
         self._reference: dict[str, list[int]] = {}
@@ -94,8 +102,12 @@ class Lab:
         key = (wname, config_key)
         if key not in self._compiled:
             w = self.workload(wname)
-            self._compiled[key] = compile_minic(w.source, CONFIGS[config_key],
-                                                w.train)
+            if self.cache is not None:
+                self._compiled[key] = self.cache.compile_minic(
+                    w.source, CONFIGS[config_key], w.train)
+            else:
+                self._compiled[key] = compile_minic(
+                    w.source, CONFIGS[config_key], w.train)
         return self._compiled[key]
 
     def reference_output(self, wname: str) -> list[int]:
@@ -143,7 +155,10 @@ class Lab:
             return None
         try:
             return self.measure(wname, config_key)
-        except (Trap, RuntimeError) as err:
+        except (Trap, RuntimeError, ValueError, KeyError) as err:
+            # ValueError/KeyError cover caller mistakes surfacing inside the
+            # pipeline — a bad input image from make_input_image, an unknown
+            # configuration key — which must cost one cell, not the report.
             self.errors[key] = f"{type(err).__name__}: {err}"
             return None
 
@@ -155,6 +170,49 @@ class Lab:
         if scalar is None or other is None:
             return None
         return scalar.cycle_count / other.cycle_count
+
+    # ------------------------------------------------------------- parallelism
+    def populate(self, jobs: int = 1) -> None:
+        """Pre-compute every bench cell, optionally across worker processes.
+
+        With ``jobs=1`` this simply warms the in-process memo the way the
+        report renderers would.  With ``jobs>1`` each (workload, config)
+        cell runs in a worker that replays the exact serial code path
+        (including error recording), and the outcomes are merged back in
+        serial task order — so the rendered report is byte-identical to a
+        serial run.  The on-disk compile cache (when configured) keeps the
+        workers from recompiling what siblings already built.
+        """
+        tasks = [(w.name, key, self.sabotage,
+                  str(self.cache.cache_dir) if self.cache is not None else None)
+                 for w in self.workloads for key in BENCH_CONFIG_KEYS]
+        if jobs <= 1:
+            for wname, key, _, _ in tasks:
+                self.cell(wname, key)
+            return
+        for (wname, key, _, _), outcome in zip(
+                tasks, run_tasks(_cell_worker, tasks, jobs)):
+            if outcome.error is not None:
+                # Worker infrastructure failure (not a recorded cell error) —
+                # degrade exactly like any other broken cell.
+                self.errors[(wname, key)] = outcome.error
+                continue
+            result, cell_error = outcome.value
+            if cell_error is not None:
+                self.errors[(wname, key)] = cell_error
+            elif result is not None:
+                self._measured[(wname, key)] = result
+
+
+def _cell_worker(task: tuple) -> tuple[Optional[ExecutionResult],
+                                       Optional[str]]:
+    """One bench cell in a worker process: replay ``Lab.cell`` for a single
+    (workload, config) pair and return (result, recorded-error-text)."""
+    wname, config_key, sabotage, cache_dir = task
+    lab = Lab(sabotage=sabotage,
+              cache=CompileCache(cache_dir) if cache_dir else None)
+    result = lab.cell(wname, config_key)
+    return result, lab.errors.get((wname, config_key))
 
 
 # ------------------------------------------------------------------ Table 1

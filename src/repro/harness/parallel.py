@@ -1,0 +1,74 @@
+"""Deterministic process-pool execution for the experiment drivers.
+
+``bench`` and ``verify`` fan independent cells — (workload, configuration)
+and (workload, model) buckets respectively — across worker processes.  Two
+properties make the parallel reports byte-identical to the serial ones:
+
+* **ordered merging** — results come back via ``Pool.map``, which preserves
+  task submission order, so aggregation happens in exactly the order the
+  serial loop would have used;
+* **per-task error capture** — a worker never lets an exception escape; it
+  returns the same one-line rendering the serial path would have recorded,
+  and the caller feeds it into the existing degradation machinery
+  (``Lab.errors``, campaign oracle errors).
+
+``jobs=1`` bypasses the pool entirely and runs tasks in-process, preserving
+today's debuggable single-process behavior (breakpoints, shared state,
+no pickling).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["TaskOutcome", "run_tasks"]
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced: a value, or the error that replaced it."""
+
+    index: int
+    value: Any = None
+    #: one-line ``TypeName: message`` rendering, None on success
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _guarded(worker: Callable[[Any], Any], index: int, task: Any
+             ) -> TaskOutcome:
+    try:
+        return TaskOutcome(index, value=worker(task))
+    except Exception as err:
+        return TaskOutcome(index, error=f"{type(err).__name__}: {err}")
+
+
+def _pool_entry(packed: tuple) -> TaskOutcome:
+    worker, index, task = packed
+    return _guarded(worker, index, task)
+
+
+def run_tasks(worker: Callable[[Any], Any], tasks: Sequence[Any],
+              jobs: int = 1) -> list[TaskOutcome]:
+    """Run ``worker`` over ``tasks``, returning outcomes in task order.
+
+    ``worker`` must be a module-level function and each task picklable when
+    ``jobs > 1`` (tasks cross a process boundary).  The pool uses the
+    ``fork`` start method where available so workers inherit imported
+    modules instead of re-importing them.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_guarded(worker, i, t) for i, t in enumerate(tasks)]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context()
+    nproc = min(jobs, len(tasks))
+    packed = [(worker, i, t) for i, t in enumerate(tasks)]
+    with ctx.Pool(processes=nproc) as pool:
+        return pool.map(_pool_entry, packed)

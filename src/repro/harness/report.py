@@ -3,9 +3,14 @@ the paper's tables and figures."""
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from repro.harness.experiments import (
     Lab, TABLE2_MODELS, figure8, figure9, table1, table2,
 )
+
+#: schema tag shared by ``bench --json`` and ``benchmarks/perf_smoke.py``
+BENCH_SCHEMA = "repro-bench/1"
 
 #: the paper's published values, for side-by-side comparison
 PAPER_TABLE1 = {
@@ -155,6 +160,30 @@ def render_all(lab: Lab) -> str:
     if errors:
         parts.append(errors)
     return "\n\n".join(parts)
+
+
+def bench_json(lab: Lab) -> dict:
+    """The tables/figures as one JSON-serializable structure.
+
+    Numbers are raw (no formatting/rounding); degraded cells are ``null``
+    with the failure text under ``errors`` — so CI can diff perf/accuracy
+    trajectories without parsing the human-readable report.
+    """
+    f8_rows, f8_means = figure8(lab)
+    t2_rows, t2_means = table2(lab)
+    f9_rows, f9_means = figure9(lab)
+    return {
+        "schema": BENCH_SCHEMA,
+        "table1": [asdict(r) for r in table1(lab)],
+        "figure8": {"rows": [asdict(r) for r in f8_rows],
+                    "geomeans": f8_means},
+        "table2": {"rows": [asdict(r) for r in t2_rows],
+                   "geomeans": t2_means},
+        "figure9": {"rows": [asdict(r) for r in f9_rows],
+                    "geomeans": f9_means},
+        "errors": {f"{w}/{c}": text
+                   for (w, c), text in sorted(lab.errors.items())},
+    }
 
 
 def _md_table(headers: list[str], rows: list[list[str]]) -> str:

@@ -23,6 +23,53 @@ def s32(x: int) -> int:
     return x - 0x100000000 if x >= 0x80000000 else x
 
 
+def _div(a: int, b: int, _imm: int) -> int:
+    if b == 0:
+        raise Trap(TrapKind.DIV_ZERO)
+    q = abs(s32(a)) // abs(s32(b))
+    return u32(-q if (s32(a) < 0) != (s32(b) < 0) else q)
+
+
+def _rem(a: int, b: int, _imm: int) -> int:
+    if b == 0:
+        raise Trap(TrapKind.DIV_ZERO)
+    q = abs(s32(a)) % abs(s32(b))
+    return u32(-q if s32(a) < 0 else q)
+
+
+#: ``op -> f(a, b, imm)`` for every non-memory, non-branch opcode.  The
+#: simulators' pre-decoded fast paths look the function up once per static
+#: instruction instead of walking an ``is``-chain per dynamic instruction.
+ALU_FUNCS = {
+    Opcode.ADD: lambda a, b, imm: (a + b) & MASK32,
+    Opcode.ADDI: lambda a, b, imm: (a + imm) & MASK32,
+    Opcode.SUB: lambda a, b, imm: (a - b) & MASK32,
+    Opcode.AND: lambda a, b, imm: a & b,
+    Opcode.ANDI: lambda a, b, imm: a & (imm & MASK32),
+    Opcode.OR: lambda a, b, imm: a | b,
+    Opcode.ORI: lambda a, b, imm: a | (imm & MASK32),
+    Opcode.XOR: lambda a, b, imm: a ^ b,
+    Opcode.XORI: lambda a, b, imm: a ^ (imm & MASK32),
+    Opcode.NOR: lambda a, b, imm: ~(a | b) & MASK32,
+    Opcode.SLT: lambda a, b, imm: 1 if s32(a) < s32(b) else 0,
+    Opcode.SLTI: lambda a, b, imm: 1 if s32(a) < imm else 0,
+    Opcode.SLTU: lambda a, b, imm: 1 if a < b else 0,
+    Opcode.SLTIU: lambda a, b, imm: 1 if a < (imm & MASK32) else 0,
+    Opcode.LUI: lambda a, b, imm: (imm << 16) & MASK32,
+    Opcode.LI: lambda a, b, imm: imm & MASK32,
+    Opcode.MOVE: lambda a, b, imm: a,
+    Opcode.SLL: lambda a, b, imm: (a << (imm & 31)) & MASK32,
+    Opcode.SRL: lambda a, b, imm: a >> (imm & 31),
+    Opcode.SRA: lambda a, b, imm: (s32(a) >> (imm & 31)) & MASK32,
+    Opcode.SLLV: lambda a, b, imm: (a << (b & 31)) & MASK32,
+    Opcode.SRLV: lambda a, b, imm: a >> (b & 31),
+    Opcode.SRAV: lambda a, b, imm: (s32(a) >> (b & 31)) & MASK32,
+    Opcode.MUL: lambda a, b, imm: (s32(a) * s32(b)) & MASK32,
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+}
+
+
 def execute_alu(instr: Instruction, a: int = 0, b: int = 0) -> int:
     """Compute the result of a non-memory, non-branch instruction.
 
@@ -30,82 +77,30 @@ def execute_alu(instr: Instruction, a: int = 0, b: int = 0) -> int:
     immediate is taken from the instruction.  Raises :class:`Trap` for
     divide-by-zero.
     """
-    op = instr.op
-    imm = instr.imm or 0
-    if op is Opcode.ADD:
-        return u32(a + b)
-    if op is Opcode.ADDI:
-        return u32(a + imm)
-    if op is Opcode.SUB:
-        return u32(a - b)
-    if op is Opcode.AND:
-        return a & b
-    if op is Opcode.ANDI:
-        return a & u32(imm)
-    if op is Opcode.OR:
-        return a | b
-    if op is Opcode.ORI:
-        return a | u32(imm)
-    if op is Opcode.XOR:
-        return a ^ b
-    if op is Opcode.XORI:
-        return a ^ u32(imm)
-    if op is Opcode.NOR:
-        return u32(~(a | b))
-    if op is Opcode.SLT:
-        return 1 if s32(a) < s32(b) else 0
-    if op is Opcode.SLTI:
-        return 1 if s32(a) < imm else 0
-    if op is Opcode.SLTU:
-        return 1 if a < b else 0
-    if op is Opcode.SLTIU:
-        return 1 if a < u32(imm) else 0
-    if op is Opcode.LUI:
-        return u32(imm << 16)
-    if op is Opcode.LI:
-        return u32(imm)
-    if op is Opcode.MOVE:
-        return a
-    if op is Opcode.SLL:
-        return u32(a << (imm & 31))
-    if op is Opcode.SRL:
-        return a >> (imm & 31)
-    if op is Opcode.SRA:
-        return u32(s32(a) >> (imm & 31))
-    if op is Opcode.SLLV:
-        return u32(a << (b & 31))
-    if op is Opcode.SRLV:
-        return a >> (b & 31)
-    if op is Opcode.SRAV:
-        return u32(s32(a) >> (b & 31))
-    if op is Opcode.MUL:
-        return u32(s32(a) * s32(b))
-    if op is Opcode.DIV:
-        if b == 0:
-            raise Trap(TrapKind.DIV_ZERO, instr_uid=instr.uid)
-        q = abs(s32(a)) // abs(s32(b))
-        return u32(-q if (s32(a) < 0) != (s32(b) < 0) else q)
-    if op is Opcode.REM:
-        if b == 0:
-            raise Trap(TrapKind.DIV_ZERO, instr_uid=instr.uid)
-        q = abs(s32(a)) % abs(s32(b))
-        return u32(-q if s32(a) < 0 else q)
-    raise ValueError(f"execute_alu cannot evaluate {instr}")
+    fn = ALU_FUNCS.get(instr.op)
+    if fn is None:
+        raise ValueError(f"execute_alu cannot evaluate {instr}")
+    try:
+        return fn(a, b, instr.imm or 0)
+    except Trap as trap:
+        trap.instr_uid = instr.uid
+        raise
+
+
+#: ``op -> f(a, b)`` for the conditional branches.
+BRANCH_FUNCS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLEZ: lambda a, b: s32(a) <= 0,
+    Opcode.BGTZ: lambda a, b: s32(a) > 0,
+    Opcode.BLTZ: lambda a, b: s32(a) < 0,
+    Opcode.BGEZ: lambda a, b: s32(a) >= 0,
+}
 
 
 def branch_taken(instr: Instruction, a: int = 0, b: int = 0) -> bool:
     """Evaluate a conditional branch's condition."""
-    op = instr.op
-    if op is Opcode.BEQ:
-        return a == b
-    if op is Opcode.BNE:
-        return a != b
-    if op is Opcode.BLEZ:
-        return s32(a) <= 0
-    if op is Opcode.BGTZ:
-        return s32(a) > 0
-    if op is Opcode.BLTZ:
-        return s32(a) < 0
-    if op is Opcode.BGEZ:
-        return s32(a) >= 0
-    raise ValueError(f"{instr} is not a conditional branch")
+    fn = BRANCH_FUNCS.get(instr.op)
+    if fn is None:
+        raise ValueError(f"{instr} is not a conditional branch")
+    return fn(a, b)

@@ -16,6 +16,11 @@ same input the static schedulers see).  It has no architectural delay
 slots — branch effects are handled by speculative fetch plus flush on
 misprediction, with stores, PRINTs, and traps deferred to commit so
 wrong-path execution can never become architectural.
+
+Like the functional and superscalar simulators, every static instruction is
+decoded once (``_Dec``) into pre-resolved handlers, register indices, and
+flat branch targets; the per-cycle stages then dispatch on plain ints
+instead of walking enum property chains.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.alu import ALU_FUNCS, BRANCH_FUNCS, s32
 from repro.hw.btb import BranchTargetBuffer
 from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
 from repro.hw.functional import EXIT_TOKEN
@@ -37,8 +42,75 @@ _TOKEN_STRIDE = 16
 _PC_BASE = 0x0040_0000
 _FAR_FUTURE = 1 << 60
 
+# Decode kinds: how _try_execute / _predict_next / _commit treat the op.
+(_K_ALU, _K_LOAD, _K_STORE, _K_CBR, _K_JR, _K_JAL, _K_J, _K_HALT,
+ _K_NOP, _K_PRINT, _K_OTHER) = range(11)
 
-@dataclass
+# Functional-unit slots: indices into the per-cycle issue counters.
+_FU_ALU, _FU_SHIFT, _FU_BRANCH, _FU_MULDIV, _FU_MEM, _FU_NONE = range(6)
+
+_FU_SLOT = {FU.ALU: _FU_ALU, FU.SHIFT: _FU_SHIFT, FU.BRANCH: _FU_BRANCH,
+            FU.MULDIV: _FU_MULDIV, FU.MEM: _FU_MEM}
+
+
+class _Dec:
+    """One static instruction, decoded once for the cycle loop."""
+
+    __slots__ = ("kind", "fu_slot", "is_term", "is_cbr", "is_load",
+                 "src_idxs", "def_idxs", "dst_idx", "imm", "latency",
+                 "mem_size", "is_lb", "pc", "target_idx", "alu_fn", "cbr_fn")
+
+    def __init__(self, sim: "DynamicSim", idx: int,
+                 instr: Instruction) -> None:
+        op = instr.op
+        if op.is_load:
+            self.kind = _K_LOAD
+        elif op.is_store:
+            self.kind = _K_STORE
+        elif op.is_cond_branch:
+            self.kind = _K_CBR
+        elif op is Opcode.JR:
+            self.kind = _K_JR
+        elif op is Opcode.JAL:
+            self.kind = _K_JAL
+        elif op is Opcode.J:
+            self.kind = _K_J
+        elif op is Opcode.HALT:
+            self.kind = _K_HALT
+        elif op is Opcode.NOP:
+            self.kind = _K_NOP
+        elif op is Opcode.PRINT:
+            self.kind = _K_PRINT
+        elif op in ALU_FUNCS:
+            self.kind = _K_ALU
+        else:
+            self.kind = _K_OTHER
+        self.fu_slot = _FU_SLOT.get(op.fu, _FU_NONE)
+        self.is_term = instr.is_terminator
+        self.is_cbr = self.kind == _K_CBR
+        self.is_load = self.kind == _K_LOAD
+        self.src_idxs = tuple(-1 if r.is_zero else r.index
+                              for r in instr.srcs)
+        self.def_idxs = tuple(r.index for r in instr.defs())
+        self.dst_idx = (instr.dst.index
+                        if instr.dst is not None and not instr.dst.is_zero
+                        else -1)
+        self.imm = instr.imm or 0
+        self.latency = op.latency
+        self.mem_size = 4 if op in (Opcode.LW, Opcode.SW) else 1
+        self.is_lb = op is Opcode.LB
+        self.pc = _PC_BASE + 4 * idx
+        if self.kind in (_K_J, _K_CBR):
+            self.target_idx = sim._target_idx(idx, instr.target)
+        elif self.kind == _K_JAL:
+            self.target_idx = sim.entry_idx[instr.target]
+        else:
+            self.target_idx = None
+        self.alu_fn = ALU_FUNCS.get(op)
+        self.cbr_fn = BRANCH_FUNCS.get(op)
+
+
+@dataclass(slots=True)
 class DynamicConfig:
     fetch_width: int = 2
     commit_width: int = 2
@@ -57,14 +129,15 @@ class DynamicConfig:
     mispredict_restart: int = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     seq: int
     idx: int                          # flat instruction index
     instr: Instruction
+    dec: _Dec
     dispatch_cycle: int
-    src_entries: list[Optional["_Entry"]]
-    src_values: list[Optional[int]]
+    src_entries: list = field(default_factory=list)
+    src_values: list = field(default_factory=list)
     started: bool = False
     done: bool = False
     complete_cycle: int = _FAR_FUTURE
@@ -106,6 +179,8 @@ class DynamicSim:
         for proc in program.procedures.values():
             n = sum(1 for b in proc.blocks for _ in b.instructions())
             self._owner.extend([proc.name] * n)
+        self._dec: list[_Dec] = [_Dec(self, i, instr)
+                                 for i, instr in enumerate(self.flat)]
 
         nregs = max(program.max_register_index() + 1, 32)
         self.arch_regs = [0] * nregs
@@ -141,66 +216,65 @@ class DynamicSim:
     def _target_idx(self, idx: int, label: str) -> int:
         return self.block_idx[(self._owner[idx], label)]
 
-    def _read_operand(self, reg: Reg) -> tuple[Optional[_Entry], Optional[int]]:
-        if reg.is_zero:
+    def _read_operand(self, ridx: int) -> tuple[Optional[_Entry], Optional[int]]:
+        if ridx < 0:
             return (None, 0)
-        producer = self.rename.get(reg.index)
+        producer = self.rename.get(ridx)
         if producer is None:
-            return (None, self.arch_regs[reg.index])
+            return (None, self.arch_regs[ridx])
         if producer.done:
             return (None, producer.value if producer.value is not None
-                    else self.arch_regs[reg.index])
+                    else self.arch_regs[ridx])
         return (producer, None)
 
     # ---------------------------------------------------------------- fetch
     def _predict_next(self, entry: _Entry) -> Optional[int]:
         """Where fetch continues after this instruction; None = stall."""
-        instr = entry.instr
+        dec = entry.dec
         idx = entry.idx
-        op = instr.op
-        if not instr.is_terminator:
+        if not dec.is_term:
             return idx + 1
-        if op is Opcode.HALT:
+        kind = dec.kind
+        if kind == _K_HALT:
             return None
-        if op is Opcode.J:
-            return self._target_idx(idx, instr.target)
-        if op is Opcode.JAL:
-            return self.entry_idx[instr.target]
-        if op.is_cond_branch:
-            hit = self.btb.lookup(self._pc(idx))
-            taken_target = self._target_idx(idx, instr.target)
+        if kind == _K_J or kind == _K_JAL:
+            return dec.target_idx
+        if kind == _K_CBR:
+            hit = self.btb.lookup(dec.pc)
             if hit is None:
                 entry.predicted_next = idx + 1  # fall through on a miss
             else:
                 predict_taken, _ = hit
-                entry.predicted_next = taken_target if predict_taken else idx + 1
+                entry.predicted_next = (dec.target_idx if predict_taken
+                                        else idx + 1)
             return entry.predicted_next
-        if op is Opcode.JR:
-            hit = self.btb.lookup(self._pc(idx))
+        if kind == _K_JR:
+            hit = self.btb.lookup(dec.pc)
             if hit is None:
                 entry.predicted_next = None
                 self.fetch_stalled_on = entry
                 return None
             entry.predicted_next = hit[1]
             return entry.predicted_next
-        raise ValueError(f"unhandled terminator {instr}")
+        raise ValueError(f"unhandled terminator {entry.instr}")
 
     def _fetch(self) -> None:
         if self.cycle < self._fetch_resume:
             return
+        flat = self.flat
+        dec = self._dec
         for _ in range(self.config.fetch_width):
             if self.fetch_idx is None or self.fetch_stalled_on is not None:
                 return
             if len(self.fetch_queue) >= self.config.fetch_buffer:
                 return
             idx = self.fetch_idx
-            if idx >= len(self.flat):
+            if idx >= len(flat):
                 self.fetch_idx = None
                 return
-            instr = self.flat[idx]
             self._seq += 1
-            entry = _Entry(seq=self._seq, idx=idx, instr=instr,
-                           dispatch_cycle=-1, src_entries=[], src_values=[])
+            entry = _Entry(seq=self._seq, idx=idx, instr=flat[idx],
+                           dec=dec[idx], dispatch_cycle=-1)
             self.fetch_queue.append(entry)
             self.fetch_idx = self._predict_next(entry)
             if self.fetch_idx is not None and self.fetch_idx != idx + 1:
@@ -212,30 +286,35 @@ class DynamicSim:
     # -------------------------------------------------------------- dispatch
     def _dispatch(self) -> None:
         cfg = self.config
+        rename = self.rename
+        # Done-ness cannot change mid-dispatch, so count once and track.
+        in_flight = sum(1 for e in self.rob if not e.done)
         for _ in range(cfg.fetch_width):
             if not self.fetch_queue:
                 return
             if len(self.rob) >= cfg.rob_entries:
                 return
-            in_flight = sum(1 for e in self.rob if not e.done)
             if in_flight >= cfg.reservation_stations:
                 return
             entry = self.fetch_queue[0]
-            instr = entry.instr
+            dec = entry.dec
             if not cfg.rename:
                 # Without renaming: one outstanding write per register.
-                for d in instr.defs():
-                    if d.index in self.rename and not self.rename[d.index].done:
+                for di in dec.def_idxs:
+                    producer = rename.get(di)
+                    if producer is not None and not producer.done:
                         return
             self.fetch_queue.pop(0)
             entry.dispatch_cycle = self.cycle
-            for reg in instr.srcs:
-                producer, value = self._read_operand(reg)
+            read = self._read_operand
+            for ridx in dec.src_idxs:
+                producer, value = read(ridx)
                 entry.src_entries.append(producer)
                 entry.src_values.append(value)
-            for d in instr.defs():
-                self.rename[d.index] = entry
+            for di in dec.def_idxs:
+                rename[di] = entry
             self.rob.append(entry)
+            in_flight += 1
 
     # ----------------------------------------------------------------- issue
     def _operands_ready(self, entry: _Entry) -> bool:
@@ -245,9 +324,8 @@ class DynamicSim:
             if producer.flushed:
                 # Producer was squashed after we captured it; its register
                 # now comes from the architectural file.
-                reg = entry.instr.srcs[i]
                 entry.src_entries[i] = None
-                entry.src_values[i] = self.arch_regs[reg.index]
+                entry.src_values[i] = self.arch_regs[entry.dec.src_idxs[i]]
                 continue
             if not producer.done or producer.complete_cycle > self.cycle:
                 return False
@@ -258,18 +336,19 @@ class DynamicSim:
     def _earlier_stores_resolved(self, entry: _Entry) -> Optional[int]:
         """None if the load must wait; else the forwarded value or -1 for
         'read memory'."""
+        seq = entry.seq
         for other in self.rob:
-            if other.seq >= entry.seq:
+            if other.seq >= seq:
                 break
-            if not other.instr.op.is_store:
+            if other.dec.kind != _K_STORE:
                 continue
             if other.addr is None:
                 return None  # unknown earlier store address
         value = None
         for other in self.rob:
-            if other.seq >= entry.seq:
+            if other.seq >= seq:
                 break
-            if not other.instr.op.is_store or other.addr is None:
+            if other.dec.kind != _K_STORE or other.addr is None:
                 continue
             o_lo, o_hi = other.addr, other.addr + other.mem_size
             lo, hi = entry.addr, entry.addr + entry.mem_size
@@ -283,41 +362,50 @@ class DynamicSim:
 
     def _issue(self) -> None:
         issued = 0
-        fu_used = {FU.ALU: 0, FU.SHIFT: 0, FU.BRANCH: 0}
+        issue_width = self.config.issue_width
+        cycle = self.cycle
+        fu_used = [0, 0, 0]           # ALU, SHIFT, BRANCH
+        operands_ready = self._operands_ready
+        try_execute = self._try_execute
         for entry in self.rob:
-            if issued >= self.config.issue_width:
+            if issued >= issue_width:
                 return
             if entry.started or entry.done:
                 continue
-            if entry.dispatch_cycle >= self.cycle:
+            if entry.dispatch_cycle >= cycle:
                 continue
-            if not self._operands_ready(entry):
+            if not operands_ready(entry):
                 continue
-            if not self._try_execute(entry, fu_used):
+            if not try_execute(entry, fu_used):
                 continue
             issued += 1
 
-    def _try_execute(self, entry: _Entry, fu_used: dict) -> bool:
-        instr = entry.instr
-        op = instr.op
-        fu = op.fu
-        if fu is FU.ALU and fu_used[FU.ALU] >= 2:
-            return False
-        if fu is FU.SHIFT and fu_used[FU.SHIFT] >= 1:
-            return False
-        if fu is FU.BRANCH and fu_used[FU.BRANCH] >= 1:
-            return False
-        if fu is FU.MULDIV and self._muldiv_free > self.cycle:
-            return False
-        if fu is FU.MEM and self._mem_free > self.cycle:
-            return False
+    def _try_execute(self, entry: _Entry, fu_used: list) -> bool:
+        dec = entry.dec
+        slot = dec.fu_slot
+        if slot == _FU_ALU:
+            if fu_used[_FU_ALU] >= 2:
+                return False
+        elif slot == _FU_SHIFT:
+            if fu_used[_FU_SHIFT] >= 1:
+                return False
+        elif slot == _FU_BRANCH:
+            if fu_used[_FU_BRANCH] >= 1:
+                return False
+        elif slot == _FU_MULDIV:
+            if self._muldiv_free > self.cycle:
+                return False
+        elif slot == _FU_MEM:
+            if self._mem_free > self.cycle:
+                return False
 
         vals = entry.src_values
-        if op.is_mem:
-            base = vals[0] if op.is_load else vals[1]
-            entry.addr = (base + (instr.imm or 0)) & 0xFFFFFFFF
-            entry.mem_size = 4 if op in (Opcode.LW, Opcode.SW) else 1
-            if op.is_store:
+        kind = dec.kind
+        if kind == _K_LOAD or kind == _K_STORE:
+            base = vals[0] if kind == _K_LOAD else vals[1]
+            entry.addr = (base + dec.imm) & 0xFFFFFFFF
+            entry.mem_size = dec.mem_size
+            if kind == _K_STORE:
                 entry.store_data = vals[0]
                 try:
                     self.mem.check(entry.addr, entry.mem_size)
@@ -333,7 +421,7 @@ class DynamicSim:
                 self.mem.check(entry.addr, entry.mem_size)
             except Trap as trap:
                 entry.trap = trap
-                self._finish(entry, op.latency)
+                self._finish(entry, dec.latency)
                 self._mem_free = self.cycle + 1
                 return True
             if fwd != -1:
@@ -341,59 +429,66 @@ class DynamicSim:
             else:
                 raw = self.mem.read_bytes(entry.addr, entry.mem_size)
                 value = int.from_bytes(raw, "little")
-            if op is Opcode.LB and value >= 0x80:
+            if dec.is_lb and value >= 0x80:
                 value -= 0x100
             entry.value = value & 0xFFFFFFFF
-            self._finish(entry, op.latency)
+            self._finish(entry, dec.latency)
             self._mem_free = self.cycle + 1
             return True
 
-        if op.is_cond_branch:
-            taken = branch_taken(instr, *vals)
-            entry.actual_next = (self._target_idx(entry.idx, instr.target)
-                                 if taken else entry.idx + 1)
+        if kind == _K_CBR:
+            a = vals[0] if vals else 0
+            b = vals[1] if len(vals) > 1 else 0
+            taken = dec.cbr_fn(a, b)
+            entry.actual_next = (dec.target_idx if taken else entry.idx + 1)
             entry.value = int(taken)
             self._finish(entry, 1)
-            fu_used[FU.BRANCH] += 1
+            fu_used[_FU_BRANCH] += 1
             return True
-        if op is Opcode.JAL:
+        if kind == _K_JAL:
             token = self._next_token
             self._next_token += _TOKEN_STRIDE
             self._tokens[token] = entry.idx + 1
             entry.value = token
             self._finish(entry, 1)
-            fu_used[FU.BRANCH] += 1
+            fu_used[_FU_BRANCH] += 1
             return True
-        if op is Opcode.JR:
+        if kind == _K_JR:
             addr = vals[0]
             entry.actual_next = (self._tokens.get(addr, -1)
                                  if addr != EXIT_TOKEN else -2)
             self._finish(entry, 1)
-            fu_used[FU.BRANCH] += 1
+            fu_used[_FU_BRANCH] += 1
             return True
-        if op in (Opcode.J, Opcode.HALT, Opcode.NOP, Opcode.PRINT):
+        if kind in (_K_J, _K_HALT, _K_NOP, _K_PRINT):
             # J resolves at fetch; HALT/PRINT act at commit.
             if vals:
                 entry.value = vals[0]
             self._finish(entry, 1)
-            if op.fu is FU.BRANCH:
-                fu_used[FU.BRANCH] += 1
-            elif op.fu is FU.ALU:
-                fu_used[FU.ALU] += 1
+            if slot == _FU_BRANCH:
+                fu_used[_FU_BRANCH] += 1
+            elif slot == _FU_ALU:
+                fu_used[_FU_ALU] += 1
             return True
 
+        fn = dec.alu_fn
+        if fn is None:
+            raise ValueError(f"execute_alu cannot evaluate {entry.instr}")
+        a = vals[0] if vals else 0
+        b = vals[1] if len(vals) > 1 else 0
         try:
-            entry.value = execute_alu(instr, *vals)
+            entry.value = fn(a, b, dec.imm)
         except Trap as trap:
+            trap.instr_uid = entry.instr.uid
             entry.trap = trap
-        latency = op.latency
+        latency = dec.latency
         self._finish(entry, latency)
-        if fu is FU.MULDIV:
+        if slot == _FU_MULDIV:
             self._muldiv_free = self.cycle + latency
-        elif fu is FU.SHIFT:
-            fu_used[FU.SHIFT] += 1
+        elif slot == _FU_SHIFT:
+            fu_used[_FU_SHIFT] += 1
         else:
-            fu_used[FU.ALU] += 1
+            fu_used[_FU_ALU] += 1
         return True
 
     def _finish(self, entry: _Entry, latency: int) -> None:
@@ -404,23 +499,23 @@ class DynamicSim:
     # -------------------------------------------------------------- writeback
     def _writeback(self) -> None:
         """Verify resolved control flow; flush on mispredictions."""
+        cycle = self.cycle
         for entry in self.rob:
-            if not entry.done or entry.complete_cycle != self.cycle:
+            if not entry.done or entry.complete_cycle != cycle:
                 continue
-            instr = entry.instr
-            if instr.op.is_cond_branch:
+            dec = entry.dec
+            if dec.is_cbr:
                 self.result.branch_count += 1
                 taken = bool(entry.value)
-                self.btb.update(self._pc(entry.idx), taken,
-                                self._target_idx(entry.idx, instr.target))
+                self.btb.update(dec.pc, taken, dec.target_idx)
                 if entry.predicted_next != entry.actual_next:
                     self.result.mispredict_count += 1
                     self._flush_after(entry)
                     return
-            elif instr.op is Opcode.JR:
+            elif dec.kind == _K_JR:
                 if entry.actual_next == -2:
                     continue  # program exit; handled at commit
-                self.btb.update(self._pc(entry.idx), True,
+                self.btb.update(dec.pc, True,
                                 entry.actual_next if entry.actual_next >= 0
                                 else 0)
                 if self.fetch_stalled_on is entry:
@@ -449,66 +544,75 @@ class DynamicSim:
         # Rebuild the rename table from the surviving entries.
         self.rename = {}
         for other in self.rob:
-            for d in other.instr.defs():
-                self.rename[d.index] = other
+            for di in other.dec.def_idxs:
+                self.rename[di] = other
         self.fetch_idx = entry.actual_next if entry.actual_next is not None \
             and entry.actual_next >= 0 else None
         self._fetch_resume = self.cycle + self.config.mispredict_restart
 
     # ----------------------------------------------------------------- commit
     def _commit(self) -> None:
+        result = self.result
+        arch_regs = self.arch_regs
+        rename = self.rename
+        cycle = self.cycle
         for _ in range(self.config.commit_width):
             if not self.rob:
                 return
             entry = self.rob[0]
-            if not entry.done or entry.complete_cycle >= self.cycle:
+            if not entry.done or entry.complete_cycle >= cycle:
                 return
-            instr = entry.instr
+            dec = entry.dec
             if entry.trap is not None:
-                entry.trap.instr_uid = instr.uid
-                self.result.trap = entry.trap
-                self.result.cycle_count = self.cycle
+                entry.trap.instr_uid = entry.instr.uid
+                result.trap = entry.trap
+                result.cycle_count = cycle
                 raise entry.trap
-            op = instr.op
-            if op is Opcode.HALT or (op is Opcode.JR
-                                     and entry.actual_next == -2):
+            kind = dec.kind
+            if kind == _K_HALT or (kind == _K_JR
+                                   and entry.actual_next == -2):
                 self.halted = True
                 return
-            if op is Opcode.JR and entry.actual_next == -1:
+            if kind == _K_JR and entry.actual_next == -1:
                 trap = Trap(TrapKind.ADDRESS_ERROR, addr=entry.src_values[0])
-                self.result.trap = trap
+                result.trap = trap
                 raise trap
             self.rob.pop(0)
-            if op is Opcode.PRINT:
-                self.result.output.append(s32(entry.value))
-            elif op.is_store:
+            if kind == _K_PRINT:
+                result.output.append(s32(entry.value))
+            elif kind == _K_STORE:
                 data = (entry.store_data & 0xFFFFFFFF).to_bytes(4, "little")
                 for i in range(entry.mem_size):
                     self.mem.store_byte(entry.addr + i, data[i])
-            elif entry.value is not None and instr.dst is not None \
-                    and not instr.dst.is_zero:
-                self.arch_regs[instr.dst.index] = entry.value
-            for d in instr.defs():
-                if self.rename.get(d.index) is entry:
-                    del self.rename[d.index]
-            if op is not Opcode.NOP:
-                self.result.instr_count += 1
+            elif entry.value is not None and dec.dst_idx >= 0:
+                arch_regs[dec.dst_idx] = entry.value
+            for di in dec.def_idxs:
+                if rename.get(di) is entry:
+                    del rename[di]
+            if kind != _K_NOP:
+                result.instr_count += 1
             else:
-                self.result.nop_count += 1
+                result.nop_count += 1
 
     # -------------------------------------------------------------------- run
     def run(self) -> ExecutionResult:
+        commit = self._commit
+        writeback = self._writeback
+        issue = self._issue
+        dispatch = self._dispatch
+        fetch = self._fetch
+        max_cycles = self.max_cycles
         while not self.halted:
             self.cycle += 1
-            if self.cycle > self.max_cycles:
-                raise RuntimeError(f"exceeded {self.max_cycles} cycles")
-            self._commit()
+            if self.cycle > max_cycles:
+                raise RuntimeError(f"exceeded {max_cycles} cycles")
+            commit()
             if self.halted:
                 break
-            self._writeback()
-            self._issue()
-            self._dispatch()
-            self._fetch()
+            writeback()
+            issue()
+            dispatch()
+            fetch()
             if (not self.rob and not self.fetch_queue
                     and self.fetch_idx is None
                     and self.fetch_stalled_on is None):

@@ -37,6 +37,12 @@ class Trap(Exception):
         target = f" (addr={self.addr:#x})" if self.addr is not None else ""
         return f"{self.kind.value}{target}{where}"
 
+    def __reduce__(self):
+        # Exception's default reduce replays __init__ with ``self.args``,
+        # which a dataclass leaves empty — rebuild from the fields instead
+        # so a Trap survives pickling across worker processes.
+        return (Trap, (self.kind, self.addr, self.instr_uid, self.location))
+
 
 @dataclass
 class PendingBoostException:

@@ -8,22 +8,39 @@ invariant on every workload.
 The simulator also doubles as the *profiler*: with ``profile=True`` it counts
 per-branch taken/not-taken outcomes and per-block execution counts, which the
 compiler turns into static predictions and trace probabilities.
+
+Two interpreter loops implement the same semantics:
+
+* the **fast path** (default) pre-decodes every instruction once into a flat
+  dispatch tuple — opcode handler, register *indices*, immediate — hoists the
+  hot state into locals, and accounts fuel at *block* granularity; when the
+  remaining fuel could run out inside a block it hands the machine state to
+  the reference loop, so :class:`FuelExhausted` still fires on exactly the
+  same instruction;
+* the **reference path** (``fast=False``) interprets :class:`Instruction`
+  objects directly, one attribute lookup at a time.  It is the readable
+  specification; ``tests/hw/test_fastpath.py`` pins the fast path to it.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.alu import ALU_FUNCS, BRANCH_FUNCS, branch_taken, execute_alu, s32
 from repro.hw.errors import FuelExhausted, WallClockExceeded
 from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
 from repro.hw.memory import Memory
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import RA, SP, Reg
-from repro.program.procedure import Procedure, Program
+from repro.program.procedure import Program
+
+#: ``REPRO_FAST_SIM=0`` forces the reference interpreter everywhere —
+#: the debugging escape hatch and the perf-smoke baseline.
+_FAST_DEFAULT = os.environ.get("REPRO_FAST_SIM", "1") != "0"
 
 __all__ = [
     "BranchProfile", "EXIT_TOKEN", "FuelExhausted", "FunctionalSim",
@@ -32,6 +49,18 @@ __all__ = [
 
 EXIT_TOKEN = 0x4000_0000
 _TOKEN_STRIDE = 16
+
+# Dispatch tags for the pre-decoded fast path (body instructions).
+_T_ALU, _T_LW, _T_LB, _T_LBU, _T_SW, _T_SB, _T_PRINT, _T_NOP = range(8)
+# Terminator kinds.
+_K_COND, _K_JUMP, _K_CALL, _K_RET, _K_HALT = range(5)
+
+_RA_INDEX = RA.index
+
+
+def _ridx(reg: Optional[Reg]) -> int:
+    """Register index for reads; -1 encodes the hard-wired zero register."""
+    return -1 if reg is None or reg.is_zero else reg.index
 
 
 @dataclass
@@ -66,6 +95,7 @@ class FunctionalSim:
         input_image: Optional[list[tuple[int, bytes]]] = None,
         fault_hook: Optional[Callable[[Instruction], Optional[Trap]]] = None,
         wall_clock_limit: Optional[float] = None,
+        fast: Optional[bool] = None,
     ) -> None:
         self.program = program
         self.max_steps = max_steps
@@ -73,6 +103,7 @@ class FunctionalSim:
         self.trap_handler = trap_handler
         self.fault_hook = fault_hook
         self.wall_clock_limit = wall_clock_limit
+        self.fast = _FAST_DEFAULT if fast is None else fast
 
         nregs = max(program.max_register_index() + 1, 32)
         self.regs = [0] * nregs
@@ -83,13 +114,15 @@ class FunctionalSim:
         self.regs[SP.index] = program.mem_size - 64
         self.regs[RA.index] = EXIT_TOKEN
 
-        self._tokens: dict[int, tuple[Procedure, int]] = {}
+        #: return-address token -> (procedure name, resume block index)
+        self._tokens: dict[int, tuple[str, int]] = {}
         self._next_token = EXIT_TOKEN + _TOKEN_STRIDE
         self.result = ExecutionResult()
         self._block_index: dict[str, dict[str, int]] = {
             name: {b.label: i for i, b in enumerate(p.blocks)}
             for name, p in program.procedures.items()
         }
+        self._decoded: Optional[dict[str, list[tuple]]] = None
 
     # --------------------------------------------------------------- plumbing
     def _read(self, reg: Reg) -> int:
@@ -113,15 +146,232 @@ class FunctionalSim:
         self.result.trap = trap
         raise trap
 
+    # ----------------------------------------------------------------- decode
+    def _decode_body(self, instr: Instruction) -> tuple:
+        op = instr.op
+        if op is Opcode.NOP:
+            return (_T_NOP, instr)
+        if op is Opcode.PRINT:
+            return (_T_PRINT, _ridx(instr.srcs[0]), instr)
+        if op.is_load:
+            tag = (_T_LW if op is Opcode.LW
+                   else _T_LB if op is Opcode.LB else _T_LBU)
+            return (tag, _ridx(instr.dst), _ridx(instr.srcs[0]),
+                    instr.imm or 0, instr)
+        if op.is_store:
+            tag = _T_SW if op is Opcode.SW else _T_SB
+            return (tag, _ridx(instr.srcs[0]), _ridx(instr.srcs[1]),
+                    instr.imm or 0, instr)
+        fn = ALU_FUNCS.get(op)
+        if fn is None:
+            raise ValueError(f"cannot decode {instr}")
+        aidx = _ridx(instr.srcs[0]) if instr.srcs else -1
+        bidx = _ridx(instr.srcs[1]) if len(instr.srcs) > 1 else -1
+        return (_T_ALU, fn, _ridx(instr.dst), aidx, bidx, instr.imm or 0,
+                instr)
+
+    def _decode_term(self, term: Instruction, index: dict[str, int]) -> tuple:
+        op = term.op
+        if op is Opcode.HALT:
+            return (_K_HALT,)
+        if op.is_cond_branch:
+            srcs = term.srcs
+            aidx = _ridx(srcs[0])
+            bidx = _ridx(srcs[1]) if len(srcs) > 1 else -1
+            return (_K_COND, BRANCH_FUNCS[op], aidx, bidx, term.predict_taken,
+                    term.uid, index[term.target])
+        if op is Opcode.J:
+            return (_K_JUMP, index[term.target])
+        if op is Opcode.JAL:
+            return (_K_CALL, term.target)
+        if op is Opcode.JR:
+            return (_K_RET, _ridx(term.srcs[0]), term)
+        if op is Opcode.JALR:
+            raise NotImplementedError("indirect calls use jal in this IR")
+        raise ValueError(f"unhandled terminator {term}")
+
+    def _decode(self) -> dict[str, list[tuple]]:
+        """Flatten every block into ``(entries, terminator, fuel cost,
+        profile key)`` with register indices resolved and handlers bound."""
+        decoded: dict[str, list[tuple]] = {}
+        for pname, proc in self.program.procedures.items():
+            index = self._block_index[pname]
+            blocks = []
+            for block in proc.blocks:
+                entries = tuple(self._decode_body(i) for i in block.body)
+                term = block.terminator
+                dterm = None if term is None else self._decode_term(term, index)
+                cost = len(block.body) + (0 if term is None else 1)
+                blocks.append((entries, dterm, cost, (pname, block.label)))
+            decoded[pname] = blocks
+        return decoded
+
     # -------------------------------------------------------------- execution
     def run(self, entry: Optional[str] = None) -> ExecutionResult:
-        proc = self.program.proc(entry or self.program.entry)
-        block_idx = 0
-        fuel = self.max_steps
-        result = self.result
-        profile = self.profile
+        name = entry or self.program.entry
         deadline = (time.monotonic() + self.wall_clock_limit
                     if self.wall_clock_limit is not None else None)
+        if self.fast:
+            return self._run_fast(name, self.max_steps, deadline)
+        return self._interp(name, 0, self.max_steps, deadline)
+
+    def _run_fast(self, entry_name: str, fuel: int,
+                  deadline: Optional[float]) -> ExecutionResult:
+        if self._decoded is None:
+            self._decoded = self._decode()
+        decoded = self._decoded
+        regs = self.regs
+        mem = self.mem
+        result = self.result
+        output = result.output
+        profile = self.profile
+        fault_hook = self.fault_hook
+        load_word = mem.load_word
+        load_byte = mem.load_byte
+        store_word = mem.store_word
+        store_byte = mem.store_byte
+        monotonic = time.monotonic
+        tokens = self._tokens
+
+        proc_name = entry_name
+        blocks = decoded[proc_name]
+        nblocks = len(blocks)
+        block_idx = 0
+        ic = 0  # instructions retired since the last flush to result
+
+        while True:
+            if deadline is not None and monotonic() > deadline:
+                result.instr_count += ic
+                raise WallClockExceeded(
+                    f"exceeded {self.wall_clock_limit}s wall clock "
+                    f"({result.instr_count:,} instructions executed)")
+            entries, term, cost, pkey = blocks[block_idx]
+            if fuel < cost:
+                # Not provably enough fuel for this block: hand the machine
+                # state to the reference loop, which checks per instruction
+                # and exhausts on exactly the right one.
+                result.instr_count += ic
+                return self._interp(proc_name, block_idx, fuel, deadline)
+            fuel -= cost
+            if profile is not None:
+                bc = profile.block_counts
+                bc[pkey] = bc.get(pkey, 0) + 1
+
+            for entry in entries:
+                tag = entry[0]
+                if tag == _T_NOP:
+                    result.nop_count += 1
+                    continue
+                ic += 1
+                try:
+                    if tag == _T_ALU:
+                        _, fn, d, ai, bi, imm, instr = entry
+                        if fault_hook is not None:
+                            injected = fault_hook(instr)
+                            if injected is not None:
+                                raise injected
+                        v = fn(regs[ai] if ai >= 0 else 0,
+                               regs[bi] if bi >= 0 else 0, imm)
+                        if d >= 0:
+                            regs[d] = v
+                    elif tag == _T_LW or tag == _T_LB or tag == _T_LBU:
+                        _, d, base, off, instr = entry
+                        if fault_hook is not None:
+                            injected = fault_hook(instr)
+                            if injected is not None:
+                                raise injected
+                        addr = ((regs[base] if base >= 0 else 0) + off) \
+                            & 0xFFFFFFFF
+                        if tag == _T_LW:
+                            v = load_word(addr)
+                        else:
+                            v = load_byte(addr, signed=(tag == _T_LB))
+                        if d >= 0:
+                            regs[d] = v & 0xFFFFFFFF
+                    elif tag == _T_SW or tag == _T_SB:
+                        _, vi, base, off, instr = entry
+                        if fault_hook is not None:
+                            injected = fault_hook(instr)
+                            if injected is not None:
+                                raise injected
+                        addr = ((regs[base] if base >= 0 else 0) + off) \
+                            & 0xFFFFFFFF
+                        value = regs[vi] if vi >= 0 else 0
+                        if tag == _T_SW:
+                            store_word(addr, value)
+                        else:
+                            store_byte(addr, value)
+                    else:  # _T_PRINT
+                        _, ai, instr = entry
+                        v = regs[ai] if ai >= 0 else 0
+                        output.append(v - 0x100000000 if v >= 0x80000000
+                                      else v)
+                except Trap as trap:
+                    result.instr_count += ic
+                    ic = 0
+                    self._handle_trap(trap, entry[-1])
+
+            if term is None:
+                block_idx += 1
+                if block_idx >= nblocks:
+                    result.instr_count += ic
+                    return result
+                continue
+
+            ic += 1
+            kind = term[0]
+            if kind == _K_COND:
+                _, fn, ai, bi, predict, uid, tidx = term
+                taken = fn(regs[ai] if ai >= 0 else 0,
+                           regs[bi] if bi >= 0 else 0)
+                result.branch_count += 1
+                if predict is not None and taken != predict:
+                    result.mispredict_count += 1
+                if profile is not None:
+                    profile.record(uid, taken)
+                block_idx = tidx if taken else block_idx + 1
+                continue
+            if kind == _K_JUMP:
+                block_idx = term[1]
+                continue
+            if kind == _K_CALL:
+                token = self._next_token
+                self._next_token += _TOKEN_STRIDE
+                tokens[token] = (proc_name, block_idx + 1)
+                regs[_RA_INDEX] = token
+                proc_name = term[1]
+                blocks = decoded[proc_name]
+                nblocks = len(blocks)
+                block_idx = 0
+                continue
+            if kind == _K_RET:
+                ai = term[1]
+                addr = regs[ai] if ai >= 0 else 0
+                if addr == EXIT_TOKEN:
+                    result.instr_count += ic
+                    return result
+                frame = tokens.get(addr)
+                if frame is None:
+                    result.instr_count += ic
+                    ic = 0
+                    trap = Trap(TrapKind.ADDRESS_ERROR, addr=addr,
+                                instr_uid=term[2].uid)
+                    self._handle_trap(trap, term[2])
+                    return result
+                proc_name, block_idx = frame
+                blocks = decoded[proc_name]
+                nblocks = len(blocks)
+                continue
+            # _K_HALT
+            result.instr_count += ic
+            return result
+
+    def _interp(self, proc_name: str, block_idx: int, fuel: int,
+                deadline: Optional[float]) -> ExecutionResult:
+        """The reference interpreter loop, resumable at any block."""
+        proc = self.program.proc(proc_name)
+        result = self.result
+        profile = self.profile
 
         while True:
             if deadline is not None and time.monotonic() > deadline:
@@ -178,7 +428,7 @@ class FunctionalSim:
             if op is Opcode.JAL:
                 token = self._next_token
                 self._next_token += _TOKEN_STRIDE
-                self._tokens[token] = (proc, block_idx + 1)
+                self._tokens[token] = (proc.name, block_idx + 1)
                 self._write(RA, token)
                 proc = self.program.proc(term.target)
                 block_idx = 0
@@ -193,7 +443,8 @@ class FunctionalSim:
                                 instr_uid=term.uid)
                     self._handle_trap(trap, term)
                     return result
-                proc, block_idx = frame
+                proc = self.program.proc(frame[0])
+                block_idx = frame[1]
                 continue
             if op is Opcode.JALR:
                 raise NotImplementedError("indirect calls use jal in this IR")

@@ -24,10 +24,11 @@ with the NO_BOOST model.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Optional
 
-from repro.hw.alu import branch_taken, execute_alu, s32
+from repro.hw.alu import ALU_FUNCS, branch_taken, execute_alu, s32
 from repro.hw.errors import (
     CycleLimitExceeded, ScheduleError, SimulationError, WallClockExceeded,
 )
@@ -41,6 +42,10 @@ from repro.isa.opcodes import Opcode
 from repro.isa.registers import RA, SP, Reg
 from repro.sched.schedprog import ScheduledProcedure, ScheduledProgram
 
+#: ``REPRO_FAST_SIM=0`` forces the reference interpreter everywhere —
+#: the debugging escape hatch and the perf-smoke baseline.
+_FAST_DEFAULT = os.environ.get("REPRO_FAST_SIM", "1") != "0"
+
 __all__ = ["SimulationError", "SuperscalarSim", "run_scheduled"]
 
 _TOKEN_STRIDE = 16
@@ -48,6 +53,14 @@ _TOKEN_STRIDE = 16
 #: called before an eligible instruction executes; returning a Trap makes
 #: the machine behave as if the instruction itself faulted (fault injection)
 FaultHook = Callable[[Instruction], Optional[Trap]]
+
+# Dispatch tags for the pre-decoded fast path.
+_S_ALU, _S_LOAD, _S_STORE, _S_PRINT, _S_TERM, _S_NOP = range(6)
+
+
+def _ridx(reg) -> int:
+    """Register index for reads; -1 encodes the hard-wired zero register."""
+    return -1 if reg is None or reg.is_zero else reg.index
 
 
 class SuperscalarSim:
@@ -60,6 +73,7 @@ class SuperscalarSim:
         fault_hook: Optional[FaultHook] = None,
         wall_clock_limit: Optional[float] = None,
         shiftbuf: Optional[ExceptionShiftBuffer] = None,
+        fast: Optional[bool] = None,
     ) -> None:
         self.sched = sched
         self.program = sched.program
@@ -102,6 +116,8 @@ class SuperscalarSim:
         self.boosted_squashed = 0
         self._ctl: Optional[tuple] = None
         self.now = 0
+        self.fast = _FAST_DEFAULT if fast is None else fast
+        self._decoded: Optional[dict[str, list]] = None
 
     # ------------------------------------------------------------- primitives
     def _read(self, reg: Reg, level: int) -> int:
@@ -143,8 +159,56 @@ class SuperscalarSim:
         self.result.trap = trap
         raise trap
 
+    # ----------------------------------------------------------------- decode
+    def _decode_slot(self, instr: Instruction) -> tuple:
+        """Flat dispatch tuple for one issue slot: tag, operand register
+        indices, and everything ``_execute`` would otherwise look up per
+        dynamic instance."""
+        op = instr.op
+        boost = instr.boost
+        srcs = tuple(_ridx(r) for r in instr.srcs)
+        if op is Opcode.NOP:
+            return (_S_NOP, instr, boost, srcs)
+        if instr.is_terminator:
+            return (_S_TERM, instr, boost, srcs)
+        if op is Opcode.PRINT:
+            return (_S_PRINT, instr, boost, srcs)
+        dst = _ridx(instr.dst)
+        if op.is_load:
+            return (_S_LOAD, instr, boost, srcs, dst, op.latency,
+                    instr.imm or 0, 4 if op is Opcode.LW else 1,
+                    op is Opcode.LB)
+        if op.is_store:
+            return (_S_STORE, instr, boost, srcs, instr.imm or 0,
+                    4 if op is Opcode.SW else 1)
+        fn = ALU_FUNCS.get(op)
+        if fn is None:
+            raise ScheduleError(f"cannot decode {instr}")
+        return (_S_ALU, instr, boost, srcs, dst, op.latency, instr.imm or 0,
+                fn)
+
+    def _decode(self) -> dict[str, list]:
+        """Per procedure: per block, the issue rows with ``None`` slots
+        dropped and the scoreboard watch set precomputed."""
+        decoded: dict[str, list] = {}
+        for name, proc in self.sched.procedures.items():
+            blocks = []
+            for block in proc.blocks:
+                rows = []
+                for row in block.cycles:
+                    entries = tuple(self._decode_slot(i) for i in row
+                                    if i is not None)
+                    watch = tuple({idx for e in entries for idx in e[3]
+                                   if idx >= 0})
+                    rows.append((entries, watch))
+                blocks.append(rows)
+            decoded[name] = blocks
+        return decoded
+
     # -------------------------------------------------------------- execution
     def run(self, entry: Optional[str] = None) -> ExecutionResult:
+        if self.fast:
+            return self._run_fast(entry)
         proc = self.sched.proc(entry or self.program.entry)
         block_idx = 0
         deadline = (time.monotonic() + self.wall_clock_limit
@@ -166,6 +230,164 @@ class SuperscalarSim:
                 self.result.cycle_count = self.now
                 return self.result
             proc, block_idx = nxt
+
+    def _run_fast(self, entry: Optional[str] = None) -> ExecutionResult:
+        if self._decoded is None:
+            self._decoded = self._decode()
+        decoded = self._decoded
+        proc = self.sched.proc(entry or self.program.entry)
+        blocks = decoded[proc.name]
+        block_idx = 0
+        deadline = (time.monotonic() + self.wall_clock_limit
+                    if self.wall_clock_limit is not None else None)
+        monotonic = time.monotonic
+        max_cycles = self.max_cycles
+
+        regs = self.regs
+        ready = self._ready
+        ready_get = ready.get
+        shadow = self.shadow
+        shadow_read = shadow.read
+        shadow_write = shadow.write
+        storebuf = self.storebuf
+        mem = self.mem
+        mem_check = mem.check
+        result = self.result
+        output = result.output
+        fault_hook = self.fault_hook
+        now = self.now
+
+        while True:
+            if now > max_cycles:
+                self.now = now
+                raise CycleLimitExceeded(f"exceeded {max_cycles} cycles")
+            if deadline is not None and monotonic() > deadline:
+                self.now = now
+                raise WallClockExceeded(
+                    f"exceeded {self.wall_clock_limit}s wall clock "
+                    f"({now:,} cycles simulated)")
+            self._ctl = None
+            self._cur = (proc, block_idx)
+            for entries, watch in blocks[block_idx]:
+                # Scoreboard interlock: the whole issue packet waits.
+                for idx in watch:
+                    r = ready_get(idx, 0)
+                    if r > now:
+                        now = r
+                # Phase 1: all operands read before any result is written.
+                values = []
+                for entry in entries:
+                    boost = entry[2]
+                    if boost:
+                        vals = []
+                        for idx in entry[3]:
+                            if idx < 0:
+                                vals.append(0)
+                            else:
+                                hit = shadow_read(idx, boost)
+                                vals.append(regs[idx] if hit is None else hit)
+                        values.append(tuple(vals))
+                    else:
+                        values.append(tuple(0 if idx < 0 else regs[idx]
+                                            for idx in entry[3]))
+                # Phase 2: execute.
+                for entry, vals in zip(entries, values):
+                    tag = entry[0]
+                    if tag == _S_NOP:
+                        result.nop_count += 1
+                        continue
+                    result.instr_count += 1
+                    instr = entry[1]
+                    boost = entry[2]
+                    if boost:
+                        self.boosted_executed += 1
+                    if tag == _S_TERM:
+                        self.now = now
+                        self._resolve_terminator(instr, vals)
+                        continue
+                    if tag == _S_PRINT:
+                        v = vals[0] & 0xFFFFFFFF
+                        output.append(v - 0x100000000 if v >= 0x80000000
+                                      else v)
+                        continue
+                    if fault_hook is not None:
+                        injected = fault_hook(instr)
+                        if injected is not None:
+                            fix = self._trap(injected, instr)
+                            if fix is not None:
+                                self.now = now
+                                self._write(instr, fix)
+                            continue
+                    if tag == _S_ALU:
+                        _, _, _, _, dst, lat, imm, fn = entry
+                        try:
+                            value = fn(vals[0] if vals else 0,
+                                       vals[1] if len(vals) > 1 else 0, imm)
+                        except Trap as trap:
+                            fix = self._trap(trap, instr)
+                            if fix is None:
+                                continue
+                            value = fix
+                        if dst >= 0:
+                            if boost:
+                                shadow_write(dst, boost, value & 0xFFFFFFFF)
+                            else:
+                                regs[dst] = value & 0xFFFFFFFF
+                            ready[dst] = now + lat
+                    elif tag == _S_LOAD:
+                        _, _, _, _, dst, lat, off, size, signed = entry
+                        addr = (vals[0] + off) & 0xFFFFFFFF
+                        try:
+                            mem_check(addr, size)
+                        except Trap as trap:
+                            fix = self._trap(trap, instr)
+                            if fix is None:
+                                continue
+                            value = fix
+                        else:
+                            if storebuf is not None:
+                                raw = storebuf.load(mem, addr, size, boost)
+                            else:
+                                raw = mem.read_bytes(addr, size)
+                            value = int.from_bytes(raw, "little")
+                            if signed and value >= 0x80:
+                                value -= 0x100
+                        if dst >= 0:
+                            if boost:
+                                shadow_write(dst, boost, value & 0xFFFFFFFF)
+                            else:
+                                regs[dst] = value & 0xFFFFFFFF
+                            ready[dst] = now + lat
+                    elif tag == _S_STORE:
+                        _, _, _, _, off, size = entry
+                        value, base = vals
+                        addr = (base + off) & 0xFFFFFFFF
+                        try:
+                            mem_check(addr, size)
+                        except Trap as trap:
+                            self._trap(trap, instr)
+                            continue
+                        if boost:
+                            if storebuf is None:
+                                raise ScheduleError(
+                                    f"{self.model.name}: boosted store but "
+                                    f"no shadow store buffer ({instr})")
+                            data = (value & 0xFFFFFFFF).to_bytes(
+                                4, "little")[:size]
+                            storebuf.store(boost, addr, data)
+                        elif size == 4:
+                            mem.store_word(addr, value)
+                        else:
+                            mem.store_byte(addr, value)
+                now += 1
+            self.now = now
+            nxt = self._block_end(proc, block_idx, blocks[block_idx])
+            now = self.now  # recovery may have advanced the clock
+            if nxt is None:
+                result.cycle_count = now
+                return result
+            proc, block_idx = nxt
+            blocks = decoded[proc.name]
 
     def _issue_row(self, row: list[Optional[Instruction]]) -> None:
         instrs = [i for i in row if i is not None]

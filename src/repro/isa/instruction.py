@@ -22,6 +22,20 @@ from repro.isa.registers import RA, Reg
 _uid_counter = itertools.count(1)
 
 
+def ensure_uid_floor(floor: int) -> None:
+    """Advance the uid counter to at least ``floor``.
+
+    Programs deserialized from the compile cache carry uids assigned by the
+    process that built them; a fresh process's counter restarts near 1, and a
+    later :meth:`Instruction.copy` could collide with a cached uid and corrupt
+    fault plans or recovery indexing.  Callers that load cached programs must
+    bump the counter past every loaded uid.
+    """
+    global _uid_counter
+    current = next(_uid_counter)
+    _uid_counter = itertools.count(max(current, floor))
+
+
 class Direction:
     """Predicted directions for the general boosting label."""
 

@@ -95,6 +95,12 @@ class Reg:
     def __lt__(self, other: "Reg") -> bool:
         return self.index < other.index
 
+    def __reduce__(self):
+        # Re-enter __new__ on unpickle so interning survives a round trip
+        # (the default object reconstructor would bypass the cache and
+        # break ``Reg(5) is Reg(5)``).
+        return (Reg, (self.index,))
+
 
 # Conventional register aliases, exported for builder/codegen convenience.
 ZERO = Reg.named("zero")

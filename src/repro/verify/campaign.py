@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.frontend import compile_source
+from repro.harness.cache import CompileCache
+from repro.harness.parallel import run_tasks
 from repro.harness.pipeline import (
     CompileConfig, make_input_image, prepare_ir, schedule_ir,
 )
@@ -109,6 +111,7 @@ class VerifyCampaign:
         seed_start: int = 0,
         checker: Optional[DifferentialChecker] = None,
         progress: Optional[Callable[[str], None]] = None,
+        cache: Optional[CompileCache] = None,
     ) -> None:
         available = {w.name: w for w in all_workloads()}
         names = workload_names or sorted(available)
@@ -124,31 +127,69 @@ class VerifyCampaign:
                              f"available: {sorted(CAMPAIGN_CONFIGS)}")
         self.seeds = seeds
         self.seed_start = seed_start
+        self._custom_checker = checker is not None
         self.checker = checker or DifferentialChecker()
         self.progress = progress or (lambda msg: None)
+        self.cache = cache
 
     # ------------------------------------------------------------------- run
-    def run(self) -> CampaignSummary:
+    def run(self, jobs: int = 1) -> CampaignSummary:
+        """Run the campaign; ``jobs>1`` fans (workload, model) buckets to
+        worker processes and merges in serial order, so the formatted
+        summary is byte-identical to ``jobs=1``.  A campaign carrying a
+        custom checker always runs serially (closures don't cross process
+        boundaries)."""
+        if jobs > 1 and not self._custom_checker:
+            return self._run_parallel(jobs)
         summary = CampaignSummary()
         for w in self.workloads:
             self.progress(f"preparing {w.name} ...")
-            prepared = prepare_ir(compile_source(w.source),
-                                  CAMPAIGN_CONFIGS[self.model_keys[0]],
-                                  w.train)
+            prepared = self._prepare(w)
             image = make_input_image(prepared, w.eval)
             plans = [make_plan(prepared, seed) for seed in
                      range(self.seed_start, self.seed_start + self.seeds)]
             for model_key in self.model_keys:
-                bucket = self._run_bucket(w.name, model_key, prepared,
-                                          image, plans, summary)
+                bucket, divergences, oracle_errors = self._run_bucket(
+                    w.name, model_key, prepared, image, plans)
                 summary.results.append(bucket)
+                summary.divergences.extend(divergences)
+                summary.oracle_errors.extend(oracle_errors)
+        return summary
+
+    def _prepare(self, w) -> Program:
+        config = CAMPAIGN_CONFIGS[self.model_keys[0]]
+        if self.cache is not None:
+            return self.cache.prepare_ir(w.source, config, w.train)
+        return prepare_ir(compile_source(w.source), config, w.train)
+
+    def _run_parallel(self, jobs: int) -> CampaignSummary:
+        cache_dir = (str(self.cache.cache_dir) if self.cache is not None
+                     else None)
+        tasks = [(w.name, model_key, self.seeds, self.seed_start, cache_dir)
+                 for w in self.workloads for model_key in self.model_keys]
+        summary = CampaignSummary()
+        for (wname, model_key, _, _, _), outcome in zip(
+                tasks, run_tasks(_bucket_worker, tasks, jobs)):
+            if outcome.error is not None:
+                bucket = CampaignResult(workload=wname, config=model_key)
+                summary.results.append(bucket)
+                summary.oracle_errors.append(
+                    f"{wname}/{model_key}: worker failed: {outcome.error}")
+                continue
+            bucket, divergences, oracle_errors = outcome.value
+            summary.results.append(bucket)
+            summary.divergences.extend(divergences)
+            summary.oracle_errors.extend(oracle_errors)
         return summary
 
     def _run_bucket(self, wname: str, model_key: str, prepared: Program,
                     image, plans: list[FaultPlan],
-                    summary: CampaignSummary) -> CampaignResult:
+                    ) -> tuple[CampaignResult, list[DivergenceError],
+                               list[str]]:
         config = CAMPAIGN_CONFIGS[model_key]
         bucket = CampaignResult(workload=wname, config=model_key)
+        divergences: list[DivergenceError] = []
+        oracle_errors: list[str] = []
         base_prog = clone_program(prepared)
         base_ref = clone_program(prepared)
         base_sched, _ = schedule_ir(base_prog, config)
@@ -165,7 +206,7 @@ class VerifyCampaign:
                     config=model_key)
             except RuntimeError as err:
                 bucket.errors += 1
-                summary.oracle_errors.append(
+                oracle_errors.append(
                     f"{wname}/{model_key} seed={plan.seed}: "
                     f"{type(err).__name__}: {err}")
                 continue
@@ -178,14 +219,14 @@ class VerifyCampaign:
                 bucket.divergent += 1
                 err = self._minimize(wname, model_key, prepared, image,
                                      plan, base_sched, base_ref, report)
-                summary.divergences.append(err)
+                divergences.append(err)
                 self.progress(f"  DIVERGENCE {wname}/{model_key} "
                               f"seed={plan.seed}")
         self.progress(f"  {wname}/{model_key}: {bucket.runs} runs, "
                       f"{bucket.trapped} trapped, "
                       f"{bucket.recoveries} recoveries, "
                       f"{bucket.divergent} divergences")
-        return bucket
+        return bucket, divergences, oracle_errors
 
     def _flipped(self, prepared: Program, plan: FaultPlan,
                  config: CompileConfig):
@@ -228,6 +269,27 @@ class VerifyCampaign:
             config=model_key, seed=plan.seed, plan_text=plan.describe(),
             context={"reference": full_report.reference.summary(),
                      "superscalar": full_report.superscalar.summary()})
+
+
+def _bucket_worker(task: tuple) -> tuple[CampaignResult,
+                                         list[DivergenceError], list[str]]:
+    """One (workload, model) bucket in a worker process.
+
+    Replays the exact serial code path — same preparation (via the shared
+    on-disk cache when configured), same plans, same checker — and returns
+    the pieces the parent merges in serial order.
+    """
+    wname, model_key, seeds, seed_start, cache_dir = task
+    campaign = VerifyCampaign(
+        workload_names=[wname], model_keys=[model_key],
+        seeds=seeds, seed_start=seed_start,
+        cache=CompileCache(cache_dir) if cache_dir else None)
+    w = campaign.workloads[0]
+    prepared = campaign._prepare(w)
+    image = make_input_image(prepared, w.eval)
+    plans = [make_plan(prepared, seed) for seed in
+             range(seed_start, seed_start + seeds)]
+    return campaign._run_bucket(wname, model_key, prepared, image, plans)
 
 
 # ------------------------------------------------------------------ self-test

@@ -71,3 +71,11 @@ class DivergenceError(SimulationError):
 
     def __str__(self) -> str:
         return self.describe()
+
+    def __reduce__(self):
+        # Exception pickling replays __init__ with ``self.args``, which does
+        # not match the dataclass signature — rebuild from the fields so the
+        # error crosses process boundaries intact.
+        return (DivergenceError, (self.divergences, self.workload, self.config,
+                                  self.seed, self.plan_text, self.minimized,
+                                  self.context))

@@ -1,0 +1,140 @@
+"""The on-disk compile cache: keying, invalidation, corruption handling."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.harness import cache as cache_mod
+from repro.harness.cache import CODE_VERSION, CompileCache
+from repro.harness.experiments import CONFIGS
+from repro.harness.pipeline import make_input_image
+from repro.hw.superscalar import SuperscalarSim
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+SOURCE = """
+global xs[4] = { 2, 7, 1, 8 };
+func main() {
+    var s = 0;
+    for (var i = 0; i < 4; i = i + 1) { s = s + xs[i]; }
+    print(s);
+}
+"""
+
+SOURCE2 = SOURCE.replace("s + xs[i]", "s + xs[i] + 1")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompileCache(tmp_path)
+
+
+def _run(cp):
+    sim = SuperscalarSim(cp.sched,
+                         input_image=make_input_image(cp.program, None))
+    return sim.run()
+
+
+def test_miss_then_hit(cache):
+    cp1 = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 1
+    cp2 = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert cache.stats()["hits"] == 1
+    assert _run(cp1).output == _run(cp2).output
+    assert _run(cp1).cycle_count == _run(cp2).cycle_count
+
+
+def test_config_change_misses(cache):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    cache.compile_minic(SOURCE, CONFIGS["boost7"])
+    assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 2
+
+
+def test_source_change_misses(cache):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    cache.compile_minic(SOURCE2, CONFIGS["minboost3"])
+    assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 2
+
+
+def test_train_inputs_change_misses(cache):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"], {"xs": [1, 2, 3, 4]})
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"], {"xs": [4, 3, 2, 1]})
+    assert cache.stats()["misses"] == 2
+
+
+def test_code_version_bump_invalidates(cache, monkeypatch):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    monkeypatch.setattr(cache_mod, "CODE_VERSION", CODE_VERSION + 1)
+    fresh = CompileCache(cache.cache_dir)
+    fresh.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert fresh.stats()["hits"] == 0 and fresh.stats()["misses"] == 1
+
+
+def test_corrupted_entry_discarded_with_warning(cache):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    key = cache.key("compiled", SOURCE, CONFIGS["minboost3"], None)
+    path = cache.cache_dir / f"{key}.pkl"
+    assert path.exists()
+    path.write_bytes(b"\x80\x04 this is not a valid pickle")
+    fresh = CompileCache(cache.cache_dir)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cp = fresh.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert any("corrupt" in str(w.message) for w in caught)
+    assert fresh.stats()["discarded"] == 1
+    assert fresh.stats()["hits"] == 0
+    # The poisoned file is gone and replaced by a fresh, loadable entry.
+    with open(path, "rb") as fh:
+        pickle.load(fh)
+    assert _run(cp).output == [18]
+
+
+def test_truncated_entry_discarded(cache):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    key = cache.key("compiled", SOURCE, CONFIGS["minboost3"], None)
+    path = cache.cache_dir / f"{key}.pkl"
+    path.write_bytes(path.read_bytes()[:20])
+    fresh = CompileCache(cache.cache_dir)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fresh.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert any("corrupt" in str(w.message) for w in caught)
+    assert fresh.stats()["discarded"] == 1
+
+
+def test_loaded_program_bumps_uid_counter(cache):
+    cp = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    cache2 = CompileCache(cache.cache_dir)
+    loaded = cache2.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert cache2.stats()["hits"] == 1
+    cached_max = max(i.uid for p in loaded.program.procedures.values()
+                     for i in p.instructions())
+    fresh_instr = Instruction(Opcode.NOP)
+    assert fresh_instr.uid > cached_max
+    del cp
+
+
+def test_prepare_ir_shared_across_models(cache):
+    """Preparation is model-independent, so every campaign model hits the
+    same entry."""
+    cache.prepare_ir(SOURCE, CONFIGS["boost1"])
+    cache.prepare_ir(SOURCE, CONFIGS["boost7"])
+    assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+
+def test_prepare_ir_returns_fresh_object_graph(cache):
+    one = cache.prepare_ir(SOURCE, CONFIGS["minboost3"])
+    two = cache.prepare_ir(SOURCE, CONFIGS["minboost3"])
+    assert one is not two  # callers may mutate (scheduling does)
+
+
+def test_unwritable_cache_dir_degrades_to_uncached(tmp_path):
+    target = tmp_path / "blocked"
+    target.write_text("a file where the cache dir should be")
+    cache = CompileCache(target)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cp = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert any("cache write failed" in str(w.message) for w in caught)
+    assert _run(cp).output == [18]

@@ -131,3 +131,21 @@ def test_verify_single_seed_runs(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+@pytest.mark.parametrize("command", ["compile", "run"])
+@pytest.mark.parametrize("bad_source, fragment", [
+    ("func main() { var x = ; }", "parse"),          # parse error
+    ("func main() { y = 1; }", "y"),                 # codegen: unknown var
+    ("func main() { var a = `; }", "`"),             # lex error
+])
+def test_minic_errors_are_one_line_exit_2(command, bad_source, fragment,
+                                          tmp_path, capsys):
+    path = tmp_path / "bad.mc"
+    path.write_text(bad_source)
+    rc = main([command, str(path)])
+    out, err = capsys.readouterr()
+    assert rc == 2
+    assert out == ""
+    assert err.count("\n") == 1
+    assert err.startswith(f"repro: {path}: ")

@@ -1,0 +1,100 @@
+"""The deterministic parallel executor and its bench/verify integration."""
+
+import pytest
+
+from repro.harness.experiments import BENCH_CONFIG_KEYS, Lab
+from repro.harness.parallel import TaskOutcome, run_tasks
+from repro.harness.report import bench_json, render_all
+from repro.workloads.registry import Workload
+
+SOURCE = """
+global xs[8];
+global n = 0;
+func main() {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (xs[i] > 3) { s = s + xs[i]; }
+    }
+    print(s);
+}
+"""
+
+
+def _stub(name="awk", eval_inputs=None):
+    return Workload(name=name, paper_benchmark="n/a", description="stub",
+                    source=SOURCE,
+                    train={"xs": [1, 5, 2, 6, 3, 7, 4, 8], "n": 8},
+                    eval=(eval_inputs if eval_inputs is not None
+                          else {"xs": [8, 1, 7, 2, 6, 3, 5, 4], "n": 8}))
+
+
+# Workers must be module-level for pickling across the pool.
+def _square(x):
+    return x * x
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError(f"boom {x}")
+    return x
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_tasks_preserves_order(jobs):
+    outcomes = run_tasks(_square, list(range(8)), jobs=jobs)
+    assert [o.index for o in outcomes] == list(range(8))
+    assert [o.value for o in outcomes] == [i * i for i in range(8)]
+    assert all(o.ok for o in outcomes)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_tasks_captures_errors_per_task(jobs):
+    outcomes = run_tasks(_explode_on_three, [1, 2, 3, 4], jobs=jobs)
+    assert [o.ok for o in outcomes] == [True, True, False, True]
+    assert outcomes[2].error == "ValueError: boom 3"
+    assert outcomes[2].value is None
+    assert outcomes[3].value == 4
+
+
+def test_bench_config_keys_cover_all_report_configs():
+    assert "scalar" in BENCH_CONFIG_KEYS
+    assert "dynamic" in BENCH_CONFIG_KEYS
+    assert "dynamic_rename" in BENCH_CONFIG_KEYS
+    assert len(BENCH_CONFIG_KEYS) == len(set(BENCH_CONFIG_KEYS))
+
+
+def test_populate_serial_matches_lazy_render():
+    lazy = Lab([_stub()])
+    text_lazy = render_all(lazy)
+    eager = Lab([_stub()])
+    eager.populate(jobs=1)
+    assert render_all(eager) == text_lazy
+
+
+def test_cell_captures_value_and_key_errors():
+    lab = Lab([_stub()])
+    # Unknown configuration key: escapes as KeyError without the broadened
+    # catch and would abort the whole report.
+    assert lab.cell("awk", "no_such_config") is None
+    assert "KeyError" in lab.errors[("awk", "no_such_config")]
+
+    # A bad input image surfaces as ValueError from make_input_image.
+    lab2 = Lab([_stub(eval_inputs={"nonexistent_global": 1})])
+    assert lab2.cell("awk", "scalar") is None
+    assert "ValueError" in lab2.errors[("awk", "scalar")]
+    # The report still renders, degraded.
+    assert "ERR" in render_all(lab2)
+
+
+def test_bench_json_schema_and_degradation():
+    lab = Lab([_stub()])
+    data = bench_json(lab)
+    assert data["schema"] == "repro-bench/1"
+    assert data["table1"][0]["name"] == "awk"
+    assert isinstance(data["table1"][0]["cycles"], int)
+    assert set(data["figure8"]["geomeans"]) == {"bb", "global", "global_inf"}
+    assert data["errors"] == {}
+
+    degraded = bench_json(Lab([_stub(eval_inputs={"nonexistent_global": 1})]))
+    assert degraded["table1"][0]["cycles"] is None
+    assert any("ValueError" in v for v in degraded["errors"].values())

@@ -148,3 +148,27 @@ func main() {
     allocate_program(prog)
     res = run_dynamic(prog)
     assert res.output == [3, 7, 7]
+
+
+def test_decode_path_matches_reference_on_workload():
+    """The pre-decoded cycle loop must agree with the functional reference
+    on a real workload, and renaming must not change architectural
+    results — only timing."""
+    from repro.workloads import get
+
+    w = get("eqntott")
+    cp = compile_minic(w.source, SCALAR_CONFIG, w.train)
+    image = make_input_image(cp.program, w.eval)
+    expected = run_functional(cp.reference,
+                              input_image=make_input_image(cp.reference,
+                                                           w.eval)).output
+    results = {}
+    for rename in (False, True):
+        r = DynamicSim(cp.program, config=DynamicConfig(rename=rename),
+                       input_image=image).run()
+        assert r.output == expected
+        results[rename] = r
+    # Same instruction stream either way; renaming only removes stalls.
+    assert results[False].instr_count == results[True].instr_count
+    assert results[False].branch_count == results[True].branch_count
+    assert results[True].cycle_count <= results[False].cycle_count

@@ -1,0 +1,124 @@
+"""Differential oracle for the pre-decoded simulator fast paths.
+
+The fast paths in :class:`FunctionalSim` and :class:`SuperscalarSim` must be
+observably identical to the reference interpreters (``fast=False``) on every
+workload: same output, same counters, same traps, same fault-injection and
+recovery behavior.  These tests pin that equivalence.
+"""
+
+import pytest
+
+from repro.harness.experiments import CONFIGS
+from repro.harness.pipeline import compile_minic, make_input_image
+from repro.hw.exceptions import Trap
+from repro.hw.functional import FunctionalSim
+from repro.hw.superscalar import SuperscalarSim
+from repro.verify.faults import FaultInjector, make_plan
+from repro.workloads import all_workloads, get
+
+WORKLOADS = list(all_workloads())
+WORKLOAD_NAMES = [w.name for w in WORKLOADS]
+
+
+def _observables(result, sim=None):
+    obs = {
+        "output": result.output,
+        "instr_count": result.instr_count,
+        "cycle_count": result.cycle_count,
+        "nop_count": result.nop_count,
+        "branch_count": result.branch_count,
+        "mispredict_count": result.mispredict_count,
+    }
+    if sim is not None:
+        obs["boosted_executed"] = sim.boosted_executed
+        obs["boosted_squashed"] = sim.boosted_squashed
+        obs["recovery_invocations"] = sim.recovery_invocations
+    return obs
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_functional_fast_matches_reference(name):
+    wl = get(name)
+    compiled = compile_minic(wl.source, CONFIGS["scalar"])
+    image = make_input_image(compiled.program, wl.train)
+
+    def run(fast):
+        sim = FunctionalSim(compiled.program, input_image=image, fast=fast)
+        return _observables(sim.run())
+
+    assert run(True) == run(False)
+
+
+@pytest.mark.parametrize("key", ["scalar", "bb", "global", "squashing",
+                                 "boost1", "minboost3", "boost7"])
+def test_superscalar_fast_matches_reference(key):
+    wl = get("espresso")
+    compiled = compile_minic(wl.source, CONFIGS[key])
+    image = make_input_image(compiled.program, wl.train)
+
+    def run(fast):
+        sim = SuperscalarSim(compiled.sched, input_image=image, fast=fast)
+        return _observables(sim.run(), sim)
+
+    assert run(True) == run(False)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_superscalar_fast_matches_reference_all_workloads(name):
+    wl = get(name)
+    compiled = compile_minic(wl.source, CONFIGS["minboost3"])
+    image = make_input_image(compiled.program, wl.train)
+
+    def run(fast):
+        sim = SuperscalarSim(compiled.sched, input_image=image, fast=fast)
+        return _observables(sim.run(), sim)
+
+    assert run(True) == run(False)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_superscalar_fast_matches_reference_under_faults(seed):
+    """Injected traps, deferral, and recovery behave identically."""
+    wl = get("compress")
+    compiled = compile_minic(wl.source, CONFIGS["boost7"])
+    image = make_input_image(compiled.program, wl.train)
+    plan = make_plan(compiled.program, seed)
+
+    def run(fast):
+        injector = FaultInjector(plan)
+        sim = SuperscalarSim(compiled.sched, input_image=image,
+                             fault_hook=injector, fast=fast)
+        trap = None
+        try:
+            result = sim.run()
+        except Trap as t:
+            trap = (t.kind, t.instr_uid, t.addr)
+            result = sim.result
+        obs = _observables(result, sim)
+        obs["trap"] = trap
+        obs["hits"] = injector.total_hits
+        return obs
+
+    assert run(True) == run(False)
+
+
+def test_functional_fast_fuel_exhaustion_is_exact():
+    """Block-granularity fuel accounting must trap on the same instruction
+    as the per-instruction reference loop."""
+    from repro.hw.errors import FuelExhausted
+
+    wl = get("grep")
+    compiled = compile_minic(wl.source, CONFIGS["scalar"])
+    image = make_input_image(compiled.program, wl.train)
+
+    full = FunctionalSim(compiled.program, input_image=image).run()
+    for fuel in (1, 7, full.instr_count // 2, full.instr_count - 1):
+        states = []
+        for fast in (True, False):
+            sim = FunctionalSim(compiled.program, input_image=image,
+                                max_steps=fuel, fast=fast)
+            with pytest.raises(FuelExhausted):
+                sim.run()
+            states.append((sim.result.instr_count, sim.result.nop_count,
+                           list(sim.result.output)))
+        assert states[0] == states[1]
