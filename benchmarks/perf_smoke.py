@@ -36,6 +36,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.harness.cache import CompileCache                     # noqa: E402
+from repro.harness.fsutil import atomic_write_json               # noqa: E402
 from repro.harness.experiments import CONFIGS                    # noqa: E402
 from repro.harness.pipeline import (                             # noqa: E402
     compile_minic, make_input_image,
@@ -211,9 +212,7 @@ def main(argv=None) -> int:
             "end_to_end_speedup_target": 2.0,
         },
     }
-    with open(args.output, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(args.output, record)
     print(f"wrote {args.output}")
 
     failed = []

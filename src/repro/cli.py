@@ -22,10 +22,15 @@ import time
 from typing import Optional
 
 from repro.frontend import CodegenError, LexError, ParseError
-from repro.harness.cache import CompileCache
-from repro.harness.experiments import Lab
+from repro.harness.cache import CODE_VERSION, CompileCache
+from repro.harness.experiments import BENCH_CONFIG_KEYS, Lab
+from repro.harness.fsutil import atomic_write_json
 from repro.harness.pipeline import CompileConfig, compile_minic
 from repro.harness.report import bench_json, render_all
+from repro.harness.resilience import (
+    CampaignInterrupted, ChaosConfig, Journal, JournalError,
+    SupervisionPolicy, graceful_signals,
+)
 from repro.sched.boostmodel import ALL_MODELS, BY_NAME
 from repro.sched.machine import SCALAR, SUPERSCALAR
 from repro.workloads import all_workloads
@@ -83,6 +88,57 @@ def _make_cache(args: argparse.Namespace) -> Optional[CompileCache]:
     return CompileCache(args.cache_dir)
 
 
+#: fallback wall-clock timeout when --chaos is given without --timeout —
+#: chaos hangs workers, so *something* has to reap them
+CHAOS_DEFAULT_TIMEOUT = 60.0
+
+
+def _make_policy(args: argparse.Namespace) -> Optional[SupervisionPolicy]:
+    """A supervision policy when any resilience knob was turned, else None
+    (plain deterministic execution, exactly as before)."""
+    if args.timeout is None and args.retries is None and args.chaos is None:
+        return None
+    timeout = args.timeout
+    if timeout is None and args.chaos is not None:
+        timeout = CHAOS_DEFAULT_TIMEOUT
+    retries = args.retries if args.retries is not None else 2
+    return SupervisionPolicy(timeout=timeout, retries=retries,
+                             backoff=args.backoff,
+                             seed=args.chaos if args.chaos is not None else 0)
+
+
+def _make_chaos(args: argparse.Namespace,
+                policy: Optional[SupervisionPolicy]) -> Optional[ChaosConfig]:
+    if args.chaos is None:
+        return None
+    # Never inject more consecutive faults than the retry budget allows, or
+    # the self-test could not converge to clean output.
+    return ChaosConfig(seed=args.chaos, max_faults=min(2, policy.retries))
+
+
+def _open_journal(args: argparse.Namespace, command: str,
+                  fingerprint: str) -> Optional[Journal]:
+    """The campaign journal when --journal/--resume asked for one.
+
+    Raises :class:`JournalError` when resuming against a journal written by
+    a different campaign (workloads/models/seeds changed).
+    """
+    if not (args.resume or args.journal):
+        return None
+    path = args.journal or f".repro-{command}.journal"
+    return Journal(path, fingerprint, resume=args.resume)
+
+
+def _resume_hint(args: argparse.Namespace,
+                 journal: Optional[Journal]) -> str:
+    if journal is None:
+        return ""
+    hint = "; resume with --resume"
+    if args.journal:
+        hint += f" --journal {journal.path}"
+    return hint
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     source = _source_or_exit(args.file)
     if source is None:
@@ -136,27 +192,65 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.sabotage and args.sabotage not in {w.name for w in workloads}:
         print(f"unknown sabotage workload: {args.sabotage}", file=sys.stderr)
         return 2
+    policy = _make_policy(args)
+    chaos = _make_chaos(args, policy)
+    fingerprint = Journal.make_fingerprint(
+        command="bench", code_version=CODE_VERSION,
+        workloads=[w.name for w in workloads], sabotage=args.sabotage,
+        configs=BENCH_CONFIG_KEYS)
+    try:
+        journal = _open_journal(args, "bench", fingerprint)
+    except JournalError as err:
+        print(f"repro bench: {err}", file=sys.stderr)
+        return 2
     t0 = time.time()
     lab = Lab(workloads, sabotage=args.sabotage, cache=_make_cache(args))
-    if args.jobs > 1:
-        lab.populate(args.jobs)
-    print(render_all(lab))
+    clean_text = None
+    try:
+        with graceful_signals():
+            if chaos is not None:
+                # Chaos self-test: a clean serial run is the oracle the
+                # supervised chaotic run must byte-match (it also warms the
+                # compile cache, making the chaotic run cheap).
+                clean = Lab(workloads, sabotage=args.sabotage,
+                            cache=_make_cache(args))
+                clean.populate(jobs=1)
+                clean_text = render_all(clean)
+            if args.jobs > 1 or policy is not None or journal is not None:
+                lab.populate(args.jobs, policy=policy, chaos=chaos,
+                             journal=journal)
+            text = render_all(lab)
+    except CampaignInterrupted as intr:
+        print(f"bench: interrupted — {intr.completed}/{intr.total} cells "
+              f"finished{_resume_hint(args, journal)}", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    print(text)
     # Timing is nondeterministic — keep it off stdout so reports diff clean.
     print(f"[{time.time() - t0:.0f}s of simulation]", file=sys.stderr)
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(bench_json(lab), fh, indent=2)
-            fh.write("\n")
+        atomic_write_json(args.json, bench_json(lab))
         print(f"wrote {args.json}", file=sys.stderr)
     if args.write_experiments:
         from repro.harness.report import write_experiments_md
         write_experiments_md(lab, args.write_experiments)
         print(f"wrote {args.write_experiments}", file=sys.stderr)
+    exit_code = 0
+    if clean_text is not None:
+        if text == clean_text:
+            print("bench: chaos self-test PASSED — supervised run "
+                  "byte-identical to the clean run", file=sys.stderr)
+        else:
+            print("bench: chaos self-test FAILED — supervised run diverged "
+                  "from the clean run", file=sys.stderr)
+            exit_code = 1
     if lab.errors:
         print(f"bench: {len(lab.errors)} cell(s) failed — see the error "
               "summary above", file=sys.stderr)
-        return 1
-    return 0
+        exit_code = 1
+    return exit_code
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -177,19 +271,57 @@ def cmd_verify(args: argparse.Namespace) -> int:
         seeds, seed_start = 1, args.seed
     else:
         seeds, seed_start = args.seeds, args.seed_start
-    try:
-        campaign = VerifyCampaign(
+
+    def make_campaign() -> VerifyCampaign:
+        return VerifyCampaign(
             workload_names=args.workloads or None,
             model_keys=args.models or None,
             seeds=seeds, seed_start=seed_start, progress=progress,
             cache=_make_cache(args))
+
+    try:
+        campaign = make_campaign()
     except ValueError as err:
         print(f"repro verify: {err}", file=sys.stderr)
         return 2
-    summary = campaign.run(jobs=args.jobs)
-    print(summary.format())
+    policy = _make_policy(args)
+    chaos = _make_chaos(args, policy)
+    fingerprint = Journal.make_fingerprint(
+        command="verify", code_version=CODE_VERSION,
+        workloads=[w.name for w in campaign.workloads],
+        models=campaign.model_keys, seeds=seeds, seed_start=seed_start)
+    try:
+        journal = _open_journal(args, "verify", fingerprint)
+    except JournalError as err:
+        print(f"repro verify: {err}", file=sys.stderr)
+        return 2
+    clean_text = None
+    try:
+        with graceful_signals():
+            if chaos is not None:
+                # Chaos self-test oracle: the same campaign, clean + serial.
+                clean_text = make_campaign().run(jobs=1).format()
+            summary = campaign.run(jobs=args.jobs, policy=policy,
+                                   chaos=chaos, journal=journal)
+    except CampaignInterrupted as intr:
+        print(f"verify: interrupted — {intr.completed}/{intr.total} buckets "
+              f"finished{_resume_hint(args, journal)}", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    text = summary.format()
+    print(text)
     if not summary.ok:
         exit_code = 1
+    if clean_text is not None:
+        if text == clean_text:
+            print("verify: chaos self-test PASSED — supervised run "
+                  "byte-identical to the clean run", file=sys.stderr)
+        else:
+            print("verify: chaos self-test FAILED — supervised run diverged "
+                  "from the clean run", file=sys.stderr)
+            exit_code = 1
     return exit_code
 
 
@@ -250,6 +382,29 @@ def make_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR or ~/.cache/repro-boost)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk compile cache")
+        p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                       help="per-task wall-clock timeout: hung workers are "
+                            "killed, replaced, and the task retried "
+                            "(default: none)")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="extra attempts for a timed-out/killed/failed "
+                            "task, with exponential backoff + seeded jitter "
+                            "(default: 2 once supervision is active)")
+        p.add_argument("--backoff", type=float, default=0.5, metavar="SECS",
+                       help="base retry backoff, doubling per attempt "
+                            "(default: 0.5)")
+        p.add_argument("--journal", metavar="PATH", default=None,
+                       help="crash-safe checkpoint journal; completed tasks "
+                            "are durably recorded as the campaign runs "
+                            "(default with --resume: .repro-<cmd>.journal)")
+        p.add_argument("--resume", action="store_true",
+                       help="skip tasks already in the journal; the resumed "
+                            "output is byte-identical to an uninterrupted "
+                            "run")
+        p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="chaos self-test: randomly kill/hang/corrupt "
+                            "supervised workers (seeded) and assert the "
+                            "output still matches a clean run")
 
     p = sub.add_parser("bench", help="regenerate the paper's tables/figures")
     p.add_argument("workloads", nargs="*",
@@ -294,7 +449,13 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = make_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Clean SIGINT/SIGTERM shutdown: pools are torn down where the
+        # interrupt fired; report it and exit with the conventional 130.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -12,12 +12,17 @@ from repro.harness.report import (
     render_all, render_figure8, render_figure9, render_table1, render_table2,
     write_experiments_md,
 )
+from repro.harness.resilience import (
+    CampaignInterrupted, ChaosConfig, Journal, JournalError,
+    SupervisionPolicy, graceful_signals,
+)
 
 __all__ = [
-    "CONFIGS", "CompileConfig", "CompiledProgram", "Figure8Row", "Figure9Row",
-    "Lab", "SCALAR_CONFIG", "Table1Row", "Table2Row", "annotate_predictions",
-    "compile_ir", "compile_minic", "figure8", "figure9", "geometric_mean",
-    "make_input_image", "render_all", "render_figure8", "render_figure9",
-    "render_table1", "render_table2", "table1", "table2",
-    "write_experiments_md",
+    "CONFIGS", "CampaignInterrupted", "ChaosConfig", "CompileConfig",
+    "CompiledProgram", "Figure8Row", "Figure9Row", "Journal", "JournalError",
+    "Lab", "SCALAR_CONFIG", "SupervisionPolicy", "Table1Row", "Table2Row",
+    "annotate_predictions", "compile_ir", "compile_minic", "figure8",
+    "figure9", "geometric_mean", "graceful_signals", "make_input_image",
+    "render_all", "render_figure8", "render_figure9", "render_table1",
+    "render_table2", "table1", "table2", "write_experiments_md",
 ]

@@ -15,10 +15,18 @@ memoized on disk, keyed by everything that could change the output:
 * a fingerprint of the training inputs used for profiling.
 
 Entries are pickled to ``<cache_dir>/<key>.pkl`` with an atomic
-tempfile-and-rename write, so concurrent workers never observe a partial
-file.  A file that fails to load — truncated, corrupted, or written by an
-incompatible pickle — is **discarded with a warning and deleted**, never
-trusted.
+tempfile-fsync-rename write, so concurrent workers never observe a partial
+file and a crash never leaves a torn entry.  A file that fails to load —
+truncated, corrupted, or written by an incompatible pickle — is **discarded
+with a warning and deleted**, never trusted.
+
+A key whose entry fails to load repeatedly (:data:`CompileCache.
+QUARANTINE_STRIKES` consecutive failures, tracked in a ``<key>.strikes``
+sidecar) is **quarantined**: loads short-circuit to a miss without touching
+the file and stores become no-ops, so a systematically corrupting entry —
+bad disk sector, hostile tmpfs, chaos testing — degrades to "compile every
+time" instead of hot-looping on store → corrupt → discard → store.  One
+clean load clears the strikes.
 
 Instruction uids are process-local counters, so a cached program's uids can
 collide with instructions created later in a loading process (corrupting
@@ -32,12 +40,12 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 import warnings
 from pathlib import Path
 from typing import Optional
 
 from repro.frontend import compile_source
+from repro.harness.fsutil import atomic_write_bytes, atomic_write_text
 from repro.harness.pipeline import (
     CompileConfig, CompiledProgram, InputSet, compile_ir, prepare_ir,
 )
@@ -130,14 +138,20 @@ class CompileCache:
     """Pickle-on-disk memoization of the compile pipeline.
 
     ``hits``/``misses`` count lookups; ``discarded`` counts cache files that
-    existed but could not be trusted (and were deleted).
+    existed but could not be trusted (and were deleted); ``quarantined``
+    counts lookups that skipped a key with too many consecutive load
+    failures.
     """
+
+    #: consecutive load failures after which a key is quarantined
+    QUARANTINE_STRIKES = 3
 
     def __init__(self, cache_dir: Optional[Path | str] = None) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.hits = 0
         self.misses = 0
         self.discarded = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------ keys
     def key(self, kind: str, source: str, config: Optional[CompileConfig],
@@ -154,13 +168,50 @@ class CompileCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
+    # ------------------------------------------------------------ quarantine
+    def _strikes_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.strikes"
+
+    def _strikes(self, key: str) -> int:
+        try:
+            return int(self._strikes_path(key).read_text().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def _record_strike(self, key: str) -> None:
+        strikes = self._strikes(key) + 1
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self._strikes_path(key), f"{strikes}\n")
+        except OSError:
+            return
+        if strikes >= self.QUARANTINE_STRIKES:
+            warnings.warn(f"quarantining compile-cache key {key[:12]}… after "
+                          f"{strikes} consecutive load failures; it will be "
+                          "recompiled uncached from now on")
+
+    def _clear_strikes(self, key: str) -> None:
+        try:
+            self._strikes_path(key).unlink()
+        except OSError:
+            pass
+
+    def is_quarantined(self, key: str) -> bool:
+        return self._strikes(key) >= self.QUARANTINE_STRIKES
+
     # ------------------------------------------------------------- load/store
     def load(self, key: str):
         """The cached payload for ``key``, or None on miss.
 
         Any failure to read or unpickle discards the file: a cache entry
-        that cannot be loaded cleanly must not be trusted.
+        that cannot be loaded cleanly must not be trusted.  A key that
+        keeps failing is quarantined — skipped entirely — instead of being
+        discarded and rebuilt forever.
         """
+        if self.is_quarantined(key):
+            self.quarantined += 1
+            self.misses += 1
+            return None
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
@@ -173,35 +224,35 @@ class CompileCache:
             self.misses += 1
             warnings.warn(f"discarding corrupted compile-cache entry "
                           f"{path.name}: {exc}")
+            self._record_strike(key)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        if self._strikes(key):
+            self._clear_strikes(key)
         ensure_uid_floor(max_uid + 1)
         return payload
 
     def store(self, key: str, payload) -> None:
-        """Atomically persist ``payload`` under ``key``.
+        """Atomically persist ``payload`` under ``key`` (temp, fsync,
+        rename — a crash mid-store can never leave a torn entry).
 
         Best effort: an unwritable cache directory degrades to a no-op
-        rather than failing the experiment.
+        rather than failing the experiment, and a quarantined key is not
+        rewritten (writing it again is what a corruption hot-loop is made
+        of).
         """
+        if self.is_quarantined(key):
+            return
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump((payload, self._payload_max_uid(payload)), fh,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_bytes(
+                self._path(key),
+                pickle.dumps((payload, self._payload_max_uid(payload)),
+                             protocol=pickle.HIGHEST_PROTOCOL))
         except OSError as exc:
             warnings.warn(f"compile cache write failed ({exc}); continuing "
                           "uncached")
@@ -249,5 +300,6 @@ class CompileCache:
             "hits": self.hits,
             "misses": self.misses,
             "discarded": self.discarded,
+            "quarantined": self.quarantined,
             "hit_rate": self.hits / total if total else 0.0,
         }

@@ -91,6 +91,13 @@ class Lab:
         self._reference: dict[str, list[int]] = {}
         #: (workload, config) -> error text for every degraded cell
         self.errors: dict[tuple[str, str], str] = {}
+        #: (workload, config) -> structured supervision-failure record
+        #: (kind: timeout/killed/exception/unpicklable, attempts, error) for
+        #: cells that degraded at the *harness* level rather than inside the
+        #: simulation
+        self.failures: dict[tuple[str, str], dict] = {}
+        #: journal keys of cells restored by ``populate(journal=...)``
+        self.resumed: set[tuple[str, str]] = set()
 
     def workload(self, name: str) -> Workload:
         for w in self.workloads:
@@ -172,30 +179,89 @@ class Lab:
         return scalar.cycle_count / other.cycle_count
 
     # ------------------------------------------------------------- parallelism
-    def populate(self, jobs: int = 1) -> None:
+    def populate(self, jobs: int = 1, policy=None, chaos=None,
+                 journal=None) -> None:
         """Pre-compute every bench cell, optionally across worker processes.
 
         With ``jobs=1`` this simply warms the in-process memo the way the
-        report renderers would.  With ``jobs>1`` each (workload, config)
-        cell runs in a worker that replays the exact serial code path
-        (including error recording), and the outcomes are merged back in
-        serial task order — so the rendered report is byte-identical to a
-        serial run.  The on-disk compile cache (when configured) keeps the
+        report renderers would.  With ``jobs>1`` (or a supervision
+        ``policy`` carrying a timeout, or ``chaos``) each (workload, config)
+        cell runs in a supervised worker that replays the exact serial code
+        path (including error recording), and the outcomes are merged back
+        in serial task order — so the rendered report is byte-identical to
+        a serial run.  The on-disk compile cache (when configured) keeps the
         workers from recompiling what siblings already built.
+
+        ``journal`` (a :class:`repro.harness.resilience.Journal`) makes the
+        campaign crash-safe: cells already journaled are restored instead of
+        re-run, and each newly completed cell is durably appended the moment
+        it finishes.  Harness-level failures (timeout, killed worker,
+        exhausted retries) are *not* journaled — a resumed campaign retries
+        them — and are recorded in :attr:`errors` (rendered as ``ERR``
+        cells) plus, structured, in :attr:`failures`.
         """
-        tasks = [(w.name, key, self.sabotage,
-                  str(self.cache.cache_dir) if self.cache is not None else None)
+        cells = [(w.name, key)
                  for w in self.workloads for key in BENCH_CONFIG_KEYS]
-        if jobs <= 1:
-            for wname, key, _, _ in tasks:
-                self.cell(wname, key)
+        todo: list[tuple[str, str]] = []
+        for wname, key in cells:
+            jkey = f"{wname}/{key}"
+            if journal is not None and jkey in journal.completed:
+                result, cell_error = journal.completed[jkey]
+                self.resumed.add((wname, key))
+                if cell_error is not None:
+                    self.errors[(wname, key)] = cell_error
+                elif result is not None:
+                    self._measured[(wname, key)] = result
+                continue
+            todo.append((wname, key))
+
+        from repro.harness.resilience import CampaignInterrupted
+
+        restored = len(cells) - len(todo)
+        supervised = (jobs > 1 or chaos is not None
+                      or (policy is not None and policy.timeout is not None))
+        if not supervised:
+            done = restored
+            try:
+                for wname, key in todo:
+                    self.cell(wname, key)
+                    if journal is not None:
+                        journal.record(f"{wname}/{key}",
+                                       (self._measured.get((wname, key)),
+                                        self.errors.get((wname, key))))
+                    done += 1
+            except KeyboardInterrupt:
+                raise CampaignInterrupted(done, len(cells)) from None
             return
-        for (wname, key, _, _), outcome in zip(
-                tasks, run_tasks(_cell_worker, tasks, jobs)):
+
+        cache_dir = (str(self.cache.cache_dir) if self.cache is not None
+                     else None)
+        tasks = [(wname, key, self.sabotage, cache_dir)
+                 for wname, key in todo]
+
+        def checkpoint(outcome) -> None:
+            # Journal as each cell completes (completion order): only clean
+            # worker outcomes — a supervision failure must be retried by a
+            # resumed run, not replayed from the journal.
+            if journal is None or outcome.error is not None:
+                return
+            wname, key = todo[outcome.index]
+            journal.record(f"{wname}/{key}", outcome.value)
+
+        try:
+            outcomes = run_tasks(_cell_worker, tasks, jobs, policy=policy,
+                                 chaos=chaos, on_result=checkpoint)
+        except CampaignInterrupted as intr:
+            raise CampaignInterrupted(restored + intr.completed,
+                                      len(cells)) from None
+        for (wname, key), outcome in zip(todo, outcomes):
             if outcome.error is not None:
                 # Worker infrastructure failure (not a recorded cell error) —
                 # degrade exactly like any other broken cell.
                 self.errors[(wname, key)] = outcome.error
+                self.failures[(wname, key)] = {
+                    "kind": outcome.kind, "attempts": outcome.attempts,
+                    "error": outcome.error}
                 continue
             result, cell_error = outcome.value
             if cell_error is not None:

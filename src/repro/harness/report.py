@@ -8,6 +8,7 @@ from dataclasses import asdict
 from repro.harness.experiments import (
     Lab, TABLE2_MODELS, figure8, figure9, table1, table2,
 )
+from repro.harness.fsutil import atomic_write_text
 
 #: schema tag shared by ``bench --json`` and ``benchmarks/perf_smoke.py``
 BENCH_SCHEMA = "repro-bench/1"
@@ -139,13 +140,26 @@ def render_figure9(lab: Lab) -> str:
 
 
 def render_errors(lab: Lab) -> str:
-    """Error summary for every degraded cell (empty string when clean)."""
+    """Error summary for every degraded cell (empty string when clean).
+
+    Cells that failed at the *harness* level (worker timeout, killed
+    worker, exhausted retries) carry their structured record in
+    ``lab.failures`` and are totalled by kind here, so a partial report
+    states exactly how it degraded.
+    """
     if not lab.errors:
         return ""
     lines = [f"Errors: {len(lab.errors)} (workload, configuration) cell(s) "
              "failed; geometric means cover the successful rows only"]
     for (wname, config_key), text in sorted(lab.errors.items()):
         lines.append(f"  {wname}/{config_key}: {text}")
+    if lab.failures:
+        kinds: dict[str, int] = {}
+        for info in lab.failures.values():
+            kinds[info["kind"]] = kinds.get(info["kind"], 0) + 1
+        summary = ", ".join(f"{kind}: {count}"
+                            for kind, count in sorted(kinds.items()))
+        lines.append(f"  harness failures by kind — {summary}")
     return "\n".join(lines)
 
 
@@ -183,6 +197,8 @@ def bench_json(lab: Lab) -> dict:
                     "geomeans": f9_means},
         "errors": {f"{w}/{c}": text
                    for (w, c), text in sorted(lab.errors.items())},
+        "failures": {f"{w}/{c}": info
+                     for (w, c), info in sorted(lab.failures.items())},
     }
 
 
@@ -329,6 +345,5 @@ def write_experiments_md(lab: Lab, path: str) -> str:
     if errors:
         parts += ["## Errors", "", "```", errors, "```", ""]
     text = "\n".join(parts)
-    with open(path, "w") as fh:
-        fh.write(text)
+    atomic_write_text(path, text)
     return text

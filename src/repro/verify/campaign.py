@@ -133,27 +133,58 @@ class VerifyCampaign:
         self.cache = cache
 
     # ------------------------------------------------------------------- run
-    def run(self, jobs: int = 1) -> CampaignSummary:
+    def run(self, jobs: int = 1, policy=None, chaos=None, journal=None
+            ) -> CampaignSummary:
         """Run the campaign; ``jobs>1`` fans (workload, model) buckets to
         worker processes and merges in serial order, so the formatted
         summary is byte-identical to ``jobs=1``.  A campaign carrying a
         custom checker always runs serially (closures don't cross process
-        boundaries)."""
-        if jobs > 1 and not self._custom_checker:
-            return self._run_parallel(jobs)
+        boundaries).
+
+        ``journal`` (a :class:`repro.harness.resilience.Journal`) makes the
+        campaign crash-safe: buckets already journaled are restored instead
+        of re-run — their workload is not even re-prepared — and every
+        completed bucket is durably appended the moment it finishes, so a
+        SIGKILL'd campaign resumed with the same journal produces a
+        byte-identical summary.  ``policy``/``chaos`` select supervised
+        execution (timeouts, worker replacement, retries, fault
+        injection)."""
+        supervised = (jobs > 1 or chaos is not None
+                      or (policy is not None and policy.timeout is not None))
+        if supervised and not self._custom_checker:
+            return self._run_supervised(jobs, policy, chaos, journal)
         summary = CampaignSummary()
-        for w in self.workloads:
-            self.progress(f"preparing {w.name} ...")
-            prepared = self._prepare(w)
-            image = make_input_image(prepared, w.eval)
-            plans = [make_plan(prepared, seed) for seed in
-                     range(self.seed_start, self.seed_start + self.seeds)]
-            for model_key in self.model_keys:
-                bucket, divergences, oracle_errors = self._run_bucket(
-                    w.name, model_key, prepared, image, plans)
-                summary.results.append(bucket)
-                summary.divergences.extend(divergences)
-                summary.oracle_errors.extend(oracle_errors)
+        try:
+            for w in self.workloads:
+                todo = [m for m in self.model_keys
+                        if journal is None
+                        or f"{w.name}/{m}" not in journal.completed]
+                prepared = image = plans = None
+                if todo:
+                    self.progress(f"preparing {w.name} ...")
+                    prepared = self._prepare(w)
+                    image = make_input_image(prepared, w.eval)
+                    plans = [make_plan(prepared, seed) for seed in
+                             range(self.seed_start,
+                                   self.seed_start + self.seeds)]
+                for model_key in self.model_keys:
+                    jkey = f"{w.name}/{model_key}"
+                    if model_key not in todo:
+                        bucket, divergences, oracle_errors = \
+                            journal.completed[jkey]
+                    else:
+                        bucket, divergences, oracle_errors = self._run_bucket(
+                            w.name, model_key, prepared, image, plans)
+                        if journal is not None:
+                            journal.record(
+                                jkey, (bucket, divergences, oracle_errors))
+                    summary.results.append(bucket)
+                    summary.divergences.extend(divergences)
+                    summary.oracle_errors.extend(oracle_errors)
+        except KeyboardInterrupt:
+            from repro.harness.resilience import CampaignInterrupted
+            total = len(self.workloads) * len(self.model_keys)
+            raise CampaignInterrupted(len(summary.results), total) from None
         return summary
 
     def _prepare(self, w) -> Program:
@@ -162,21 +193,51 @@ class VerifyCampaign:
             return self.cache.prepare_ir(w.source, config, w.train)
         return prepare_ir(compile_source(w.source), config, w.train)
 
-    def _run_parallel(self, jobs: int) -> CampaignSummary:
+    def _run_supervised(self, jobs: int, policy=None, chaos=None,
+                        journal=None) -> CampaignSummary:
+        from repro.harness.resilience import CampaignInterrupted
+
         cache_dir = (str(self.cache.cache_dir) if self.cache is not None
                      else None)
-        tasks = [(w.name, model_key, self.seeds, self.seed_start, cache_dir)
-                 for w in self.workloads for model_key in self.model_keys]
+        buckets = [(w.name, model_key)
+                   for w in self.workloads for model_key in self.model_keys]
+        todo = [(wname, model_key) for wname, model_key in buckets
+                if journal is None
+                or f"{wname}/{model_key}" not in journal.completed]
+        tasks = [(wname, model_key, self.seeds, self.seed_start, cache_dir)
+                 for wname, model_key in todo]
+
+        def checkpoint(outcome) -> None:
+            # Only clean bucket results are journaled: a harness-level
+            # failure (timeout, killed worker) must be retried on resume.
+            if journal is None or outcome.error is not None:
+                return
+            wname, model_key = todo[outcome.index]
+            journal.record(f"{wname}/{model_key}", outcome.value)
+
+        try:
+            outcomes = dict(zip(todo, run_tasks(
+                _bucket_worker, tasks, jobs, policy=policy, chaos=chaos,
+                on_result=checkpoint)))
+        except CampaignInterrupted as intr:
+            raise CampaignInterrupted(
+                len(buckets) - len(todo) + intr.completed,
+                len(buckets)) from None
         summary = CampaignSummary()
-        for (wname, model_key, _, _, _), outcome in zip(
-                tasks, run_tasks(_bucket_worker, tasks, jobs)):
-            if outcome.error is not None:
-                bucket = CampaignResult(workload=wname, config=model_key)
-                summary.results.append(bucket)
-                summary.oracle_errors.append(
-                    f"{wname}/{model_key}: worker failed: {outcome.error}")
-                continue
-            bucket, divergences, oracle_errors = outcome.value
+        for wname, model_key in buckets:
+            if (wname, model_key) not in outcomes:
+                bucket, divergences, oracle_errors = \
+                    journal.completed[f"{wname}/{model_key}"]
+            else:
+                outcome = outcomes[(wname, model_key)]
+                if outcome.error is not None:
+                    summary.results.append(
+                        CampaignResult(workload=wname, config=model_key))
+                    summary.oracle_errors.append(
+                        f"{wname}/{model_key}: worker failed: "
+                        f"{outcome.error}")
+                    continue
+                bucket, divergences, oracle_errors = outcome.value
             summary.results.append(bucket)
             summary.divergences.extend(divergences)
             summary.oracle_errors.extend(oracle_errors)

@@ -129,6 +129,46 @@ def test_prepare_ir_returns_fresh_object_graph(cache):
     assert one is not two  # callers may mutate (scheduling does)
 
 
+def test_repeated_corruption_quarantines_the_key(cache):
+    """A key that keeps failing to load is quarantined: no more loads, no
+    more stores — graceful degradation instead of a corruption hot-loop."""
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    key = cache.key("compiled", SOURCE, CONFIGS["minboost3"], None)
+    path = cache.cache_dir / f"{key}.pkl"
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(CompileCache.QUARANTINE_STRIKES):
+            path.write_bytes(b"\x80\x04 sector gone bad")
+            fresh = CompileCache(cache.cache_dir)
+            fresh.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert any("quarantin" in str(w.message) for w in caught)
+    assert cache.is_quarantined(key)
+    # Loads short-circuit to a miss and stores stay no-ops: the bad sector
+    # is never touched again, each use recompiles from source.
+    quarantined = CompileCache(cache.cache_dir)
+    cp = quarantined.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert quarantined.stats()["quarantined"] == 1
+    assert quarantined.stats()["hits"] == 0
+    assert not path.exists()
+    assert _run(cp).output == [18]
+
+
+def test_one_clean_load_clears_the_strikes(cache):
+    cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    key = cache.key("compiled", SOURCE, CONFIGS["minboost3"], None)
+    path = cache.cache_dir / f"{key}.pkl"
+    path.write_bytes(b"garbage")
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        CompileCache(cache.cache_dir).compile_minic(
+            SOURCE, CONFIGS["minboost3"])  # strike 1, then clean re-store
+    assert (cache.cache_dir / f"{key}.strikes").exists()
+    reloaded = CompileCache(cache.cache_dir)
+    reloaded.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert reloaded.stats()["hits"] == 1
+    assert not (cache.cache_dir / f"{key}.strikes").exists()
+
+
 def test_unwritable_cache_dir_degrades_to_uncached(tmp_path):
     target = tmp_path / "blocked"
     target.write_text("a file where the cache dir should be")

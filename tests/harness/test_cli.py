@@ -128,6 +128,33 @@ def test_verify_single_seed_runs(capsys):
     assert "divergences: 0" in out
 
 
+def test_bench_resume_refuses_a_foreign_journal(tmp_path, capsys):
+    from repro.harness.resilience import Journal
+    path = tmp_path / "bench.journal"
+    Journal(path, "not-the-bench-fingerprint").close()
+    rc = main(["bench", "grep", "--no-cache",
+               "--journal", str(path), "--resume"])
+    out, err = capsys.readouterr()
+    assert rc == 2
+    assert out == ""
+    assert err.count("\n") == 1
+    assert "different campaign" in err
+
+
+def test_verify_journal_then_resume_is_byte_identical(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    journal = str(tmp_path / "verify.journal")
+    args = ["verify", "--workloads", "grep", "--models", "boost1",
+            "--seeds", "1", "--no-selftest", "--cache-dir", cache,
+            "--journal", journal]
+    assert main(args) == 0
+    clean, _ = capsys.readouterr()
+    assert main(args + ["--resume"]) == 0
+    resumed, err = capsys.readouterr()
+    assert resumed == clean
+    assert "preparing" not in err  # fully journaled: nothing recomputed
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -39,6 +39,20 @@ def _explode_on_three(x):
     return x
 
 
+class _UnpicklableError(Exception):
+    """An exception no pickle can ship: it holds a lambda."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.resource = lambda: None
+
+
+def _raise_unpicklable(x):
+    if x == 1:
+        raise _UnpicklableError("cannot cross the pipe")
+    return x
+
+
 @pytest.mark.parametrize("jobs", [1, 2])
 def test_run_tasks_preserves_order(jobs):
     outcomes = run_tasks(_square, list(range(8)), jobs=jobs)
@@ -54,6 +68,38 @@ def test_run_tasks_captures_errors_per_task(jobs):
     assert outcomes[2].error == "ValueError: boom 3"
     assert outcomes[2].value is None
     assert outcomes[3].value == 4
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_unpicklable_exception_degrades_to_one_task(jobs):
+    """Regression: an exception holding unpicklable state used to crash the
+    pool when the worker tried to send it home.  Only its type name,
+    message, and traceback text cross the process boundary."""
+    outcomes = run_tasks(_raise_unpicklable, [0, 1, 2], jobs=jobs)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    assert outcomes[1].kind == "exception"
+    assert "_UnpicklableError" in outcomes[1].error
+    assert "cannot cross the pipe" in outcomes[1].error
+    assert "_raise_unpicklable" in (outcomes[1].traceback or "")
+
+
+def test_supervised_populate_ships_worker_errors_home():
+    """The bench integration: an exception raised inside a worker cell
+    crosses the pipe as text (type name + message, never the object) and
+    lands in ``Lab.errors`` as an ERR cell."""
+    lab = Lab([_stub(name="notinregistry")])
+    lab.populate(jobs=2)
+    assert all("KeyError" in lab.errors[("notinregistry", key)]
+               for key in BENCH_CONFIG_KEYS)
+    from repro.harness.report import render_errors
+    assert "notinregistry/scalar: KeyError" in render_errors(lab)
+
+
+def test_policy_timeout_forces_a_supervised_pool():
+    from repro.harness.resilience import SupervisionPolicy
+    outcomes = run_tasks(_square, [1, 2], jobs=1,
+                         policy=SupervisionPolicy(timeout=60.0))
+    assert [o.value for o in outcomes] == [1, 4]
 
 
 def test_bench_config_keys_cover_all_report_configs():

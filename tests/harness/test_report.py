@@ -70,6 +70,19 @@ def test_render_errors_empty_without_failures(lab):
     assert render_errors(lab) == ""
 
 
+def test_render_errors_totals_harness_failures_by_kind():
+    lab = Lab([_stub()])
+    lab.errors[("awk", "scalar")] = "worker timeout: no result within 1.0s"
+    lab.errors[("awk", "global")] = "worker killed: process died mid-task"
+    lab.failures[("awk", "scalar")] = {"kind": "timeout", "attempts": 3,
+                                       "error": "worker timeout"}
+    lab.failures[("awk", "global")] = {"kind": "killed", "attempts": 3,
+                                       "error": "worker killed"}
+    text = render_errors(lab)
+    assert "harness failures by kind" in text
+    assert "timeout: 1" in text and "killed: 1" in text
+
+
 @pytest.fixture(scope="module")
 def hurt_lab():
     """Two stub workloads, one strangled by the cycle-watchdog sabotage."""
