@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a fresh perf_smoke record to a baseline.
+
+Usage::
+
+    python benchmarks/check_perf_baseline.py current.json baseline.json
+
+Both files are ``repro-bench/1`` perf_smoke records (``BENCH_pr2.json`` is
+the committed baseline; CI produces ``perf_smoke_ci.json`` fresh each run).
+CI runners are noisy shared machines, so this gate is deliberately loose:
+it fails only on a catastrophic slowdown — a tracked metric falling below
+``baseline / SLOWDOWN_FACTOR`` — not on ordinary jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: a metric must fall below baseline/2.5 before the gate fails — wide
+#: enough for shared-runner noise, tight enough to catch a lost fast path
+SLOWDOWN_FACTOR = 2.5
+
+#: dotted paths of the higher-is-better throughput metrics we track
+METRICS = [
+    "simulators.functional.fast_instr_per_sec",
+    "simulators.superscalar.fast_instr_per_sec",
+    "compile_cache.cold_cells_per_sec",
+    "compile_cache.warm_cells_per_sec",
+    "end_to_end.speedup",
+]
+
+
+def lookup(record: dict, path: str):
+    value = record
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh perf_smoke JSON record")
+    parser.add_argument("baseline", help="committed baseline JSON record")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=SLOWDOWN_FACTOR,
+        help="failure threshold: current < baseline/factor "
+        f"(default: {SLOWDOWN_FACTOR})",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    failed = []
+    for path in METRICS:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        if base is None:
+            print(f"perf-gate: {path:45s} (not in baseline; skipped)")
+            continue
+        if cur is None:
+            failed.append(f"{path}: missing from the current record")
+            continue
+        floor = base / args.factor
+        verdict = "OK" if cur >= floor else "FAIL"
+        print(
+            f"perf-gate: {path:45s} {cur:>12,.2f} vs baseline "
+            f"{base:>12,.2f} (floor {floor:,.2f}) {verdict}"
+        )
+        if cur < floor:
+            failed.append(
+                f"{path}: {cur:,.2f} < {floor:,.2f} "
+                f"(baseline {base:,.2f} / {args.factor})"
+            )
+
+    if failed:
+        print(
+            f"perf-gate: FAIL — {len(failed)} metric(s) regressed by "
+            f"more than {args.factor}x:",
+            file=sys.stderr,
+        )
+        for msg in failed:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print(
+        f"perf-gate: PASS — all {len(METRICS)} metrics within "
+        f"{args.factor}x of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Metrics-regression gate: compare ``bench --stats`` against a baseline.
+
+The observability counters (``repro-stats/1``, see ``docs/observability.md``)
+are deterministic: the same source + config must produce byte-identical
+scheduler and simulator statistics on every machine.  This script runs
+
+    python -m repro bench grep compress --stats --json <tmp> --no-cache
+
+and compares the ``stats`` section against the committed baseline,
+``benchmarks/BENCH_stats_baseline.json``.  Any drift — a counter that moved,
+appeared, or vanished — fails the gate with a readable dotted-path diff.
+
+Counter drift is usually *intentional* (a scheduler or simulator change that
+legitimately alters the numbers).  When it is, refresh the baseline in one
+command and commit the result alongside the change that caused it:
+
+    PYTHONPATH=src python benchmarks/check_stats_baseline.py --refresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_stats_baseline.json"
+BENCH_ARGS = ["bench", "grep", "compress", "--stats", "--no-cache"]
+
+#: diff lines shown before truncating — enough to see the shape of a
+#: regression without drowning a genuine schema change in output
+MAX_DIFF_LINES = 40
+
+
+def collect_stats() -> dict:
+    """Run the bench subset and return its ``stats`` JSON section."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "bench.json")
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *BENCH_ARGS, "--json", out],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"bench exited {proc.returncode}; no stats")
+        with open(out, encoding="utf-8") as fh:
+            return json.load(fh)["stats"]
+
+
+def flatten(value, prefix="", into=None) -> dict:
+    """``{"a": {"b": 1}}`` -> ``{"a.b": 1}`` for leaf-level diffing."""
+    if into is None:
+        into = {}
+    if isinstance(value, dict):
+        if not value:
+            into[prefix or "."] = {}
+        for key in sorted(value):
+            flatten(value[key], f"{prefix}.{key}" if prefix else str(key), into)
+    else:
+        into[prefix or "."] = value
+    return into
+
+
+def diff(baseline: dict, current: dict) -> list[str]:
+    base, cur = flatten(baseline), flatten(current)
+    lines = []
+    for path in sorted(base.keys() | cur.keys()):
+        if path not in cur:
+            lines.append(f"- {path} = {base[path]!r}  (vanished)")
+        elif path not in base:
+            lines.append(f"+ {path} = {cur[path]!r}  (new)")
+        elif base[path] != cur[path]:
+            lines.append(f"! {path}: {base[path]!r} -> {cur[path]!r}")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline JSON path "
+        "(default: benchmarks/BENCH_stats_baseline.json)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the baseline from the current code "
+        "instead of checking against it",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"stats-gate: running `repro {' '.join(BENCH_ARGS)}` ...", flush=True)
+    current = collect_stats()
+
+    if args.refresh:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"stats-gate: refreshed {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(
+            f"stats-gate: no baseline at {args.baseline}; create one "
+            "with --refresh",
+            file=sys.stderr,
+        )
+        return 2
+
+    lines = diff(baseline, current)
+    if not lines:
+        print(
+            "stats-gate: PASS — stats byte-match the baseline "
+            f"({len(flatten(baseline))} counters)"
+        )
+        return 0
+    print(
+        f"stats-gate: FAIL — {len(lines)} counter(s) drifted from "
+        f"{args.baseline}:",
+        file=sys.stderr,
+    )
+    for line in lines[:MAX_DIFF_LINES]:
+        print(f"  {line}", file=sys.stderr)
+    if len(lines) > MAX_DIFF_LINES:
+        print(f"  ... and {len(lines) - MAX_DIFF_LINES} more", file=sys.stderr)
+    print(
+        "stats-gate: if the drift is intentional, refresh with:\n"
+        "  PYTHONPATH=src python benchmarks/check_stats_baseline.py --refresh",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

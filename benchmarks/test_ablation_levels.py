@@ -7,7 +7,7 @@ design-space question Section 4 poses — the answer (diminishing returns
 after 2-3 levels) is the reason MinBoost3 exists.
 """
 
-from repro.harness.pipeline import CompileConfig, SCALAR_CONFIG, compile_minic
+from repro.harness.pipeline import CompileConfig, compile_minic
 from repro.sched.boostmodel import BoostModel
 from repro.sched.machine import SUPERSCALAR
 from repro.workloads import get

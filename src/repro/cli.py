@@ -26,7 +26,7 @@ from repro.harness.cache import CODE_VERSION, CompileCache
 from repro.harness.experiments import BENCH_CONFIG_KEYS, Lab
 from repro.harness.fsutil import atomic_write_json
 from repro.harness.pipeline import CompileConfig, compile_minic
-from repro.harness.report import bench_json, render_all
+from repro.harness.report import bench_json, render_all, render_stats
 from repro.harness.resilience import (
     CampaignInterrupted, ChaosConfig, Journal, JournalError,
     SupervisionPolicy, graceful_signals,
@@ -166,7 +166,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     cp = _compile_or_exit(source, args.file, config, train)
     if cp is None:
         return 2
-    result = cp.run(inputs)
+    run_kwargs = {}
+    recorder = None
+    if args.stats:
+        from repro.obs.stats import SimStats
+        run_kwargs["stats"] = SimStats()
+    if args.trace_out:
+        from repro.obs.trace import TraceRecorder
+        recorder = TraceRecorder(capacity=args.trace_capacity)
+        run_kwargs["trace"] = recorder
+    result = cp.run(inputs, **run_kwargs)
     reference = cp.run_functional(inputs)
     status = "OK" if result.output == reference.output else "MISMATCH"
     for value in result.output:
@@ -176,6 +185,27 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"branches={result.branch_count:,} "
           f"pred-acc={result.prediction_accuracy * 100:.1f}% "
           f"oracle={status}", file=sys.stderr)
+    if args.stats and result.sim_stats is not None:
+        st = result.sim_stats
+        print(f"# [stats] boosted={st.boosted_executed:,} "
+              f"squashed={st.boosted_squashed:,} "
+              f"squash-rate={st.squash_rate * 100:.1f}% "
+              f"recoveries={st.recovery_invocations:,} "
+              f"interlock-stalls={st.interlock_stall_cycles:,} "
+              f"slot-occupancy={st.issue_slot_occupancy * 100:.1f}%",
+              file=sys.stderr)
+        if cp.stats is not None:
+            sc = cp.stats
+            print(f"# [sched] traces={sc.traces} "
+                  f"motions={sc.motions_accepted}/{sc.motions_attempted} "
+                  f"boosted={sc.boosted} duplicates={sc.duplicates} "
+                  f"recovery-blocks={sc.recovery_blocks}", file=sys.stderr)
+    if recorder is not None:
+        recorder.write(args.trace_out)
+        note = (f" ({recorder.dropped:,} events dropped; raise "
+                f"--trace-capacity)" if recorder.dropped else "")
+        print(f"# wrote {len(recorder.events())} trace events to "
+              f"{args.trace_out}{note}", file=sys.stderr)
     return 0 if status == "OK" else 1
 
 
@@ -197,14 +227,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     fingerprint = Journal.make_fingerprint(
         command="bench", code_version=CODE_VERSION,
         workloads=[w.name for w in workloads], sabotage=args.sabotage,
-        configs=BENCH_CONFIG_KEYS)
+        configs=BENCH_CONFIG_KEYS, stats=args.stats)
     try:
         journal = _open_journal(args, "bench", fingerprint)
     except JournalError as err:
         print(f"repro bench: {err}", file=sys.stderr)
         return 2
     t0 = time.time()
-    lab = Lab(workloads, sabotage=args.sabotage, cache=_make_cache(args))
+    lab = Lab(workloads, sabotage=args.sabotage, cache=_make_cache(args),
+              collect_stats=args.stats)
     clean_text = None
     try:
         with graceful_signals():
@@ -213,7 +244,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 # supervised chaotic run must byte-match (it also warms the
                 # compile cache, making the chaotic run cheap).
                 clean = Lab(workloads, sabotage=args.sabotage,
-                            cache=_make_cache(args))
+                            cache=_make_cache(args),
+                            collect_stats=args.stats)
                 clean.populate(jobs=1)
                 clean_text = render_all(clean)
             if args.jobs > 1 or policy is not None or journal is not None:
@@ -228,6 +260,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if journal is not None:
             journal.close()
     print(text)
+    if args.stats:
+        # Printed after (not inside) render_all so the chaos self-test's
+        # byte-comparison of the core report is unaffected.
+        print(render_stats(lab))
     # Timing is nondeterministic — keep it off stdout so reports diff clean.
     print(f"[{time.time() - t0:.0f}s of simulation]", file=sys.stderr)
     if args.json:
@@ -371,6 +407,16 @@ def make_parser() -> argparse.ArgumentParser:
     add_compile_opts(p)
     p.add_argument("--input", help="JSON evaluation inputs (defaults to "
                    "--train)", default=None)
+    p.add_argument("--stats", action="store_true",
+                   help="collect paper-metrics counters (boosting, squashes, "
+                        "recovery, slot occupancy) and print a summary")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write a Chrome trace-event JSON cycle trace "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--trace-capacity", type=int, default=200_000,
+                   metavar="N",
+                   help="trace ring-buffer capacity in events; the oldest "
+                        "events are dropped beyond this (default: 200000)")
     p.set_defaults(fn=cmd_run)
 
     def add_parallel_opts(p: argparse.ArgumentParser) -> None:
@@ -416,6 +462,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--sabotage", metavar="WORKLOAD",
                    help="deliberately strangle one workload's simulations "
                         "(demonstrates graceful degradation of the report)")
+    p.add_argument("--stats", action="store_true",
+                   help="collect per-cell scheduler/simulator counters and "
+                        "print the boosting-statistics tables (also embeds "
+                        "them in --json output)")
     add_parallel_opts(p)
     p.set_defaults(fn=cmd_bench)
 

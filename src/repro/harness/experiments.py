@@ -20,7 +20,7 @@ compile+simulate steps per (workload, configuration):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.harness.cache import CompileCache
@@ -31,6 +31,7 @@ from repro.harness.pipeline import (
 )
 from repro.hw.dynamic import DynamicConfig, DynamicSim
 from repro.hw.exceptions import ExecutionResult, Trap
+from repro.obs.stats import SimStats
 from repro.verify.errors import Divergence, DivergenceError
 from repro.sched.boostmodel import (
     BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING,
@@ -82,10 +83,13 @@ class Lab:
 
     def __init__(self, workloads: Optional[list[Workload]] = None,
                  sabotage: Optional[str] = None,
-                 cache: Optional[CompileCache] = None) -> None:
+                 cache: Optional[CompileCache] = None,
+                 collect_stats: bool = False) -> None:
         self.workloads = workloads if workloads is not None else all_workloads()
         self.sabotage = sabotage
         self.cache = cache
+        #: attach repro.obs scheduler/simulator counters to every cell
+        self.collect_stats = collect_stats
         self._compiled: dict[tuple[str, str], CompiledProgram] = {}
         self._measured: dict[tuple[str, str], ExecutionResult] = {}
         self._reference: dict[str, list[int]] = {}
@@ -137,12 +141,18 @@ class Lab:
             image = make_input_image(base.program, w.eval)
             config = DynamicConfig(rename=(config_key == "dynamic_rename"))
             kwargs = {"max_cycles": self.SABOTAGE_CYCLES} if sabotaged else {}
+            if self.collect_stats:
+                kwargs["stats"] = SimStats()
             result = DynamicSim(base.program, config=config,
                                 input_image=image, **kwargs).run()
         else:
             cp = self.compiled(wname, config_key)
             kwargs = {"max_cycles": self.SABOTAGE_CYCLES} if sabotaged else {}
+            if self.collect_stats:
+                kwargs["stats"] = SimStats()
             result = cp.run(w.eval, **kwargs)
+            if self.collect_stats:
+                result.sched_stats = cp.stats
         expected = self.reference_output(wname)
         if result.output != expected:
             raise DivergenceError(
@@ -236,7 +246,7 @@ class Lab:
 
         cache_dir = (str(self.cache.cache_dir) if self.cache is not None
                      else None)
-        tasks = [(wname, key, self.sabotage, cache_dir)
+        tasks = [(wname, key, self.sabotage, cache_dir, self.collect_stats)
                  for wname, key in todo]
 
         def checkpoint(outcome) -> None:
@@ -274,9 +284,10 @@ def _cell_worker(task: tuple) -> tuple[Optional[ExecutionResult],
                                        Optional[str]]:
     """One bench cell in a worker process: replay ``Lab.cell`` for a single
     (workload, config) pair and return (result, recorded-error-text)."""
-    wname, config_key, sabotage, cache_dir = task
+    wname, config_key, sabotage, cache_dir, collect_stats = task
     lab = Lab(sabotage=sabotage,
-              cache=CompileCache(cache_dir) if cache_dir else None)
+              cache=CompileCache(cache_dir) if cache_dir else None,
+              collect_stats=collect_stats)
     result = lab.cell(wname, config_key)
     return result, lab.errors.get((wname, config_key))
 

@@ -9,7 +9,7 @@ input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.frontend import compile_source
@@ -20,6 +20,7 @@ from repro.opt import (
     allocate_program, clean_program, dce_program, fold_program,
     optimize_program, propagate_program, unroll_program,
 )
+from repro.obs.stats import record_schedule_occupancy
 from repro.program.procedure import Program, clone_program
 from repro.sched.bbsched import schedule_program_bb
 from repro.sched.boostmodel import BoostModel, NO_BOOST
@@ -171,7 +172,11 @@ def schedule_ir(program: Program, config: CompileConfig
                 ) -> tuple[ScheduledProgram, Optional[GlobalScheduleStats]]:
     """Schedule a prepared IR program (mutates it in place)."""
     if config.scheduler == "bb":
-        return schedule_program_bb(program, config.machine, config.model), None
+        stats = GlobalScheduleStats()
+        sched = schedule_program_bb(program, config.machine, config.model,
+                                    stats=stats)
+        record_schedule_occupancy(sched, stats)
+        return sched, stats
     if config.scheduler == "global":
         return schedule_program_global(program, config.machine, config.model)
     raise ValueError(f"unknown scheduler {config.scheduler!r}")

@@ -6,9 +6,10 @@ from __future__ import annotations
 from dataclasses import asdict
 
 from repro.harness.experiments import (
-    Lab, TABLE2_MODELS, figure8, figure9, table1, table2,
+    BENCH_CONFIG_KEYS, Lab, TABLE2_MODELS, figure8, figure9, table1, table2,
 )
 from repro.harness.fsutil import atomic_write_text
+from repro.obs.stats import STATS_SCHEMA
 
 #: schema tag shared by ``bench --json`` and ``benchmarks/perf_smoke.py``
 BENCH_SCHEMA = "repro-bench/1"
@@ -163,6 +164,96 @@ def render_errors(lab: Lab) -> str:
     return "\n".join(lines)
 
 
+def _boost_histogram(by_level: dict, total: int) -> str:
+    """``.B1:36% .B2:64%`` — boost-distance distribution of executions."""
+    if not by_level or not total:
+        return "—"
+    return " ".join(f".B{level}:{100 * by_level[level] / total:.1f}%"
+                    for level in sorted(by_level, key=int))
+
+
+def render_stats(lab: Lab) -> str:
+    """The paper-style statistics table behind ``bench --stats``.
+
+    Dynamic behaviour per workload × boosting model — fraction of executed
+    instructions that were boosted, the boost-distance (``.Bn``) histogram,
+    and the squash rate (Figures 6–7 territory) — followed by the static
+    scheduler counters that produced each schedule.
+    """
+    lines = [
+        "Boosting statistics: dynamic behaviour per workload × model",
+        f"{'':10s} {'model':>10s} {'%boosted':>9s} {'squash%':>8s} "
+        f"{'recov':>6s}  boost-distance histogram",
+    ]
+    for w in lab.workloads:
+        for key in TABLE2_MODELS:
+            res = lab.cell(w.name, key)
+            st = res.sim_stats if res is not None else None
+            name = w.name if key == TABLE2_MODELS[0] else ""
+            if st is None:
+                lines.append(f"{name:10s} {key:>10s} {'ERR':>9s} {'ERR':>8s} "
+                             f"{'ERR':>6s}  —")
+                continue
+            pct = (100 * st.boosted_executed / st.instrs
+                   if st.instrs else 0.0)
+            hist = _boost_histogram(st.boosted_by_level, st.boosted_executed)
+            lines.append(
+                f"{name:10s} {key:>10s} {pct:>8.1f}% "
+                f"{100 * st.squash_rate:>7.1f}% "
+                f"{st.recovery_invocations:>6d}  {hist}")
+    lines += [
+        "",
+        "Scheduler statistics: static counters per workload × model",
+        f"{'':10s} {'model':>10s} {'traces':>7s} {'motions':>12s} "
+        f"{'boosted':>8s} {'dups':>5s} {'recov.blk':>10s} {'occup':>6s}",
+    ]
+    for w in lab.workloads:
+        for key in TABLE2_MODELS:
+            res = lab.cell(w.name, key)
+            st = res.sched_stats if res is not None else None
+            name = w.name if key == TABLE2_MODELS[0] else ""
+            if st is None:
+                lines.append(f"{name:10s} {key:>10s} {'ERR':>7s} {'ERR':>12s} "
+                             f"{'ERR':>8s} {'ERR':>5s} {'ERR':>10s} "
+                             f"{'ERR':>6s}")
+                continue
+            motions = f"{st.motions_accepted}/{st.motions_attempted}"
+            lines.append(
+                f"{name:10s} {key:>10s} {st.traces:>7d} {motions:>12s} "
+                f"{st.boosted:>8d} {st.duplicates:>5d} "
+                f"{st.recovery_blocks:>10d} "
+                f"{100 * st.issue_slot_occupancy:>5.1f}%")
+    return "\n".join(lines)
+
+
+def stats_json(lab: Lab) -> dict:
+    """The ``repro-stats/1`` section of ``bench --json``.
+
+    Deterministic (sorted histogram keys, fixed rounding), so CI can demand
+    an exact match against a committed baseline.
+    """
+    workloads: dict[str, dict] = {}
+    for w in lab.workloads:
+        per: dict[str, object] = {}
+        for key in BENCH_CONFIG_KEYS:
+            res = lab.cell(w.name, key)
+            if res is None:
+                per[key] = None
+                continue
+            per[key] = {
+                "sched": (res.sched_stats.snapshot()
+                          if res.sched_stats is not None else None),
+                "sim": (res.sim_stats.snapshot()
+                        if res.sim_stats is not None else None),
+            }
+        workloads[w.name] = per
+    return {
+        "schema": STATS_SCHEMA,
+        "collected": lab.collect_stats,
+        "workloads": workloads,
+    }
+
+
 def render_all(lab: Lab) -> str:
     parts = [
         render_table1(lab),
@@ -195,6 +286,7 @@ def bench_json(lab: Lab) -> dict:
                    "geomeans": t2_means},
         "figure9": {"rows": [asdict(r) for r in f9_rows],
                     "geomeans": f9_means},
+        "stats": stats_json(lab),
         "errors": {f"{w}/{c}": text
                    for (w, c), text in sorted(lab.errors.items())},
         "failures": {f"{w}/{c}": info

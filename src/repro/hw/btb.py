@@ -8,7 +8,7 @@ uses it for conditional-branch direction prediction and for indirect-jump
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -35,7 +35,7 @@ from repro.hw.functional import EXIT_TOKEN
 from repro.hw.memory import Memory
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FU, Opcode
-from repro.isa.registers import RA, SP, Reg
+from repro.isa.registers import RA, SP
 from repro.program.procedure import Program
 
 _TOKEN_STRIDE = 16
@@ -156,10 +156,16 @@ class DynamicSim:
 
     def __init__(self, program: Program, config: Optional[DynamicConfig] = None,
                  max_cycles: int = 100_000_000,
-                 input_image: Optional[list[tuple[int, bytes]]] = None) -> None:
+                 input_image: Optional[list[tuple[int, bytes]]] = None,
+                 stats=None) -> None:
         self.program = program
         self.config = config or DynamicConfig()
         self.max_cycles = max_cycles
+        #: optional observability sink (repro.obs); a non-collecting sink
+        #: (NullStats) is hidden from the cycle loop entirely.
+        self._stats = stats
+        self._stats_hot = stats if stats is not None and stats.collecting \
+            else None
 
         # Flatten the program: one global instruction array, 4 bytes per pc.
         self.flat: list[Instruction] = []
@@ -303,6 +309,8 @@ class DynamicSim:
                 for di in dec.def_idxs:
                     producer = rename.get(di)
                     if producer is not None and not producer.done:
+                        if self._stats_hot is not None:
+                            self._stats_hot.rename_stall_events += 1
                         return
             self.fetch_queue.pop(0)
             entry.dispatch_cycle = self.cycle
@@ -530,6 +538,8 @@ class DynamicSim:
                     return
 
     def _flush_after(self, entry: _Entry) -> None:
+        if self._stats_hot is not None:
+            self._stats_hot.flushes += 1
         keep: list[_Entry] = []
         for other in self.rob:
             if other.seq <= entry.seq:
@@ -602,10 +612,14 @@ class DynamicSim:
         dispatch = self._dispatch
         fetch = self._fetch
         max_cycles = self.max_cycles
+        st = self._stats_hot
         while not self.halted:
             self.cycle += 1
             if self.cycle > max_cycles:
                 raise RuntimeError(f"exceeded {max_cycles} cycles")
+            if st is not None:
+                st.note_dynamic_cycle(len(self.rob), len(self.fetch_queue),
+                                      self.cycle < self._fetch_resume)
             commit()
             if self.halted:
                 break
@@ -618,6 +632,9 @@ class DynamicSim:
                     and self.fetch_stalled_on is None):
                 break
         self.result.cycle_count = self.cycle
+        if self._stats is not None:
+            self._stats.finalize_dynamic(self)
+            self.result.sim_stats = self._stats
         return self.result
 
 

@@ -106,6 +106,10 @@ class ExecutionResult:
     branch_count: int = 0
     mispredict_count: int = 0
     trap: Optional[Trap] = None
+    #: observability sinks attached by instrumented runs (repro.obs);
+    #: None unless stats collection was requested
+    sim_stats: Optional[object] = None
+    sched_stats: Optional[object] = None
 
     @property
     def ipc(self) -> float:

@@ -96,6 +96,7 @@ class FunctionalSim:
         fault_hook: Optional[Callable[[Instruction], Optional[Trap]]] = None,
         wall_clock_limit: Optional[float] = None,
         fast: Optional[bool] = None,
+        stats=None,
     ) -> None:
         self.program = program
         self.max_steps = max_steps
@@ -123,6 +124,12 @@ class FunctionalSim:
             for name, p in program.procedures.items()
         }
         self._decoded: Optional[dict[str, list[tuple]]] = None
+        #: optional observability sink (repro.obs); None costs one test per
+        #: executed basic block.  A non-collecting sink (NullStats) is
+        #: hidden from the interpreter loops entirely.
+        self._stats = stats
+        self._stats_hot = stats if stats is not None and stats.collecting \
+            else None
 
     # --------------------------------------------------------------- plumbing
     def _read(self, reg: Reg) -> int:
@@ -212,8 +219,19 @@ class FunctionalSim:
         deadline = (time.monotonic() + self.wall_clock_limit
                     if self.wall_clock_limit is not None else None)
         if self.fast:
-            return self._run_fast(name, self.max_steps, deadline)
-        return self._interp(name, 0, self.max_steps, deadline)
+            result = self._run_fast(name, self.max_steps, deadline)
+        else:
+            result = self._interp(name, 0, self.max_steps, deadline)
+        if self._stats is not None:
+            shapes = {}
+            for pname, proc in self.program.procedures.items():
+                for block in proc.blocks:
+                    n = len(block.body) \
+                        + (0 if block.terminator is None else 1)
+                    shapes[(pname, block.label)] = (n, n, 1)
+            self._stats.finalize_functional(self, shapes)
+            result.sim_stats = self._stats
+        return result
 
     def _run_fast(self, entry_name: str, fuel: int,
                   deadline: Optional[float]) -> ExecutionResult:
@@ -232,6 +250,8 @@ class FunctionalSim:
         store_byte = mem.store_byte
         monotonic = time.monotonic
         tokens = self._tokens
+        st = self._stats_hot
+        execs = st.block_execs if st is not None else None
 
         proc_name = entry_name
         blocks = decoded[proc_name]
@@ -256,6 +276,8 @@ class FunctionalSim:
             if profile is not None:
                 bc = profile.block_counts
                 bc[pkey] = bc.get(pkey, 0) + 1
+            if execs is not None:
+                execs[pkey] = execs.get(pkey, 0) + 1
 
             for entry in entries:
                 tag = entry[0]
@@ -382,6 +404,10 @@ class FunctionalSim:
             if profile is not None:
                 key = (proc.name, block.label)
                 profile.block_counts[key] = profile.block_counts.get(key, 0) + 1
+            if self._stats_hot is not None:
+                execs = self._stats_hot.block_execs
+                key = (proc.name, block.label)
+                execs[key] = execs.get(key, 0) + 1
 
             for instr in block.body:
                 fuel -= 1

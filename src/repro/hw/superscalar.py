@@ -74,6 +74,8 @@ class SuperscalarSim:
         wall_clock_limit: Optional[float] = None,
         shiftbuf: Optional[ExceptionShiftBuffer] = None,
         fast: Optional[bool] = None,
+        stats=None,
+        trace=None,
     ) -> None:
         self.sched = sched
         self.program = sched.program
@@ -118,6 +120,14 @@ class SuperscalarSim:
         self.now = 0
         self.fast = _FAST_DEFAULT if fast is None else fast
         self._decoded: Optional[dict[str, list]] = None
+        #: optional observability sinks (repro.obs); None keeps the fast
+        #: path at one ``is not None`` test per basic block.  A sink with
+        #: ``collecting = False`` (NullStats) is hidden from the hot loops
+        #: entirely — it only sees the final ``finalize_superscalar``.
+        self._stats = stats
+        self._stats_hot = stats if stats is not None and stats.collecting \
+            else None
+        self._trace = trace
 
     # ------------------------------------------------------------- primitives
     def _read(self, reg: Reg, level: int) -> int:
@@ -207,8 +217,17 @@ class SuperscalarSim:
 
     # -------------------------------------------------------------- execution
     def run(self, entry: Optional[str] = None) -> ExecutionResult:
-        if self.fast:
-            return self._run_fast(entry)
+        result = (self._run_fast(entry) if self.fast
+                  else self._run_slow(entry))
+        if self._stats is not None:
+            self._stats.finalize_superscalar(self)
+            result.sim_stats = self._stats
+        return result
+
+    def _run_slow(self, entry: Optional[str] = None) -> ExecutionResult:
+        st = self._stats_hot
+        execs = st.block_execs if st is not None else None
+        tr = self._trace
         proc = self.sched.proc(entry or self.program.entry)
         block_idx = 0
         deadline = (time.monotonic() + self.wall_clock_limit
@@ -223,8 +242,14 @@ class SuperscalarSim:
             block = proc.blocks[block_idx]
             self._ctl = None
             self._cur = (proc, block_idx)
+            if execs is not None:
+                k = (proc.name, block_idx)
+                execs[k] = execs.get(k, 0) + 1
+            t0 = self.now
             for row in block.cycles:
                 self._issue_row(row)
+            if tr is not None:
+                tr.complete(f"{proc.name}:{block.label}", t0, self.now - t0)
             nxt = self._block_end(proc, block_idx, block)
             if nxt is None:
                 self.result.cycle_count = self.now
@@ -255,6 +280,10 @@ class SuperscalarSim:
         result = self.result
         output = result.output
         fault_hook = self.fault_hook
+        st = self._stats_hot
+        execs = st.block_execs if st is not None else None
+        tr = self._trace
+        t0 = 0
         now = self.now
 
         while True:
@@ -268,6 +297,11 @@ class SuperscalarSim:
                     f"({now:,} cycles simulated)")
             self._ctl = None
             self._cur = (proc, block_idx)
+            if execs is not None:
+                k = (proc.name, block_idx)
+                execs[k] = execs.get(k, 0) + 1
+            if tr is not None:
+                t0 = now
             for entries, watch in blocks[block_idx]:
                 # Scoreboard interlock: the whole issue packet waits.
                 for idx in watch:
@@ -301,6 +335,8 @@ class SuperscalarSim:
                     boost = entry[2]
                     if boost:
                         self.boosted_executed += 1
+                        if st is not None:
+                            st.note_boosted(boost)
                     if tag == _S_TERM:
                         self.now = now
                         self._resolve_terminator(instr, vals)
@@ -380,6 +416,10 @@ class SuperscalarSim:
                         else:
                             mem.store_byte(addr, value)
                 now += 1
+            if tr is not None:
+                tr.complete(
+                    f"{proc.name}:{proc.blocks[block_idx].label}",
+                    t0, now - t0)
             self.now = now
             nxt = self._block_end(proc, block_idx, blocks[block_idx])
             now = self.now  # recovery may have advanced the clock
@@ -415,6 +455,8 @@ class SuperscalarSim:
         result.instr_count += 1
         if instr.boost > 0:
             self.boosted_executed += 1
+            if self._stats_hot is not None:
+                self._stats_hot.note_boosted(instr.boost)
         if (self.fault_hook is not None and op is not Opcode.PRINT
                 and not instr.is_terminator):
             injected = self.fault_hook(instr)
@@ -537,18 +579,33 @@ class SuperscalarSim:
         _, instr, taken = ctl
         self.result.branch_count += 1
         predicted = bool(instr.predict_taken)
+        st = self._stats_hot
         if taken == predicted:
             pending = self.shiftbuf.shift(instr.uid)
             if pending is not None:
                 resume = self._run_recovery(proc, instr.uid)
                 return (proc, index[resume])
+            if st is not None:
+                st.note_branch_commit(
+                    self.shadow.outstanding(),
+                    self.storebuf.outstanding()
+                    if self.storebuf is not None else 0)
             for reg, value in self.shadow.commit().items():
                 self.regs[reg] = value
             if self.storebuf is not None:
                 self.storebuf.commit(self.mem)
         else:
             self.result.mispredict_count += 1
-            self.boosted_squashed += self.shadow.outstanding()
+            squashed = self.shadow.outstanding()
+            if st is not None:
+                st.note_squash(
+                    squashed,
+                    self.storebuf.outstanding()
+                    if self.storebuf is not None else 0)
+            if self._trace is not None and squashed:
+                self._trace.instant("squash", self.now,
+                                    args={"shadow": squashed})
+            self.boosted_squashed += squashed
             self.shadow.squash()
             if self.storebuf is not None:
                 self.storebuf.squash()
@@ -568,6 +625,14 @@ class SuperscalarSim:
                 f"boosted exception committed at branch {branch_uid} but the "
                 "compiler generated no recovery code")
         self.recovery_invocations += 1
+        if self._stats_hot is not None:
+            self._stats_hot.note_recovery(self.machine.recovery_overhead,
+                                          len(recov.instructions))
+        if self._trace is not None:
+            self._trace.complete(
+                "recovery", self.now,
+                self.machine.recovery_overhead + len(recov.instructions),
+                tid=1, args={"branch_uid": branch_uid})
         # The hardware discards all speculative state before vectoring.
         self.shadow.squash()
         if self.storebuf is not None:

@@ -1,0 +1,141 @@
+"""Opt-in ring-buffer cycle trace in Chrome trace-event format.
+
+Events use the simulator cycle count as the microsecond timestamp, so one
+trace microsecond equals one machine cycle.  The export is the JSON object
+form understood by ``chrome://tracing`` and https://ui.perfetto.dev —
+load the written file directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+TID_PIPELINE = 0
+TID_SPECULATION = 1
+
+_THREAD_NAMES = {
+    TID_PIPELINE: "pipeline",
+    TID_SPECULATION: "speculation",
+}
+
+
+class TraceRecorder:
+    """A bounded ring buffer of Chrome trace events.
+
+    When more than ``capacity`` events are recorded the oldest are
+    overwritten; the number of dropped events is reported in the export's
+    ``otherData`` section so a truncated trace is never mistaken for a
+    complete one.
+    """
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: List[Optional[Dict]] = []
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def _push(self, event: Dict) -> None:
+        if len(self._buf) < self.capacity:
+            self._buf.append(event)
+        else:
+            self._buf[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def complete(
+        self,
+        name: str,
+        ts: int,
+        dur: int,
+        tid: int = TID_PIPELINE,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record a complete ("X") event spanning ``[ts, ts + dur)``."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": ts,
+            "dur": max(dur, 1),
+            "pid": 0,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._push(event)
+
+    def instant(
+        self,
+        name: str,
+        ts: int,
+        tid: int = TID_SPECULATION,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record an instant ("i") event at ``ts``."""
+        event = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": ts,
+            "pid": 0,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._push(event)
+
+    def events(self) -> List[Dict]:
+        """Return recorded events, oldest first."""
+        return self._buf[self._head :] + self._buf[: self._head]
+
+    def export(self, process_name: str = "repro") -> Dict:
+        meta: List[Dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for tid, tname in sorted(_THREAD_NAMES.items()):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": tname},
+                }
+            )
+        return {
+            "traceEvents": meta + self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "1 trace us = 1 machine cycle",
+                "dropped": self.dropped,
+            },
+        }
+
+    def write(self, path: str, process_name: str = "repro") -> None:
+        """Atomically write the exported trace as JSON to ``path``."""
+        payload = json.dumps(self.export(process_name), indent=1) + "\n"
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".trace-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -15,7 +15,7 @@ from repro.hw.alu import branch_taken, execute_alu
 from repro.hw.exceptions import Trap
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import ZERO, Reg
+from repro.isa.registers import Reg
 from repro.program.block import BasicBlock
 from repro.program.procedure import Procedure, Program
 from repro.analysis.liveness import instr_defs

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.regions import Region, RegionTree
-from repro.isa.instruction import Instruction
 from repro.program.block import BasicBlock
 from repro.program.cfg import CFG
 from repro.program.procedure import Procedure, Program

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import re
 
-from repro.isa.opcodes import BY_MNEMONIC, Format, Opcode
+from repro.isa.opcodes import BY_MNEMONIC, Format
 from repro.isa.instruction import Instruction
 from repro.isa.registers import Reg
 from repro.program.block import BasicBlock
-from repro.program.procedure import DataSegment, Procedure, Program
+from repro.program.procedure import Procedure, Program
 
 
 # --------------------------------------------------------------------- print

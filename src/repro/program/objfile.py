@@ -30,7 +30,6 @@ both are outside anything the compiler emits.
 from __future__ import annotations
 
 import struct
-from typing import Optional
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode

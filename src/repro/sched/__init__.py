@@ -8,6 +8,7 @@ from repro.sched.boostmodel import (
     SQUASHING,
 )
 from repro.sched.ddg import DepGraph, DepNode
+from repro.obs.stats import SchedStats
 from repro.sched.globalsched import (
     GlobalScheduleStats, schedule_procedure_global, schedule_program_global,
 )
@@ -23,7 +24,8 @@ __all__ = [
     "ALL_MODELS", "BOOST1", "BOOST7", "BY_NAME", "BoostModel", "DepGraph",
     "DepNode", "DupPlan", "GlobalScheduleStats", "MINBOOST3", "MachineConfig",
     "MotionEngine", "MotionPlan", "NO_BOOST", "RecoveryBlock", "SCALAR",
-    "SQUASHING", "SUPERSCALAR", "ScheduleState", "ScheduledBlock",
+    "SQUASHING", "SUPERSCALAR", "SchedStats", "ScheduleState",
+    "ScheduledBlock",
     "ScheduledProcedure", "ScheduledProgram", "Trace", "earliest_cycle",
     "grow_trace", "latency", "list_schedule", "schedule_block_local",
     "schedule_procedure_bb", "schedule_procedure_global",

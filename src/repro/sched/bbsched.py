@@ -103,15 +103,17 @@ def block_length(term: Optional[Instruction], term_cycle: Optional[int],
     return term_cycle + 2
 
 
-def schedule_block_local(block: BasicBlock,
-                         machine: MachineConfig) -> ScheduledBlock:
+def schedule_block_local(block: BasicBlock, machine: MachineConfig,
+                         stats=None) -> ScheduledBlock:
     """List-schedule one basic block in isolation."""
     instrs = list(block.body)
     term = block.terminator
     all_instrs = instrs + ([term] if term is not None else [])
     ddg = DepGraph(all_instrs)
     body_indices = list(range(len(instrs)))
-    state = list_schedule(ddg, machine, body_indices)
+    if stats is not None:
+        stats.list_blocks += 1
+    state = list_schedule(ddg, machine, body_indices, stats=stats)
     term_cycle: Optional[int] = None
     if term is not None:
         term_cycle = place_terminator(ddg, state, len(all_instrs) - 1, machine)
@@ -124,18 +126,19 @@ def schedule_block_local(block: BasicBlock,
     return ScheduledBlock(block.label, state.rows, term_cycle)
 
 
-def schedule_procedure_bb(proc: Procedure,
-                          machine: MachineConfig) -> ScheduledProcedure:
+def schedule_procedure_bb(proc: Procedure, machine: MachineConfig,
+                          stats=None) -> ScheduledProcedure:
     sp = ScheduledProcedure(proc.name)
     for block in proc.blocks:
-        sp.add_block(schedule_block_local(block, machine))
+        sp.add_block(schedule_block_local(block, machine, stats=stats))
     return sp
 
 
 def schedule_program_bb(program: Program, machine: MachineConfig,
-                        model: BoostModel = NO_BOOST) -> ScheduledProgram:
+                        model: BoostModel = NO_BOOST,
+                        stats=None) -> ScheduledProgram:
     """Basic-block schedule every procedure of a program."""
     sched = ScheduledProgram(program, machine, model)
     for proc in program.procedures.values():
-        sched.add(schedule_procedure_bb(proc, machine))
+        sched.add(schedule_procedure_bb(proc, machine, stats=stats))
     return sched

@@ -16,13 +16,14 @@ and per trace:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.liveness import instr_defs, instr_uses
 from repro.analysis.regions import RegionTree
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
+from repro.obs.stats import SchedStats, record_schedule_occupancy
 from repro.program.cfg import CFG
 from repro.program.procedure import Procedure, Program
 from repro.sched.bbsched import (block_length, schedule_block_local,
@@ -270,15 +271,20 @@ class _TraceScheduler:
                 self.placed_boost.get(p, 0) > 0 and self.homes[p] > pos
                 for p in self.ddg.raw_preds_of(idx)
             )
+            self.stats.motions_attempted += 1
             plan = self.engine.plan(instr, home, pos, has_spec_producer,
                                     in_squash_region)
             if not plan.ok:
+                self.stats.note_rejected(plan.code or "other")
                 continue
             if plan.boost > 0 and not self._shadow_fits(instr, pos, home):
+                self.stats.note_rejected("shadow-conflict")
                 continue
             if plan.boost == 0 and not self._sequential_write_fits(instr, pos):
+                self.stats.note_rejected("waw-order")
                 continue
             if plan.boost == 0 and not self._writeback_fits(instr, pos):
+                self.stats.note_rejected("writeback-order")
                 continue
             best, best_idx, best_plan = key, idx, plan
         if best_idx is None:
@@ -336,6 +342,7 @@ class _TraceScheduler:
     def _apply_plan(self, idx: int, pos: int, plan) -> None:
         instr = self.ddg.nodes[idx].instr
         labels = self.trace.labels
+        self.stats.motions_accepted += 1
         if plan.boost == 0 and self.homes[idx] != pos:
             # A sequential (non-boosted) motion architecturally executes at
             # its placement block, on every path through it.  Write it back
@@ -355,6 +362,7 @@ class _TraceScheduler:
             instr.boost = plan.boost
             self.placed_boost[idx] = plan.boost
             self.stats.boosted += 1
+            self.stats.note_boost_level(plan.boost)
             if instr.dst is not None:
                 self.outstanding.append(
                     (instr.dst.index, pos, self.homes[idx] - 1))
@@ -369,8 +377,12 @@ class _TraceScheduler:
             self.stats.safe_speculative += 1
         for copy, dp in self.engine.apply_dups(instr, plan):
             self.stats.duplicates += 1
+            self.stats.note_dup(
+                "split" if dp.kind == "split"
+                else ("boosted" if dp.boost > 0 else "plain"))
             if dp.boost > 0:
                 self.stats.boosted += 1
+                self.stats.note_boost_level(dp.boost)
                 pred_term = self.proc.block(dp.pred_label).terminator
                 self.pending.setdefault(pred_term.uid, []).append((copy, 0))
                 self.resume_label[pred_term.uid] = dp.join_label
@@ -383,13 +395,9 @@ def _used_cycles(rows) -> int:
     return 0
 
 
-@dataclass
-class GlobalScheduleStats:
-    boosted: int = 0
-    duplicates: int = 0
-    safe_speculative: int = 0
-    traces: int = 0
-    split_blocks: int = 0
+#: Scheduler counters now live in :mod:`repro.obs`; the historical name is
+#: kept as an alias so existing callers (pipeline, CLI, tests) keep working.
+GlobalScheduleStats = SchedStats
 
 
 def schedule_procedure_global(
@@ -411,7 +419,7 @@ def schedule_procedure_global(
     by_label: dict[str, ScheduledBlock] = {}
 
     for trace in traces:
-        stats.traces += 1
+        stats.note_trace(len(trace.labels))
         engine = MotionEngine(proc, cfg, trace, model, scheduled_labels,
                               resume_label, comp_defs)
         ts = _TraceScheduler(proc, cfg, trace, machine, model, engine,
@@ -424,7 +432,8 @@ def schedule_procedure_global(
     # Compensation blocks created by edge splitting are scheduled locally.
     for block in proc.blocks:
         if block.label not in by_label:
-            by_label[block.label] = schedule_block_local(block, machine)
+            by_label[block.label] = schedule_block_local(block, machine,
+                                                         stats=stats)
 
     sp = ScheduledProcedure(proc.name)
     for block in proc.blocks:  # original layout order keeps fall-throughs
@@ -434,6 +443,8 @@ def schedule_procedure_global(
         if not any(orig.op.can_except for orig, _ in entries):
             continue
         copies = [orig.copy(boost=remaining) for orig, remaining in entries]
+        stats.recovery_blocks += 1
+        stats.recovery_instrs += len(copies)
         sp.recovery[uid] = RecoveryBlock(
             branch_uid=uid, instructions=copies,
             resume_label=resume_label[uid])
@@ -450,4 +461,5 @@ def schedule_program_global(
     sched = ScheduledProgram(program, machine, model)
     for proc in program.procedures.values():
         sched.add(schedule_procedure_global(proc, machine, model, stats))
+    record_schedule_occupancy(sched, stats)
     return sched, stats

@@ -71,7 +71,8 @@ def earliest_cycle(ddg: DepGraph, state: ScheduleState, idx: int) -> Optional[in
 def list_schedule(ddg: DepGraph, machine: MachineConfig,
                   node_indices: list[int],
                   state: Optional[ScheduleState] = None,
-                  start_cycle: int = 0) -> ScheduleState:
+                  start_cycle: int = 0,
+                  stats=None) -> ScheduleState:
     """Schedule exactly ``node_indices`` (a subset of the DDG) into ``state``.
 
     Dependence predecessors outside the subset must already be placed in
@@ -80,6 +81,8 @@ def list_schedule(ddg: DepGraph, machine: MachineConfig,
     """
     if state is None:
         state = ScheduleState(machine)
+    if stats is not None:
+        stats.list_instrs += len(node_indices)
     heights = ddg.critical_path_heights()
     remaining = set(node_indices)
     cycle = start_cycle

@@ -16,7 +16,7 @@ unit on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FU, Opcode

@@ -57,14 +57,16 @@ class DupPlan:
 class MotionPlan:
     ok: bool
     reason: str = ""
+    #: short machine-readable rejection category (for SchedStats histograms)
+    code: str = ""
     boost: int = 0
     #: trace positions of the conditional branches crossed (for recovery)
     cond_positions: tuple[int, ...] = ()
     dups: list[DupPlan] = field(default_factory=list)
 
     @classmethod
-    def fail(cls, reason: str) -> "MotionPlan":
-        return cls(ok=False, reason=reason)
+    def fail(cls, reason: str, code: str = "other") -> "MotionPlan":
+        return cls(ok=False, reason=reason, code=code)
 
 
 class MotionEngine:
@@ -118,7 +120,8 @@ class MotionEngine:
         if home_pos == place_pos:
             return MotionPlan(ok=True)
         if instr.is_boosted:
-            return MotionPlan.fail("compensation copies do not move again")
+            return MotionPlan.fail("compensation copies do not move again",
+                                   code="comp-copy")
         # The crossed terminators must all be fall-throughs, jumps, or
         # conditional branches; traces never cross calls/returns.
         labels = self.trace.labels
@@ -127,7 +130,8 @@ class MotionEngine:
             if term is None or term.op is Opcode.J or term.op.is_cond_branch:
                 continue
             return MotionPlan.fail(
-                f"cannot move across {term.op.mnemonic} at {labels[m]}")
+                f"cannot move across {term.op.mnemonic} at {labels[m]}",
+                code="barrier")
 
         plan = self._plan_nonspeculative(instr, home_pos, place_pos,
                                          has_spec_producer)
@@ -217,18 +221,20 @@ class MotionEngine:
         level = len(cond_positions)
         if level == 0:
             return MotionPlan.fail(
-                "motion blocked by compensation-code legality")
+                "motion blocked by compensation-code legality",
+                code="comp-legality")
         if not instr.side_effect_free and not instr.op.is_store:
-            return MotionPlan.fail("output instructions never speculate")
+            return MotionPlan.fail("output instructions never speculate",
+                                   code="output")
         if not self.model.can_boost(instr, level):
             return MotionPlan.fail(
                 f"{self.model.name} cannot boost {instr.op.mnemonic} to "
-                f"level {level}")
+                f"level {level}", code="model-limit")
         if self.model.squash_only and not (
                 level == 1 and home_pos == place_pos + 1 and in_squash_region):
             return MotionPlan.fail(
                 "squashing pipeline boosts only into the branch and delay "
-                "cycles")
+                "cycles", code="squash-window")
 
         dups: list[DupPlan] = []
         for m in range(place_pos + 1, home_pos + 1):
@@ -239,7 +245,7 @@ class MotionEngine:
                     continue
                 dup = self._plan_dup(instr, pred, m, home_pos)
                 if isinstance(dup, str):
-                    return MotionPlan.fail(dup)
+                    return MotionPlan.fail(dup, code="duplication")
                 dups.append(dup)
         return MotionPlan(ok=True, boost=level,
                           cond_positions=tuple(cond_positions), dups=dups)

@@ -11,7 +11,7 @@ branches — the direction along which boosted instructions commit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.regions import Region, RegionTree
 from repro.isa.opcodes import Opcode

@@ -34,7 +34,7 @@ from repro.program.procedure import Program, clone_program
 from repro.sched.boostmodel import BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING
 from repro.sched.machine import SUPERSCALAR
 from repro.verify.differential import CheckReport, DifferentialChecker
-from repro.verify.errors import Divergence, DivergenceError
+from repro.verify.errors import DivergenceError
 from repro.verify.faults import FaultPlan, apply_flips, make_plan
 from repro.workloads import all_workloads
 

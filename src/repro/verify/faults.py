@@ -33,7 +33,7 @@ test a machine the compiler was never asked to build.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hw.exceptions import Trap, TrapKind

@@ -11,7 +11,7 @@ one measured (Section 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 InputSet = dict[str, Union[list[int], bytes, int]]

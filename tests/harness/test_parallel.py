@@ -3,7 +3,7 @@
 import pytest
 
 from repro.harness.experiments import BENCH_CONFIG_KEYS, Lab
-from repro.harness.parallel import TaskOutcome, run_tasks
+from repro.harness.parallel import run_tasks
 from repro.harness.report import bench_json, render_all
 from repro.workloads.registry import Workload
 

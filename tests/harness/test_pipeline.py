@@ -4,11 +4,11 @@ import pytest
 
 from repro.harness.experiments import Lab, geometric_mean
 from repro.harness.pipeline import (
-    CompileConfig, SCALAR_CONFIG, annotate_predictions, compile_minic,
+    CompileConfig, SCALAR_CONFIG, compile_minic,
     make_input_image,
 )
 from repro.sched.boostmodel import MINBOOST3
-from repro.sched.machine import SCALAR, SUPERSCALAR
+from repro.sched.machine import SUPERSCALAR
 from repro.workloads.registry import Workload
 
 SOURCE = """

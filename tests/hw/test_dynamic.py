@@ -6,7 +6,6 @@ from repro.harness.pipeline import SCALAR_CONFIG, compile_minic, make_input_imag
 from repro.hw.dynamic import DynamicConfig, DynamicSim, run_dynamic
 from repro.hw.exceptions import Trap, TrapKind
 from repro.hw.functional import run_functional
-from repro.isa import Reg
 from repro.frontend import compile_source
 from repro.opt import allocate_program, optimize_program
 

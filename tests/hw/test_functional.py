@@ -4,7 +4,7 @@ import pytest
 
 from repro.hw.exceptions import Trap, TrapKind
 from repro.hw.functional import FuelExhausted, FunctionalSim, run_functional
-from repro.isa import A0, Reg, V0, ZERO
+from repro.isa import A0, Reg, V0
 from repro.program import ProcBuilder, Program
 
 T0, T1, T2 = (Reg.named(f"t{i}") for i in range(3))

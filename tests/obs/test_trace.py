@@ -1,0 +1,122 @@
+"""TraceRecorder: ring-buffer semantics and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.harness.pipeline import CompileConfig, compile_minic
+from repro.obs.trace import TID_PIPELINE, TID_SPECULATION, TraceRecorder
+from repro.sched.boostmodel import BY_NAME
+
+SOURCE = """
+global xs[8];
+global n = 0;
+func main() {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (xs[i] > 3) { s = s + xs[i]; }
+    }
+    print(s);
+}
+"""
+TRAIN = {"xs": [1, 5, 2, 6, 3, 7, 4, 8], "n": 8}
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_ring_buffer_drops_oldest():
+    rec = TraceRecorder(capacity=4)
+    for i in range(6):
+        rec.complete(f"e{i}", ts=i, dur=1)
+    assert len(rec) == 4
+    assert rec.dropped == 2
+    names = [e["name"] for e in rec.events()]
+    assert names == ["e2", "e3", "e4", "e5"]
+
+
+def test_zero_duration_is_clamped_to_one():
+    rec = TraceRecorder()
+    rec.complete("empty-block", ts=5, dur=0)
+    assert rec.events()[0]["dur"] == 1
+
+
+def test_instant_event_shape():
+    rec = TraceRecorder()
+    rec.instant("squash", ts=7, args={"shadow": 3})
+    (event,) = rec.events()
+    assert event["ph"] == "i"
+    assert event["s"] == "t"
+    assert event["tid"] == TID_SPECULATION
+    assert event["args"] == {"shadow": 3}
+
+
+def test_export_structure():
+    rec = TraceRecorder()
+    rec.complete("block", ts=0, dur=2)
+    out = rec.export(process_name="demo")
+    assert out["displayTimeUnit"] == "ms"
+    assert out["otherData"]["dropped"] == 0
+    meta = [e for e in out["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert {"demo", "pipeline", "speculation"} <= names
+
+
+def test_write_is_valid_json(tmp_path):
+    rec = TraceRecorder()
+    rec.complete("block", ts=0, dur=2)
+    path = tmp_path / "trace.json"
+    rec.write(str(path))
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert any(e["ph"] == "X" for e in data["traceEvents"])
+
+
+def test_simulator_emits_block_events(tmp_path):
+    cp = compile_minic(SOURCE, CompileConfig(model=BY_NAME["MinBoost3"]), TRAIN)
+    rec = TraceRecorder()
+    cp.run(TRAIN, trace=rec)
+    events = rec.events()
+    assert events, "an instrumented run must record events"
+    blocks = [e for e in events if e["ph"] == "X" and e["tid"] == TID_PIPELINE]
+    assert any(e["name"].startswith("main:") for e in blocks)
+    # Timestamps are cycle numbers: monotonically non-decreasing per tid.
+    ts = [e["ts"] for e in blocks]
+    assert ts == sorted(ts)
+
+
+def test_tracing_does_not_perturb_execution():
+    cp = compile_minic(SOURCE, CompileConfig(model=BY_NAME["MinBoost3"]), TRAIN)
+    bare = cp.run(TRAIN)
+    traced = cp.run(TRAIN, trace=TraceRecorder())
+    assert traced.output == bare.output
+    assert traced.cycle_count == bare.cycle_count
+
+
+def test_cli_trace_out(tmp_path, capsys):
+    from repro.cli import main
+
+    src = tmp_path / "demo.mc"
+    src.write_text(SOURCE)
+    out = tmp_path / "trace.json"
+    train = json.dumps({"xs": [1, 5, 2, 6, 3, 7, 4, 8], "n": 8})
+    rc = main(
+        [
+            "run",
+            str(src),
+            "--train",
+            train,
+            "--stats",
+            "--trace-out",
+            str(out),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "[stats]" in captured.err
+    assert "squash-rate=" in captured.err
+    with open(out, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert data["otherData"]["dropped"] == 0

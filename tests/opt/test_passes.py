@@ -12,7 +12,7 @@ from repro.opt import (
     clean_cfg, cse_block, dce_procedure, fold_block, licm_procedure,
     optimize_program, propagate_block,
 )
-from repro.program import BasicBlock, CFG, ProcBuilder
+from repro.program import BasicBlock, ProcBuilder
 
 T0, T1, T2, T3 = (Reg.named(f"t{i}") for i in range(4))
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.frontend import compile_source
 from repro.hw.functional import run_functional
-from repro.isa import ALLOCATABLE, A0, Opcode, Reg, V0
+from repro.isa import ALLOCATABLE, A0, V0
 from repro.opt import (
     allocate_infinite_procedure, allocate_procedure, allocate_program,
     optimize_program, verify_no_virtuals,

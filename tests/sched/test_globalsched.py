@@ -6,9 +6,7 @@ this is the core invariant of the whole reproduction.
 
 import pytest
 
-from repro.frontend import compile_source
 from repro.harness.pipeline import CompileConfig, SCALAR_CONFIG, compile_minic
-from repro.hw.functional import run_functional
 from repro.sched.boostmodel import (
     ALL_MODELS, BOOST1, BOOST7, MINBOOST3, NO_BOOST, SQUASHING,
 )

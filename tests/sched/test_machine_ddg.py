@@ -1,6 +1,6 @@
 """Tests for the machine description and the dependence graph."""
 
-from repro.isa import Instruction, Opcode, Reg, ZERO
+from repro.isa import Instruction, Opcode, Reg
 from repro.sched.ddg import DepGraph
 from repro.sched.machine import SCALAR, SUPERSCALAR
 

@@ -1,6 +1,5 @@
 """Unit tests for the upward-code-motion engine (Figure 5)."""
 
-import pytest
 
 from repro.analysis.regions import RegionTree
 from repro.isa import Instruction, Opcode, Reg, ZERO

@@ -1,6 +1,5 @@
 """Tests for trace selection (Section 3.2.1)."""
 
-from repro.analysis import RegionTree
 from repro.isa import Reg, ZERO
 from repro.program import CFG, ProcBuilder
 from repro.sched.traces import select_traces

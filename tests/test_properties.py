@@ -10,7 +10,6 @@ invariant far beyond the hand-written cases.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.harness.pipeline import (
