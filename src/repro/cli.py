@@ -116,26 +116,76 @@ def _make_chaos(args: argparse.Namespace,
     return ChaosConfig(seed=args.chaos, max_faults=min(2, policy.retries))
 
 
-def _open_journal(args: argparse.Namespace, command: str,
-                  fingerprint: str) -> Optional[Journal]:
+def _open_journal(args: argparse.Namespace, command: str, fingerprint: str,
+                  facets: Optional[dict] = None) -> Optional[Journal]:
     """The campaign journal when --journal/--resume asked for one.
 
     Raises :class:`JournalError` when resuming against a journal written by
-    a different campaign (workloads/models/seeds changed).
+    a different campaign (workloads/models/seeds changed) — the error names
+    the facet(s) that diverged.
     """
     if not (args.resume or args.journal):
         return None
     path = args.journal or f".repro-{command}.journal"
-    return Journal(path, fingerprint, resume=args.resume)
+    return Journal(path, fingerprint, resume=args.resume, facets=facets)
+
+
+def _campaign_dir(args: argparse.Namespace, command: str) -> str:
+    """Where a sharded campaign keeps its per-shard journals and leases."""
+    return (args.journal or f".repro-{command}.journal") + ".shards"
+
+
+def _make_shard_policies(args: argparse.Namespace):
+    """(task policy, shard-restart policy, shard chaos) for ``--shards``.
+
+    In sharded mode ``--chaos`` means *shard-kill* chaos: seeded SIGKILLs
+    of whole shard processes (the worker-level kill/hang/corrupt chaos of
+    the flat mode stays off — the convergence argument is per-layer).  The
+    shard-restart policy reuses the per-task :class:`SupervisionPolicy`
+    one level up: same retry budget, same exponential backoff + seeded
+    jitter.
+    """
+    from repro.harness.coordinator import ShardChaosConfig
+
+    task_policy = None
+    if args.timeout is not None or args.retries is not None:
+        task_policy = SupervisionPolicy(
+            timeout=args.timeout,
+            retries=args.retries if args.retries is not None else 2,
+            backoff=args.backoff)
+    retries = args.retries if args.retries is not None else 2
+    shard_policy = SupervisionPolicy(
+        retries=retries, backoff=args.backoff,
+        seed=args.chaos if args.chaos is not None else 0)
+    shard_chaos = None
+    if args.chaos is not None:
+        # Never kill a shard more times than its retry budget allows, or
+        # the chaos self-test could not converge to clean output.
+        shard_chaos = ShardChaosConfig(
+            seed=args.chaos, max_shard_faults=min(2, retries))
+    return task_policy, shard_policy, shard_chaos
+
+
+def _shard_summary(command: str, report) -> None:
+    """One stderr line of shard provenance counters (never on stdout —
+    steal/restart counts are timing-dependent, reports must diff clean)."""
+    s = report.stats
+    print(f"{command}: shards={s.shards} restarts={s.restarts} "
+          f"chaos-kills={s.chaos_kills} steals={s.steals} "
+          f"stolen={s.stolen_tasks} salvaged={s.salvaged_tasks} "
+          f"resumed={s.resumed_tasks} failed={s.failed_tasks}",
+          file=sys.stderr)
 
 
 def _resume_hint(args: argparse.Namespace,
                  journal: Optional[Journal]) -> str:
-    if journal is None:
+    if journal is None and getattr(args, "shards", 1) <= 1:
         return ""
     hint = "; resume with --resume"
+    if getattr(args, "shards", 1) > 1:
+        hint += f" --shards {args.shards}"
     if args.journal:
-        hint += f" --journal {journal.path}"
+        hint += f" --journal {args.journal}"
     return hint
 
 
@@ -222,24 +272,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.sabotage and args.sabotage not in {w.name for w in workloads}:
         print(f"unknown sabotage workload: {args.sabotage}", file=sys.stderr)
         return 2
-    policy = _make_policy(args)
-    chaos = _make_chaos(args, policy)
-    fingerprint = Journal.make_fingerprint(
-        command="bench", code_version=CODE_VERSION,
-        workloads=[w.name for w in workloads], sabotage=args.sabotage,
-        configs=BENCH_CONFIG_KEYS, stats=args.stats)
-    try:
-        journal = _open_journal(args, "bench", fingerprint)
-    except JournalError as err:
-        print(f"repro bench: {err}", file=sys.stderr)
-        return 2
+    facets = dict(command="bench", code_version=CODE_VERSION,
+                  workloads=[w.name for w in workloads],
+                  sabotage=args.sabotage, configs=BENCH_CONFIG_KEYS,
+                  stats=args.stats)
+    fingerprint = Journal.make_fingerprint(**facets)
+    sharded = args.shards > 1
+    policy = _make_policy(args) if not sharded else None
+    chaos = _make_chaos(args, policy) if not sharded else None
+    journal = None
+    if not sharded:
+        try:
+            journal = _open_journal(args, "bench", fingerprint, facets)
+        except JournalError as err:
+            print(f"repro bench: {err}", file=sys.stderr)
+            return 2
     t0 = time.time()
     lab = Lab(workloads, sabotage=args.sabotage, cache=_make_cache(args),
               collect_stats=args.stats)
     clean_text = None
     try:
         with graceful_signals():
-            if chaos is not None:
+            if args.chaos is not None:
                 # Chaos self-test: a clean serial run is the oracle the
                 # supervised chaotic run must byte-match (it also warms the
                 # compile cache, making the chaotic run cheap).
@@ -248,10 +302,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                             collect_stats=args.stats)
                 clean.populate(jobs=1)
                 clean_text = render_all(clean)
-            if args.jobs > 1 or policy is not None or journal is not None:
+            if sharded:
+                task_policy, shard_policy, shard_chaos = \
+                    _make_shard_policies(args)
+                lab.populate_sharded(
+                    args.shards, _campaign_dir(args, "bench"), fingerprint,
+                    facets=facets, jobs=args.jobs, policy=task_policy,
+                    shard_policy=shard_policy, shard_chaos=shard_chaos,
+                    resume=args.resume,
+                    progress=lambda m: print(f"bench: {m}",
+                                             file=sys.stderr, flush=True))
+            elif args.jobs > 1 or policy is not None or journal is not None:
                 lab.populate(args.jobs, policy=policy, chaos=chaos,
                              journal=journal)
             text = render_all(lab)
+    except JournalError as err:
+        print(f"repro bench: {err}", file=sys.stderr)
+        return 2
     except CampaignInterrupted as intr:
         print(f"bench: interrupted — {intr.completed}/{intr.total} cells "
               f"finished{_resume_hint(args, journal)}", file=sys.stderr)
@@ -259,6 +326,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+    if lab.shard_report is not None:
+        _shard_summary("bench", lab.shard_report)
     print(text)
     if args.stats:
         # Printed after (not inside) render_all so the chaos self-test's
@@ -320,25 +389,41 @@ def cmd_verify(args: argparse.Namespace) -> int:
     except ValueError as err:
         print(f"repro verify: {err}", file=sys.stderr)
         return 2
-    policy = _make_policy(args)
-    chaos = _make_chaos(args, policy)
-    fingerprint = Journal.make_fingerprint(
-        command="verify", code_version=CODE_VERSION,
-        workloads=[w.name for w in campaign.workloads],
-        models=campaign.model_keys, seeds=seeds, seed_start=seed_start)
-    try:
-        journal = _open_journal(args, "verify", fingerprint)
-    except JournalError as err:
-        print(f"repro verify: {err}", file=sys.stderr)
-        return 2
+    facets = dict(command="verify", code_version=CODE_VERSION,
+                  workloads=[w.name for w in campaign.workloads],
+                  models=campaign.model_keys, seeds=seeds,
+                  seed_start=seed_start)
+    fingerprint = Journal.make_fingerprint(**facets)
+    sharded = args.shards > 1
+    policy = _make_policy(args) if not sharded else None
+    chaos = _make_chaos(args, policy) if not sharded else None
+    journal = None
+    if not sharded:
+        try:
+            journal = _open_journal(args, "verify", fingerprint, facets)
+        except JournalError as err:
+            print(f"repro verify: {err}", file=sys.stderr)
+            return 2
     clean_text = None
     try:
         with graceful_signals():
-            if chaos is not None:
+            if args.chaos is not None:
                 # Chaos self-test oracle: the same campaign, clean + serial.
                 clean_text = make_campaign().run(jobs=1).format()
-            summary = campaign.run(jobs=args.jobs, policy=policy,
-                                   chaos=chaos, journal=journal)
+            if sharded:
+                task_policy, shard_policy, shard_chaos = \
+                    _make_shard_policies(args)
+                summary = campaign.run_sharded(
+                    args.shards, _campaign_dir(args, "verify"), fingerprint,
+                    facets=facets, jobs=args.jobs, policy=task_policy,
+                    shard_policy=shard_policy, shard_chaos=shard_chaos,
+                    resume=args.resume)
+            else:
+                summary = campaign.run(jobs=args.jobs, policy=policy,
+                                       chaos=chaos, journal=journal)
+    except JournalError as err:
+        print(f"repro verify: {err}", file=sys.stderr)
+        return 2
     except CampaignInterrupted as intr:
         print(f"verify: interrupted — {intr.completed}/{intr.total} buckets "
               f"finished{_resume_hint(args, journal)}", file=sys.stderr)
@@ -346,6 +431,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+    if campaign.shard_report is not None:
+        _shard_summary("verify", campaign.shard_report)
     text = summary.format()
     print(text)
     if not summary.ok:
@@ -450,7 +537,14 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--chaos", type=int, default=None, metavar="SEED",
                        help="chaos self-test: randomly kill/hang/corrupt "
                             "supervised workers (seeded) and assert the "
-                            "output still matches a clean run")
+                            "output still matches a clean run; with "
+                            "--shards, SIGKILL whole shard processes "
+                            "instead")
+        p.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="split the campaign into N lease-guarded shard "
+                            "processes with journal-backed work stealing "
+                            "and whole-shard crash recovery (default: 1; "
+                            "reports are byte-identical at any N)")
 
     p = sub.add_parser("bench", help="regenerate the paper's tables/figures")
     p.add_argument("workloads", nargs="*",

@@ -1,9 +1,13 @@
 """Experiment harness: compile pipeline, experiment drivers, reporting."""
 
+from repro.harness.coordinator import (
+    ShardChaosConfig, ShardReport, run_sharded,
+)
 from repro.harness.experiments import (
     CONFIGS, Figure8Row, Figure9Row, Lab, Table1Row, Table2Row,
     figure8, figure9, geometric_mean, table1, table2,
 )
+from repro.harness.fsutil import Lease, LeaseInfo
 from repro.harness.pipeline import (
     CompileConfig, CompiledProgram, SCALAR_CONFIG, annotate_predictions,
     compile_ir, compile_minic, make_input_image,
@@ -20,9 +24,11 @@ from repro.harness.resilience import (
 __all__ = [
     "CONFIGS", "CampaignInterrupted", "ChaosConfig", "CompileConfig",
     "CompiledProgram", "Figure8Row", "Figure9Row", "Journal", "JournalError",
-    "Lab", "SCALAR_CONFIG", "SupervisionPolicy", "Table1Row", "Table2Row",
+    "Lab", "Lease", "LeaseInfo", "SCALAR_CONFIG", "ShardChaosConfig",
+    "ShardReport", "SupervisionPolicy", "Table1Row", "Table2Row",
     "annotate_predictions", "compile_ir", "compile_minic", "figure8",
     "figure9", "geometric_mean", "graceful_signals", "make_input_image",
     "render_all", "render_figure8", "render_figure9", "render_table1",
-    "render_table2", "table1", "table2", "write_experiments_md",
+    "render_table2", "run_sharded", "table1", "table2",
+    "write_experiments_md",
 ]

@@ -1,0 +1,611 @@
+"""Sharded campaign coordinator: lease-guarded shards, work stealing,
+whole-shard recovery, and shard-level chaos.
+
+PR 3 made a single supervised process pool crash-safe; this module is the
+next rung of the resilience ladder.  A campaign's task matrix is split into
+``N`` **shards** — deterministic round-robin slices of the task list — and
+each shard is farmed to an independent worker process that runs the
+existing supervised pool (:mod:`repro.harness.resilience`) over its slice.
+The discipline is the same one the paper applies to boosted instructions:
+every unit of work either *commits* (a durable, checksummed journal record)
+or is *squashed and re-executed* — never half-visible.
+
+Robustness machinery, bottom-up:
+
+* **Leases** (:class:`repro.harness.fsutil.Lease`) — one lease file per
+  shard journal grants exactly one writer.  Shards heartbeat their lease
+  from a background thread; a dead shard's lease goes stale (dead pid, or
+  heartbeat past the TTL) and can be atomically taken over.
+
+* **Work stealing** — a shard that finishes its own slice scans the other
+  shards' journals; any incomplete shard whose lease is stale is adopted:
+  the thief steals the lease, resumes the *victim's* journal, and computes
+  only the records still missing.  Stolen records carry a ``meta``
+  provenance tag, so the final report can say who rescued what.
+
+* **Shard-level retry** — the coordinator respawns a crashed shard process
+  with the same exponential-backoff + seeded-jitter policy the supervised
+  pool applies to tasks, one level up (:class:`SupervisionPolicy` reused
+  verbatim).  A respawned shard resumes its journal, so no work repeats.
+
+* **Salvage & graceful degradation** — after every shard process has
+  exited (or exhausted its retry budget), the coordinator runs one final
+  salvage pass *itself*: it steals any incomplete shard's lease and runs
+  the missing tasks in a supervised pool (a pool, not in-process — a
+  poison task that kills its host must take out a disposable worker, not
+  the coordinator).  Tasks that still fail degrade to structured failure
+  records; the campaign completes with a partial report instead of dying.
+
+* **Deterministic merge** — task payloads are pure functions of the task,
+  so merging journal records back in serial task order reproduces the
+  exact bytes of a serial run regardless of shard count, steals, crashes,
+  or chaos.
+
+* **Shard chaos** (:class:`ShardChaosConfig`) — seeded SIGKILLs of whole
+  shard processes mid-campaign.  Kills only fire on a shard's first
+  ``max_shard_faults`` incarnations; with ``max_shard_faults`` at or below
+  the shard retry budget every shard eventually gets an unkilled
+  incarnation, which is what lets the chaos self-test demand byte-equality
+  against a clean serial oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.harness.fsutil import Lease
+from repro.harness.parallel import run_tasks
+from repro.harness.resilience import (
+    CampaignInterrupted, ChaosConfig, Journal, SupervisionPolicy,
+    run_supervised,
+)
+from repro.obs.stats import SHARDS_SCHEMA, ShardStats
+
+__all__ = [
+    "ShardChaosConfig", "ShardReport", "ShardSpec", "run_sharded",
+    "shard_slice",
+]
+
+#: exit code a shard uses for "my lease was stolen / I was orphaned": its
+#: remaining work is (or will be) owned by someone else, so the coordinator
+#: must not respawn it
+EXIT_LEASE_LOST = 3
+
+
+def shard_slice(total: int, shards: int, shard: int) -> list[int]:
+    """Task indices owned by ``shard``: deterministic round-robin."""
+    return [i for i in range(total) if i % shards == shard]
+
+
+def _journal_path(campaign_dir: Path, shard: int) -> Path:
+    return campaign_dir / f"shard-{shard}.journal"
+
+
+def _lease_path(campaign_dir: Path, shard: int) -> Path:
+    return campaign_dir / f"shard-{shard}.lease"
+
+
+# -------------------------------------------------------------- shard chaos
+@dataclass
+class ShardChaosConfig:
+    """Seeded whole-shard fault injection.
+
+    Whether (and when) a given shard incarnation is SIGKILLed is a pure
+    function of ``seed``, so a chaos run is reproducible.  Kills only fire
+    while ``incarnation <= max_shard_faults``; with ``max_shard_faults`` at
+    or below the shard retry budget, every shard eventually runs a full
+    unkilled incarnation and the campaign converges to clean output.
+    """
+
+    seed: int
+    kill: float = 0.75            # probability an incarnation is killed
+    max_shard_faults: int = 2     # kill only the first N incarnations
+    delay_min: float = 0.1        # seconds after spawn before the SIGKILL
+    delay_max: float = 1.5
+
+    def kill_after(self, shard: int, incarnation: int) -> Optional[float]:
+        """Seconds after spawn at which to SIGKILL this incarnation, or
+        ``None`` if it is spared."""
+        if incarnation > self.max_shard_faults:
+            return None
+        rng = random.Random(f"shardchaos:{self.seed}:{shard}:{incarnation}")
+        if rng.random() >= self.kill:
+            return None
+        return self.delay_min + rng.random() * (self.delay_max
+                                                - self.delay_min)
+
+
+# -------------------------------------------------------------- shard spec
+@dataclass
+class ShardSpec:
+    """Everything one shard process needs (picklable; workers must be
+    module-level functions, as for :func:`repro.harness.parallel.run_tasks`).
+    """
+
+    campaign_dir: str
+    shard: int
+    shards: int
+    worker: Callable[[Any], Any]
+    tasks: Sequence[Any]
+    keys: Sequence[str]
+    fingerprint: str
+    facets: Optional[dict] = None
+    jobs: int = 1
+    policy: Optional[SupervisionPolicy] = None
+    task_chaos: Optional[ChaosConfig] = None
+    lease_ttl: float = 15.0
+
+    def owner_id(self) -> str:
+        return f"shard-{self.shard}"
+
+
+class _LeaseLostError(RuntimeError):
+    """Raised inside a shard when its lease is stolen mid-slice."""
+
+
+class _Heartbeat(threading.Thread):
+    """Refresh a lease in the background; flag loss of ownership."""
+
+    def __init__(self, lease: Lease, interval: float) -> None:
+        super().__init__(daemon=True)
+        self.lease = lease
+        self.interval = interval
+        self.lost = threading.Event()
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                if not self.lease.refresh():
+                    self.lost.set()
+                    return
+            except OSError:
+                continue  # transient fs hiccup: try again next beat
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5)
+
+
+class _ParentWatchdog(threading.Thread):
+    """Kill the shard the moment its coordinator dies.
+
+    A SIGKILL'd coordinator cannot clean up its children; orphaned shards
+    would keep appending to journals a *resumed* coordinator is about to
+    adopt.  Reparenting (``getppid`` changes) is the cheap, prompt signal.
+    """
+
+    def __init__(self, parent_pid: int, poll: float = 0.5) -> None:
+        super().__init__(daemon=True)
+        self.parent_pid = parent_pid
+        self.poll = poll
+
+    def run(self) -> None:
+        while True:
+            if os.getppid() != self.parent_pid:
+                os._exit(EXIT_LEASE_LOST)
+            time.sleep(self.poll)
+
+
+# ------------------------------------------------------------ shard process
+def _missing_keys(spec: ShardSpec, shard: int) -> list[str]:
+    """Keys of ``shard``'s slice not yet journaled (read-only peek)."""
+    owned = [spec.keys[i]
+             for i in shard_slice(len(spec.tasks), spec.shards, shard)]
+    path = _journal_path(Path(spec.campaign_dir), shard)
+    if not path.exists():
+        return owned
+    try:
+        completed, _ = Journal.peek(path)
+    except Exception:
+        return owned  # unreadable journal: treat as empty, owner rebuilds
+    return [k for k in owned if k not in completed]
+
+
+def _run_slice(spec: ShardSpec, shard: int, lease: Lease) -> int:
+    """Run every not-yet-journaled task of ``shard``'s slice under an
+    already-acquired lease.  Heartbeats in the background; aborts the
+    moment the lease is lost."""
+    heartbeat = _Heartbeat(lease, interval=max(0.05, spec.lease_ttl / 4.0))
+    heartbeat.start()
+    try:
+        path = _journal_path(Path(spec.campaign_dir), shard)
+        journal = Journal(path, spec.fingerprint, resume=path.exists(),
+                          facets=spec.facets)
+        try:
+            indices = [i for i in shard_slice(len(spec.tasks), spec.shards,
+                                              shard)
+                       if spec.keys[i] not in journal.completed]
+            meta = {"by": spec.owner_id(), "stolen": shard != spec.shard}
+
+            def checkpoint(outcome) -> None:
+                # Same contract as the journal in PR 3: only clean outcomes
+                # commit; a failed task stays missing so a resume, a thief,
+                # or the salvage pass retries it.
+                if outcome.error is not None:
+                    return
+                if heartbeat.lost.is_set():
+                    raise _LeaseLostError(lease.path.name)
+                journal.record(spec.keys[indices[outcome.index]],
+                               outcome.value, meta=meta)
+
+            run_tasks(spec.worker, [spec.tasks[i] for i in indices],
+                      jobs=spec.jobs, policy=spec.policy,
+                      chaos=spec.task_chaos, on_result=checkpoint)
+        finally:
+            journal.close()
+    except _LeaseLostError:
+        return EXIT_LEASE_LOST
+    finally:
+        heartbeat.stop()
+        if not heartbeat.lost.is_set():
+            lease.release()
+    return 0
+
+
+def _run_shard(spec: ShardSpec, parent_pid: Optional[int] = None) -> int:
+    """A shard process's whole life: own slice first, then steal scan.
+
+    Scan order rotates from the shard's own index so concurrent finishers
+    fan out over different victims instead of racing for the same lease.
+    """
+    if parent_pid is not None:
+        _ParentWatchdog(parent_pid).start()
+    handled: set[int] = set()
+    order = [(spec.shard + k) % spec.shards for k in range(spec.shards)]
+    while True:
+        target = None
+        for j in order:
+            if j in handled:
+                continue
+            if not _missing_keys(spec, j):
+                handled.add(j)
+                continue
+            lease = Lease(_lease_path(Path(spec.campaign_dir), j),
+                          ttl=spec.lease_ttl, owner=None)
+            if lease.try_acquire() or lease.try_steal():
+                target = (j, lease)
+                break
+        if target is None:
+            # Everything is either journaled or owned by a live writer.
+            return 0
+        j, lease = target
+        rc = _run_slice(spec, j, lease)
+        handled.add(j)
+        if rc != 0:
+            return rc
+
+
+def _shard_main(spec: ShardSpec) -> None:
+    """Entry point of a shard child process."""
+    try:
+        rc = _run_shard(spec, parent_pid=os.getppid())
+    except KeyboardInterrupt:
+        rc = 130
+    sys.exit(rc)
+
+
+# -------------------------------------------------------------- coordinator
+@dataclass
+class ShardReport:
+    """What a sharded campaign produced, plus how it got there."""
+
+    total: int
+    #: key -> journaled payload, for every task that committed
+    completed: dict[str, Any] = field(default_factory=dict)
+    #: key -> structured failure record (kind/attempts/error) for every
+    #: task that could not be recovered — the graceful-degradation half
+    failures: dict[str, dict] = field(default_factory=dict)
+    #: key -> provenance ("by": who computed it, "stolen": under a stolen
+    #: lease, "shard": whose journal holds it)
+    provenance: dict[str, dict] = field(default_factory=dict)
+    stats: ShardStats = field(default_factory=ShardStats)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+    def to_json(self) -> dict:
+        """The ``repro-shards/1`` section of ``bench --json``."""
+        return {
+            "schema": SHARDS_SCHEMA,
+            "counters": self.stats.snapshot(),
+            "degraded": self.degraded,
+            "failures": {k: self.failures[k] for k in sorted(self.failures)},
+            "provenance": {k: self.provenance[k]
+                           for k in sorted(self.provenance)},
+        }
+
+
+@dataclass
+class _ShardState:
+    incarnation: int = 1
+    proc: Any = None
+    kill_at: Optional[float] = None     # monotonic: pending chaos SIGKILL
+    respawn_at: Optional[float] = None  # monotonic: pending restart
+    abandoned: bool = False             # retry budget exhausted
+
+
+def _wipe_campaign_dir(campaign_dir: Path) -> None:
+    for pattern in ("shard-*.journal", "shard-*.lease", "shard-*.lease.rip-*"):
+        for stale in campaign_dir.glob(pattern):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+
+def _merge_journals(campaign_dir: Path, shards: int, fingerprint: str,
+                    facets: Optional[dict], stats: Optional[ShardStats] = None
+                    ) -> tuple[dict[str, Any], dict[str, dict]]:
+    """Union of every shard journal's records (read-only), with provenance.
+
+    Payloads are deterministic functions of their task, so a key appearing
+    in two journals (possible only across a lease-steal race) carries equal
+    payloads and the union is order-independent.
+    """
+    completed: dict[str, Any] = {}
+    provenance: dict[str, dict] = {}
+    for j in range(shards):
+        path = _journal_path(campaign_dir, j)
+        if not path.exists():
+            continue
+        records, meta = Journal.peek(path, fingerprint, facets)
+        completed.update(records)
+        owners = set()
+        for key in records:
+            info = dict(meta.get(key) or {"by": f"shard-{j}",
+                                          "stolen": False})
+            info["shard"] = j
+            provenance[key] = info
+            if info.get("stolen"):
+                owners.add(info.get("by"))
+                if stats is not None:
+                    stats.stolen_tasks += 1
+        if stats is not None:
+            stats.steals += len(owners)
+    return completed, provenance
+
+
+def _salvage(worker, tasks, keys, campaign_dir: Path, spec_proto: ShardSpec,
+             report: ShardReport, jobs: int,
+             policy: Optional[SupervisionPolicy],
+             progress: Callable[[str], None]) -> None:
+    """The coordinator's last line of defense: steal every incomplete
+    shard's lease and run the missing tasks in a supervised pool.
+
+    A pool — never in-process — so a poison task that SIGKILLs its host
+    process costs a disposable worker and degrades to a structured
+    failure, instead of taking the coordinator (and the merged report)
+    down with it.
+    """
+    key_index = {k: i for i, k in enumerate(keys)}
+    for j in range(spec_proto.shards):
+        missing = [k for k in _missing_keys(spec_proto, j)
+                   if k not in report.completed]
+        if not missing:
+            continue
+        lease = Lease(_lease_path(campaign_dir, j), ttl=spec_proto.lease_ttl)
+        deadline = time.monotonic() + spec_proto.lease_ttl + 2.0
+        acquired = False
+        while time.monotonic() < deadline:
+            if lease.try_acquire() or lease.try_steal():
+                acquired = True
+                break
+            time.sleep(0.2)
+            missing = [k for k in _missing_keys(spec_proto, j)
+                       if k not in report.completed]
+            if not missing:  # a live owner finished it while we waited
+                break
+        if not missing:
+            continue
+        if not acquired:
+            for k in missing:
+                report.failures[k] = {
+                    "kind": "shard", "attempts": 0,
+                    "error": f"shard {j} incomplete and its lease is held "
+                             f"by a live owner the coordinator cannot wait "
+                             f"out"}
+            continue
+        progress(f"salvage: shard {j} — recovering {len(missing)} task(s)")
+        heartbeat = _Heartbeat(lease,
+                               interval=max(0.05, spec_proto.lease_ttl / 4.0))
+        heartbeat.start()
+        try:
+            path = _journal_path(campaign_dir, j)
+            journal = Journal(path, spec_proto.fingerprint,
+                              resume=path.exists(), facets=spec_proto.facets)
+            try:
+                outcomes = run_supervised(
+                    worker, [tasks[key_index[k]] for k in missing],
+                    jobs=max(1, jobs), policy=policy or SupervisionPolicy())
+                for k, outcome in zip(missing, outcomes):
+                    if outcome.error is None:
+                        journal.record(k, outcome.value,
+                                       meta={"by": "salvage",
+                                             "stolen": True})
+                        report.completed[k] = outcome.value
+                        report.provenance[k] = {"by": "salvage",
+                                                "stolen": True, "shard": j}
+                        report.stats.salvaged_tasks += 1
+                    else:
+                        report.failures[k] = {
+                            "kind": outcome.kind,
+                            "attempts": outcome.attempts,
+                            "error": outcome.error}
+            finally:
+                journal.close()
+        finally:
+            heartbeat.stop()
+            lease.release()
+
+
+def run_sharded(worker: Callable[[Any], Any], tasks: Sequence[Any],
+                keys: Sequence[str], campaign_dir: Path | str,
+                fingerprint: str, facets: Optional[dict] = None,
+                shards: int = 2, jobs: int = 1,
+                policy: Optional[SupervisionPolicy] = None,
+                shard_policy: Optional[SupervisionPolicy] = None,
+                shard_chaos: Optional[ShardChaosConfig] = None,
+                task_chaos: Optional[ChaosConfig] = None,
+                lease_ttl: float = 15.0, resume: bool = False,
+                salvage: bool = True,
+                progress: Optional[Callable[[str], None]] = None,
+                ) -> ShardReport:
+    """Run ``tasks`` split across ``shards`` lease-guarded worker processes.
+
+    ``keys[i]`` is the stable journal key of ``tasks[i]`` (unique).  Each
+    shard owns the round-robin slice ``i % shards == shard``, checkpoints
+    into ``<campaign_dir>/shard-<n>.journal``, and steals stale siblings'
+    slices when it finishes early.  Crashed shard processes are respawned
+    under ``shard_policy`` (retries + seeded backoff, the per-task policy
+    reused one level up); ``shard_chaos`` SIGKILLs whole shards on a
+    seeded schedule.  Returns a :class:`ShardReport` whose ``completed``
+    map merges every journal in a deterministic, order-independent way;
+    unrecoverable tasks land in ``failures`` instead of raising.
+
+    ``resume=False`` wipes any prior shard journals in ``campaign_dir``;
+    ``resume=True`` adopts them (the coordinator itself can be SIGKILL'd
+    and resumed, exactly like a single-journal campaign).
+    """
+    if len(keys) != len(tasks):
+        raise ValueError("keys and tasks must align")
+    if len(set(keys)) != len(keys):
+        raise ValueError("journal keys must be unique")
+    progress = progress or (lambda msg: None)
+    shard_policy = shard_policy or SupervisionPolicy(retries=2)
+    campaign_dir = Path(campaign_dir)
+    campaign_dir.mkdir(parents=True, exist_ok=True)
+    if not resume:
+        _wipe_campaign_dir(campaign_dir)
+    shards = max(1, min(shards, len(tasks))) if tasks else 1
+    report = ShardReport(total=len(tasks))
+    report.stats.shards = shards
+    report.stats.tasks = len(tasks)
+    if resume:
+        restored, _ = _merge_journals(campaign_dir, shards, fingerprint,
+                                      facets)
+        report.stats.resumed_tasks = len(restored)
+    if not tasks:
+        return report
+
+    from repro.harness.resilience import _mp_context
+    ctx = _mp_context()
+    states = [_ShardState() for _ in range(shards)]
+
+    def spawn(j: int) -> None:
+        st = states[j]
+        spec = ShardSpec(
+            campaign_dir=str(campaign_dir), shard=j, shards=shards,
+            worker=worker, tasks=list(tasks), keys=list(keys),
+            fingerprint=fingerprint, facets=facets, jobs=jobs,
+            policy=policy, task_chaos=task_chaos, lease_ttl=lease_ttl)
+        st.proc = ctx.Process(target=_shard_main, args=(spec,))
+        st.proc.start()
+        st.respawn_at = None
+        st.kill_at = None
+        if shard_chaos is not None:
+            delay = shard_chaos.kill_after(j, st.incarnation)
+            if delay is not None:
+                st.kill_at = time.monotonic() + delay
+
+    def reap(j: int, st: _ShardState, now: float) -> None:
+        code = st.proc.exitcode
+        st.proc.join()
+        try:
+            st.proc.close()
+        except Exception:
+            pass
+        st.proc = None
+        if code in (0, EXIT_LEASE_LOST):
+            # 0: slice + steal scan done.  EXIT_LEASE_LOST: its work is
+            # owned by a live thief — respawning would only contend.
+            return
+        if st.incarnation <= shard_policy.retries:
+            st.respawn_at = now + shard_policy.delay(j, st.incarnation)
+            progress(f"shard {j} died (exit {code}); restart "
+                     f"{st.incarnation}/{shard_policy.retries} scheduled")
+        else:
+            st.abandoned = True
+            progress(f"shard {j} died (exit {code}); retry budget "
+                     f"exhausted — survivors or salvage will adopt it")
+
+    try:
+        for j in range(shards):
+            spawn(j)
+        while True:
+            now = time.monotonic()
+            live = False
+            for j, st in enumerate(states):
+                if st.proc is not None:
+                    if (st.kill_at is not None and now >= st.kill_at
+                            and st.proc.is_alive()):
+                        try:
+                            os.kill(st.proc.pid, signal.SIGKILL)
+                            report.stats.chaos_kills += 1
+                            progress(f"chaos: SIGKILL shard {j} "
+                                     f"(incarnation {st.incarnation})")
+                        except (OSError, TypeError):
+                            pass
+                        st.kill_at = None
+                    if st.proc.is_alive():
+                        live = True
+                    else:
+                        reap(j, st, now)
+                        live = live or st.respawn_at is not None
+                elif st.respawn_at is not None:
+                    live = True
+                    if now >= st.respawn_at:
+                        st.incarnation += 1
+                        report.stats.restarts += 1
+                        spawn(j)
+            if not live:
+                break
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        for st in states:
+            if st.proc is not None and st.proc.is_alive():
+                st.proc.terminate()
+        for st in states:
+            if st.proc is not None:
+                st.proc.join(timeout=2)
+                if st.proc.is_alive():
+                    st.proc.kill()
+                    st.proc.join(timeout=5)
+        try:
+            done, _ = _merge_journals(campaign_dir, shards, fingerprint,
+                                      facets)
+            completed = len(done)
+        except Exception:
+            completed = 0
+        raise CampaignInterrupted(completed, len(tasks)) from None
+
+    report.completed, report.provenance = _merge_journals(
+        campaign_dir, shards, fingerprint, facets, report.stats)
+    missing = [k for k in keys if k not in report.completed]
+    if missing and salvage:
+        spec_proto = ShardSpec(
+            campaign_dir=str(campaign_dir), shard=0, shards=shards,
+            worker=worker, tasks=list(tasks), keys=list(keys),
+            fingerprint=fingerprint, facets=facets, lease_ttl=lease_ttl)
+        _salvage(worker, list(tasks), list(keys), campaign_dir, spec_proto,
+                 report, jobs, policy, progress)
+        missing = [k for k in keys if k not in report.completed
+                   and k not in report.failures]
+    for k in missing:
+        if k not in report.failures:
+            j = list(keys).index(k) % shards
+            report.failures[k] = {
+                "kind": "shard", "attempts": states[j].incarnation,
+                "error": f"shard {j} unrecoverable after "
+                         f"{states[j].incarnation} incarnation(s)"}
+    report.stats.failed_tasks = len(report.failures)
+    return report

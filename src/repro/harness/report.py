@@ -287,6 +287,8 @@ def bench_json(lab: Lab) -> dict:
         "figure9": {"rows": [asdict(r) for r in f9_rows],
                     "geomeans": f9_means},
         "stats": stats_json(lab),
+        "shards": (lab.shard_report.to_json()
+                   if lab.shard_report is not None else None),
         "errors": {f"{w}/{c}": text
                    for (w, c), text in sorted(lab.errors.items())},
         "failures": {f"{w}/{c}": info

@@ -44,6 +44,7 @@ import pickle
 import random
 import signal
 import time
+import warnings
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -390,32 +391,63 @@ class JournalError(Exception):
     """The journal cannot be used: wrong campaign, unreadable header."""
 
 
+def _jsonable_facets(facets: dict) -> dict:
+    """Facets as they round-trip through the JSON header (default=str
+    matches :meth:`Journal.make_fingerprint`)."""
+    return json.loads(json.dumps(facets, sort_keys=True, default=str))
+
+
+def _facet_divergence(theirs: Optional[dict], ours: Optional[dict]) -> str:
+    """Name the campaign facets that differ between a journal header and
+    the current invocation — the actionable half of a fingerprint
+    mismatch."""
+    if not isinstance(theirs, dict) or not isinstance(ours, dict):
+        return "workloads/models/seeds changed?"
+    diverged = sorted(k for k in (theirs.keys() | ours.keys())
+                      if theirs.get(k) != ours.get(k))
+    if not diverged:
+        return "workloads/models/seeds changed?"
+    details = []
+    for key in diverged:
+        details.append(f"{key}: {theirs.get(key)!r} -> {ours.get(key)!r}")
+    return "diverged " + "; ".join(details)
+
+
 class Journal:
     """Append-only, crash-safe checkpoint log for a campaign.
 
     Layout: line one is a JSON header carrying a campaign ``fingerprint``
     (so ``--resume`` refuses to splice results from a *different* campaign
-    into this one); every further line is one completed task::
+    into this one) and, when provided, the plain ``facets`` dict the
+    fingerprint was derived from — which lets a mismatch name the exact
+    field that diverged instead of shrugging at a hash.  Every further line
+    is one completed task::
 
         {"key": "grep/minboost3", "sha": <sha256 of data>, "data": <base64
-         pickle of the task's result payload>}
+         pickle of the task's result payload>, "meta": {...optional...}}
 
     Appends are flushed and fsync'd before :meth:`record` returns, so a
     journaled task survives any crash of the campaign process.  A crash
     *during* an append leaves a torn final line; loading verifies each line
     (newline-terminated, valid JSON, checksum match, payload unpickles) and
-    truncates the file back to the last good record.  The header itself is
-    written atomically (temp + fsync + rename).
+    truncates the file back to the last good record, warning once with the
+    kept/dropped record counts.  The header itself is written atomically
+    (temp + fsync + rename).
     """
 
     VERSION = 1
 
     def __init__(self, path: Path | str, fingerprint: str,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 facets: Optional[dict] = None) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self.facets = facets
         #: key -> unpickled payload for every journaled task
         self.completed: dict[str, Any] = {}
+        #: key -> the record's ``meta`` dict (shard provenance etc.), for
+        #: every journaled task that carried one
+        self.meta: dict[str, dict] = {}
         self.recovered_bytes = 0  # torn bytes truncated during load
         if resume and self.path.exists():
             good_offset = self._load()
@@ -423,73 +455,134 @@ class Journal:
             self._fh.seek(good_offset)
             self._fh.truncate()
         else:
-            header = json.dumps({"journal": "repro-campaign",
-                                 "version": self.VERSION,
-                                 "fingerprint": fingerprint})
+            header = {"journal": "repro-campaign", "version": self.VERSION,
+                      "fingerprint": fingerprint}
+            if facets is not None:
+                header["facets"] = _jsonable_facets(facets)
             if self.path.parent != Path(""):
                 self.path.parent.mkdir(parents=True, exist_ok=True)
-            atomic_write_text(self.path, header + "\n")
+            atomic_write_text(self.path, json.dumps(header) + "\n")
             self._fh = open(self.path, "ab")
+
+    @classmethod
+    def _check_header(cls, path: Path, header: dict, fingerprint: str,
+                      facets: Optional[dict]) -> None:
+        if header.get("journal") != "repro-campaign":
+            raise JournalError(f"{path}: not a campaign journal")
+        if header.get("version") != cls.VERSION:
+            raise JournalError(f"{path}: journal version "
+                               f"{header.get('version')} != {cls.VERSION}")
+        if header.get("fingerprint") != fingerprint:
+            diverged = _facet_divergence(header.get("facets"),
+                                         _jsonable_facets(facets)
+                                         if facets is not None else None)
+            raise JournalError(
+                f"{path}: journal belongs to a different campaign "
+                f"({diverged}) — delete it or drop --resume to start over")
 
     def _load(self) -> int:
         """Parse the journal, fill :attr:`completed`, and return the byte
         offset just past the last intact record."""
         raw = self.path.read_bytes()
+        header, completed, meta, good, dropped = self._scan(raw, self.path)
+        self._check_header(self.path, header, self.fingerprint, self.facets)
+        self.completed = completed
+        self.meta = meta
+        self.recovered_bytes = len(raw) - good
+        if dropped:
+            warnings.warn(
+                f"{self.path}: journal tail torn or corrupt — kept "
+                f"{len(completed)} record(s), dropped {dropped} "
+                f"({self.recovered_bytes} bytes truncated); the dropped "
+                f"task(s) will be recomputed")
+        return good
+
+    @classmethod
+    def _scan(cls, raw: bytes, path: Path
+              ) -> tuple[dict, dict[str, Any], dict[str, dict], int, int]:
+        """Parse header + records out of ``raw``.
+
+        Returns ``(header, completed, meta, good_offset, dropped)`` where
+        ``good_offset`` is the byte offset just past the last intact record
+        and ``dropped`` counts discarded (torn/corrupt) record lines.
+        """
         offset = raw.find(b"\n")
         if offset < 0:
-            raise JournalError(f"{self.path}: no journal header")
+            raise JournalError(f"{path}: no journal header")
         try:
             header = json.loads(raw[:offset].decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as err:
-            raise JournalError(f"{self.path}: unreadable journal header "
+            raise JournalError(f"{path}: unreadable journal header "
                                f"({err})") from None
-        if header.get("journal") != "repro-campaign":
-            raise JournalError(f"{self.path}: not a campaign journal")
-        if header.get("version") != self.VERSION:
-            raise JournalError(f"{self.path}: journal version "
-                               f"{header.get('version')} != {self.VERSION}")
-        if header.get("fingerprint") != self.fingerprint:
-            raise JournalError(
-                f"{self.path}: journal belongs to a different campaign "
-                f"(workloads/models/seeds changed?) — delete it or drop "
-                f"--resume to start over")
+        if not isinstance(header, dict):
+            raise JournalError(f"{path}: not a campaign journal")
         good = offset + 1
         rest = raw[good:]
+        completed: dict[str, Any] = {}
+        meta: dict[str, dict] = {}
         pos = 0
         while True:
             newline = rest.find(b"\n", pos)
             if newline < 0:
                 break  # torn tail: final line lost its newline to a crash
-            payload = self._parse_record(rest[pos:newline])
+            payload = cls._parse_record(rest[pos:newline])
             if payload is None:
                 break  # torn or corrupt record: discard it and the rest
-            self.completed[payload[0]] = payload[1]
+            completed[payload[0]] = payload[1]
+            if payload[2] is not None:
+                meta[payload[0]] = payload[2]
             pos = newline + 1
-        good += pos
-        self.recovered_bytes = len(raw) - good
-        return good
+        remainder = rest[pos:]
+        dropped = remainder.count(b"\n")
+        if remainder and not remainder.endswith(b"\n"):
+            dropped += 1
+        return header, completed, meta, good + pos, dropped
+
+    @classmethod
+    def peek(cls, path: Path | str, fingerprint: Optional[str] = None,
+             facets: Optional[dict] = None
+             ) -> tuple[dict[str, Any], dict[str, dict]]:
+        """Read a journal's records without opening it for writing.
+
+        Unlike resuming, ``peek`` never truncates (the journal may belong
+        to a live writer mid-append — a torn tail is simply ignored) and
+        never warns.  Returns ``(completed, meta)``.  When ``fingerprint``
+        is given the header is verified against it.
+        """
+        raw = Path(path).read_bytes()
+        header, completed, meta, _, _ = cls._scan(raw, Path(path))
+        if fingerprint is not None:
+            cls._check_header(Path(path), header, fingerprint, facets)
+        return completed, meta
 
     @staticmethod
-    def _parse_record(line: bytes) -> Optional[tuple[str, Any]]:
+    def _parse_record(line: bytes
+                      ) -> Optional[tuple[str, Any, Optional[dict]]]:
         try:
             record = json.loads(line.decode("utf-8"))
             data = record["data"]
             if hashlib.sha256(data.encode()).hexdigest() != record["sha"]:
                 return None
-            return record["key"], pickle.loads(base64.b64decode(data))
+            return (record["key"], pickle.loads(base64.b64decode(data)),
+                    record.get("meta"))
         except Exception:
             return None
 
-    def record(self, key: str, payload: Any) -> None:
+    def record(self, key: str, payload: Any,
+               meta: Optional[dict] = None) -> None:
         """Durably append one completed task.  Safe to call from signal-
         interrupted contexts: the line is fully written + fsync'd or the
-        torn tail is discarded on the next load."""
+        torn tail is discarded on the next load.  ``meta`` (a small
+        JSON-serialisable dict — shard provenance, steal attribution) rides
+        along outside the checksummed payload."""
         data = base64.b64encode(
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)).decode()
-        line = json.dumps({"key": key,
-                           "sha": hashlib.sha256(data.encode()).hexdigest(),
-                           "data": data})
-        self._fh.write(line.encode("utf-8") + b"\n")
+        record = {"key": key,
+                  "sha": hashlib.sha256(data.encode()).hexdigest(),
+                  "data": data}
+        if meta is not None:
+            record["meta"] = meta
+        self._fh.write(json.dumps(record).encode("utf-8") + b"\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
 

@@ -178,3 +178,76 @@ def test_unwritable_cache_dir_degrades_to_uncached(tmp_path):
         cp = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
     assert any("cache write failed" in str(w.message) for w in caught)
     assert _run(cp).output == [18]
+
+
+# ------------------------------------------------------- concurrent access
+# The sharded campaign coordinator shares one content-addressed cache
+# across every shard process, so simultaneous store/load of the same key
+# is the norm, not a race to apologize for.  Atomic tempfile-fsync-rename
+# stores must make a torn read impossible, and the churn must never charge
+# quarantine strikes against a healthy key.
+
+def _cache_churn(cache_dir, key, payload, rounds, fail_flag):
+    import os as _os
+    cache = CompileCache(cache_dir)
+    for _ in range(rounds):
+        cache.store(key, payload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # discard/quarantine warns: fail
+            try:
+                loaded = cache.load(key)
+            except Warning:
+                _os._exit(2)  # a torn entry was discarded — must not happen
+        if loaded is not None and loaded != payload:
+            _os._exit(3)  # torn/foreign payload observed
+    _os._exit(0)
+
+
+def test_concurrent_store_load_is_never_torn(tmp_path):
+    from multiprocessing import get_context
+    ctx = get_context("fork")
+    key = CompileCache(tmp_path).key("compiled", SOURCE, CONFIGS["boost1"])
+    # A payload big enough that a non-atomic write would have a wide torn
+    # window (~1 MB pickled).
+    payload = {"table": list(range(120_000)), "tag": "concurrent"}
+    procs = [ctx.Process(target=_cache_churn,
+                         args=(tmp_path, key, payload, 25, None))
+             for _ in range(4)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    codes = [p.exitcode for p in procs]
+    assert codes == [0, 0, 0, 0], f"churn workers exited {codes}"
+    # After the dust settles: one clean hit, no strikes, no quarantine.
+    cache = CompileCache(tmp_path)
+    assert cache.load(key) == payload
+    assert cache.stats()["hits"] == 1
+    assert not cache.is_quarantined(key)
+    assert not list(tmp_path.glob("*.strikes"))
+
+
+def test_concurrent_compile_minic_same_key(tmp_path):
+    # Two processes compiling the same cell race store vs load of one key;
+    # both must come back with a working program and no quarantine marks.
+    from multiprocessing import get_context
+    ctx = get_context("fork")
+
+    def compile_one():
+        import os as _os
+        cache = CompileCache(tmp_path)
+        cp = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+        _os._exit(0 if _run(cp).output == [18] else 1)
+
+    procs = [ctx.Process(target=compile_one) for _ in range(2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    assert [p.exitcode for p in procs] == [0, 0]
+    assert not list(tmp_path.glob("*.strikes"))
+    # The surviving entry is a clean hit for a third reader.
+    cache = CompileCache(tmp_path)
+    cp = cache.compile_minic(SOURCE, CONFIGS["minboost3"])
+    assert cache.stats()["hits"] == 1
+    assert _run(cp).output == [18]

@@ -176,3 +176,58 @@ def test_minic_errors_are_one_line_exit_2(command, bad_source, fragment,
     assert out == ""
     assert err.count("\n") == 1
     assert err.startswith(f"repro: {path}: ")
+
+
+def test_bench_journal_mismatch_names_the_diverged_field(tmp_path, capsys):
+    from repro.harness.cache import CODE_VERSION
+    from repro.harness.experiments import BENCH_CONFIG_KEYS
+    from repro.harness.resilience import Journal
+
+    # A real grep-only bench journal...
+    facets = dict(command="bench", code_version=CODE_VERSION,
+                  workloads=["grep"], sabotage=None,
+                  configs=BENCH_CONFIG_KEYS, stats=False)
+    path = tmp_path / "bench.journal"
+    Journal(path, Journal.make_fingerprint(**facets), facets=facets).close()
+    # ...resumed for a different workload set: the one-line exit-2 error
+    # must say the workloads facet diverged (and not blame the others).
+    rc = main(["bench", "awk", "--no-cache",
+               "--journal", str(path), "--resume"])
+    out, err = capsys.readouterr()
+    assert rc == 2
+    assert out == ""
+    assert err.count("\n") == 1
+    assert "different campaign" in err
+    assert "workloads: ['grep'] -> ['awk']" in err
+    assert "seeds" not in err and "configs" not in err
+
+
+def test_verify_sharded_is_byte_identical_to_serial(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    base = ["verify", "--workloads", "grep", "--models", "boost1",
+            "squashing", "--seeds", "1", "--no-selftest",
+            "--cache-dir", cache]
+    assert main(base) == 0
+    serial, _ = capsys.readouterr()
+    journal = str(tmp_path / "verify.journal")
+    assert main(base + ["--shards", "2", "--journal", journal]) == 0
+    sharded, err = capsys.readouterr()
+    assert sharded == serial
+    assert "shards=2" in err
+    # The campaign dir holds one lease-guarded journal per shard.
+    assert (tmp_path / "verify.journal.shards").is_dir()
+
+
+def test_verify_sharded_resume_refuses_a_foreign_campaign(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    journal = str(tmp_path / "verify.journal")
+    base = ["verify", "--workloads", "grep", "--models", "boost1",
+            "--no-selftest", "--cache-dir", cache, "--journal", journal,
+            "--shards", "2"]
+    assert main(base + ["--seeds", "1"]) == 0
+    capsys.readouterr()
+    rc = main(base + ["--seeds", "2", "--resume"])
+    _, err = capsys.readouterr()
+    assert rc == 2
+    assert "different campaign" in err
+    assert "seeds: 1 -> 2" in err

@@ -1,0 +1,240 @@
+"""Tests for the sharded campaign coordinator (harness/coordinator.py).
+
+Workers are module-level functions (they cross process boundaries).  The
+expensive properties under test are the robustness ones: byte-identical
+merges regardless of shard count, convergence under whole-shard SIGKILL
+chaos, lease-based adoption of a dead shard's journal, graceful
+degradation to structured failures, and resume after the *coordinator*
+itself is killed.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness.coordinator import (
+    EXIT_LEASE_LOST, ShardChaosConfig, ShardSpec, _run_shard, run_sharded,
+    shard_slice,
+)
+from repro.harness.fsutil import Lease
+from repro.harness.resilience import Journal, SupervisionPolicy
+
+FAST = SupervisionPolicy(retries=2, backoff=0.02, jitter=0.1)
+
+
+def _double(task):
+    return task * 2
+
+
+def _slow_double(task):
+    time.sleep(0.15)
+    return task * 2
+
+
+def _poison_seven(task):
+    if task == 7:
+        os._exit(9)  # kills whatever process hosts it, every time
+    return task * 2
+
+
+def _tasks(n):
+    return list(range(n)), [f"t{i}" for i in range(n)]
+
+
+# ----------------------------------------------------------------- slicing
+def test_shard_slice_partitions_the_matrix():
+    indices = [shard_slice(10, 3, j) for j in range(3)]
+    assert sorted(i for part in indices for i in part) == list(range(10))
+    assert indices[0] == [0, 3, 6, 9]
+
+
+def test_keys_must_be_unique(tmp_path):
+    with pytest.raises(ValueError):
+        run_sharded(_double, [1, 2], ["same", "same"], tmp_path, "fp")
+
+
+# ------------------------------------------------------------- happy paths
+@pytest.mark.parametrize("shards", [1, 2, 5])
+def test_sharded_run_completes_and_merges(tmp_path, shards):
+    tasks, keys = _tasks(11)
+    report = run_sharded(_double, tasks, keys, tmp_path / "camp", "fp",
+                         shards=shards, shard_policy=FAST)
+    assert not report.degraded
+    assert report.completed == {f"t{i}": i * 2 for i in range(11)}
+    assert report.stats.shards == min(shards, 11)
+
+
+def test_merge_is_independent_of_shard_count(tmp_path):
+    tasks, keys = _tasks(9)
+    merges = []
+    for shards in (1, 2, 4):
+        report = run_sharded(_double, tasks, keys,
+                             tmp_path / f"camp{shards}", "fp", shards=shards)
+        merges.append([report.completed[k] for k in keys])
+    assert merges[0] == merges[1] == merges[2]
+
+
+def test_empty_task_list(tmp_path):
+    report = run_sharded(_double, [], [], tmp_path / "camp", "fp", shards=3)
+    assert report.completed == {} and not report.degraded
+
+
+def test_resume_adopts_prior_journals(tmp_path):
+    tasks, keys = _tasks(8)
+    camp = tmp_path / "camp"
+    run_sharded(_double, tasks, keys, camp, "fp", shards=2)
+    report = run_sharded(_double, tasks, keys, camp, "fp", shards=2,
+                         resume=True)
+    assert report.stats.resumed_tasks == 8
+    assert report.completed == {f"t{i}": i * 2 for i in range(8)}
+
+
+def test_without_resume_prior_journals_are_wiped(tmp_path):
+    tasks, keys = _tasks(6)
+    camp = tmp_path / "camp"
+    run_sharded(_double, tasks, keys, camp, "fp", shards=2)
+    report = run_sharded(_double, tasks, keys, camp, "fp", shards=2)
+    assert report.stats.resumed_tasks == 0
+    assert report.completed == {f"t{i}": i * 2 for i in range(6)}
+
+
+def test_resume_refuses_a_foreign_campaign(tmp_path):
+    from repro.harness.resilience import JournalError
+    tasks, keys = _tasks(6)
+    camp = tmp_path / "camp"
+    run_sharded(_double, tasks, keys, camp, "fp-one", shards=2)
+    with pytest.raises(JournalError):
+        run_sharded(_double, tasks, keys, camp, "fp-two", shards=2,
+                    resume=True)
+
+
+# ------------------------------------------------------------------- chaos
+def test_shard_chaos_is_seeded_and_deterministic():
+    chaos = ShardChaosConfig(seed=42, kill=0.5)
+    rolls = [chaos.kill_after(j, a) for j in range(4) for a in (1, 2, 3)]
+    again = [chaos.kill_after(j, a) for j in range(4) for a in (1, 2, 3)]
+    assert rolls == again
+    assert any(r is not None for r in rolls)
+
+
+def test_chaos_spares_incarnations_past_the_fault_budget():
+    chaos = ShardChaosConfig(seed=1, kill=1.0, max_shard_faults=2)
+    assert chaos.kill_after(0, 1) is not None
+    assert chaos.kill_after(0, 3) is None
+
+
+def test_whole_shard_chaos_converges_to_clean_output(tmp_path):
+    tasks, keys = _tasks(9)
+    chaos = ShardChaosConfig(seed=5, kill=1.0, max_shard_faults=2,
+                             delay_min=0.02, delay_max=0.25)
+    report = run_sharded(_slow_double, tasks, keys, tmp_path / "camp", "fp",
+                         shards=3, shard_policy=FAST, shard_chaos=chaos,
+                         lease_ttl=1.0)
+    assert not report.degraded, report.failures
+    assert report.completed == {f"t{i}": i * 2 for i in range(9)}
+    assert report.stats.chaos_kills > 0
+    assert report.stats.restarts > 0
+
+
+# ---------------------------------------------------------------- stealing
+def test_survivor_adopts_a_dead_shards_journal(tmp_path):
+    # Shard 1's journal holds one record; its lease names a dead pid, so a
+    # lone shard-0 process must steal the lease and finish the slice.
+    tasks, keys = _tasks(6)
+    camp = tmp_path / "camp"
+    camp.mkdir()
+    victim = Journal(camp / "shard-1.journal", "fp")
+    victim.record("t1", 2, meta={"by": "shard-1", "stolen": False})
+    victim.close()
+    lease = Lease(camp / "shard-1.lease", ttl=3600.0)
+    assert lease.try_acquire()
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    import json
+    info = json.loads((camp / "shard-1.lease").read_text())
+    info["pid"] = pid
+    (camp / "shard-1.lease").write_text(json.dumps(info) + "\n")
+
+    spec = ShardSpec(campaign_dir=str(camp), shard=0, shards=2,
+                     worker=_double, tasks=tasks, keys=keys,
+                     fingerprint="fp", lease_ttl=3600.0)
+    assert _run_shard(spec) == 0
+    stolen, meta = Journal.peek(camp / "shard-1.journal")
+    assert set(stolen) == {"t1", "t3", "t5"}
+    assert meta["t3"] == {"by": "shard-0", "stolen": True}
+    assert meta["t1"] == {"by": "shard-1", "stolen": False}
+
+
+def test_shard_aborts_when_its_lease_is_stolen(tmp_path):
+    # A shard that loses its lease mid-slice must stop writing and exit
+    # with EXIT_LEASE_LOST rather than corrupt the thief's journal.
+    tasks, keys = _tasks(4)
+    camp = tmp_path / "camp"
+    thief = Lease(camp / "shard-0.lease", ttl=3600.0)
+    thief.path.parent.mkdir(parents=True)
+    assert thief.try_acquire()
+
+    spec = ShardSpec(campaign_dir=str(camp), shard=0, shards=1,
+                     worker=_double, tasks=tasks, keys=keys,
+                     fingerprint="fp", lease_ttl=3600.0)
+    # The shard can neither acquire (thief holds it) nor steal (the thief
+    # is this very process, alive and fresh) — it must leave the work to
+    # the lease holder and exit cleanly.
+    assert _run_shard(spec) == 0
+    assert not (camp / "shard-0.journal").exists()
+    assert thief.held()
+
+
+def test_steal_counters_reach_the_report(tmp_path):
+    tasks, keys = _tasks(6)
+    camp = tmp_path / "camp"
+    camp.mkdir()
+    # Pre-write shard 1's journal as if a dead shard left it half-done.
+    victim = Journal(camp / "shard-1.journal", "fp")
+    victim.record("t1", 2, meta={"by": "shard-1", "stolen": False})
+    victim.close()
+    report = run_sharded(_double, tasks, keys, camp, "fp", shards=2,
+                         resume=True, lease_ttl=0.5)
+    assert not report.degraded
+    # t3/t5 were computed by whichever process owned the lease when shard
+    # 1's slice ran; they carry stolen provenance iff a non-owner did.
+    assert report.completed == {f"t{i}": i * 2 for i in range(6)}
+    assert report.provenance["t1"]["by"] == "shard-1"
+
+
+# ------------------------------------------------------------- degradation
+def test_poison_task_degrades_to_structured_failure(tmp_path):
+    tasks, keys = _tasks(9)
+    report = run_sharded(_poison_seven, tasks, keys, tmp_path / "camp",
+                         "fp", shards=3,
+                         shard_policy=SupervisionPolicy(retries=1,
+                                                        backoff=0.02),
+                         lease_ttl=0.8)
+    assert report.degraded
+    assert set(report.failures) == {"t7"}
+    failure = report.failures["t7"]
+    assert failure["kind"] in ("killed", "shard")
+    assert len(report.completed) == 8
+    assert report.stats.failed_tasks == 1
+
+
+def test_unsalvageable_shard_reports_kind_shard(tmp_path):
+    tasks, keys = _tasks(8)
+    report = run_sharded(_poison_seven, tasks, keys, tmp_path / "camp",
+                         "fp", shards=2, salvage=False,
+                         shard_policy=SupervisionPolicy(retries=0,
+                                                        backoff=0.02),
+                         lease_ttl=0.2)
+    # Without the salvage pass the poisoned task can never complete; it
+    # must degrade to a structured kind="shard" failure, not a crash.
+    # (t7 lives on shard 1; survivors may steal the journal and die on
+    # the same task — either way the failure is structured.)
+    assert "t7" not in report.completed
+    assert report.failures["t7"]["kind"] == "shard"
+
+
+def test_exit_lease_lost_constant_is_distinct():
+    assert EXIT_LEASE_LOST not in (0, 1, 2, 130)

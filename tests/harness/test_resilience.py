@@ -4,6 +4,7 @@ chaos injection, and graceful shutdown."""
 import os
 import signal
 import time
+import warnings
 from pathlib import Path
 
 import pytest
@@ -252,3 +253,82 @@ def test_make_fingerprint_is_stable_and_sensitive():
             == Journal.make_fingerprint(b=[2, 3], a=1))
     assert (Journal.make_fingerprint(a=1)
             != Journal.make_fingerprint(a=2))
+
+
+def test_torn_tail_truncation_warns_with_counts(tmp_path, fingerprint):
+    path = tmp_path / "c.journal"
+    journal = Journal(path, fingerprint)
+    journal.record("a", 1)
+    journal.record("b", 2)
+    journal.close()
+    intact = path.read_bytes()
+    path.write_bytes(intact + b'{"key": "c", "sha": "0123", "da')
+    with pytest.warns(UserWarning, match=r"kept 2 record\(s\), dropped 1"):
+        Journal(path, fingerprint, resume=True).close()
+
+
+def test_clean_resume_does_not_warn(tmp_path, fingerprint):
+    path = tmp_path / "c.journal"
+    journal = Journal(path, fingerprint)
+    journal.record("a", 1)
+    journal.close()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        Journal(path, fingerprint, resume=True).close()
+
+
+def test_fingerprint_mismatch_names_the_diverged_facet(tmp_path):
+    path = tmp_path / "c.journal"
+    theirs = dict(command="bench", seeds=3, workloads=["grep"])
+    Journal(path, Journal.make_fingerprint(**theirs),
+            facets=theirs).close()
+    ours = dict(command="bench", seeds=5, workloads=["grep", "awk"])
+    with pytest.raises(JournalError) as err:
+        Journal(path, Journal.make_fingerprint(**ours), resume=True,
+                facets=ours)
+    message = str(err.value)
+    assert "seeds: 3 -> 5" in message
+    assert "workloads: ['grep'] -> ['grep', 'awk']" in message
+    assert "command" not in message.split("diverged")[1]
+
+
+def test_fingerprint_mismatch_without_facets_stays_generic(tmp_path,
+                                                           fingerprint):
+    path = tmp_path / "c.journal"
+    Journal(path, fingerprint).close()
+    with pytest.raises(JournalError, match="workloads/models/seeds changed"):
+        Journal(path, "another-fingerprint", resume=True)
+
+
+def test_peek_reads_without_truncating(tmp_path, fingerprint):
+    path = tmp_path / "c.journal"
+    journal = Journal(path, fingerprint)
+    journal.record("a", 1, meta={"by": "shard-0", "stolen": False})
+    journal.record("b", 2)
+    journal.close()
+    torn = path.read_bytes() + b'{"key": "c", "sha": "0123'
+    path.write_bytes(torn)
+    completed, meta = Journal.peek(path)
+    assert completed == {"a": 1, "b": 2}
+    assert meta == {"a": {"by": "shard-0", "stolen": False}}
+    assert path.read_bytes() == torn  # untouched: a live writer may own it
+
+
+def test_peek_verifies_the_fingerprint_when_given(tmp_path, fingerprint):
+    path = tmp_path / "c.journal"
+    Journal(path, fingerprint).close()
+    Journal.peek(path, fingerprint)  # no raise
+    with pytest.raises(JournalError):
+        Journal.peek(path, "another-fingerprint")
+
+
+def test_record_meta_round_trips(tmp_path, fingerprint):
+    path = tmp_path / "c.journal"
+    journal = Journal(path, fingerprint)
+    journal.record("a", 1, meta={"by": "salvage", "stolen": True})
+    journal.record("b", 2)
+    journal.close()
+    resumed = Journal(path, fingerprint, resume=True)
+    assert resumed.meta == {"a": {"by": "salvage", "stolen": True}}
+    assert resumed.completed == {"a": 1, "b": 2}
+    resumed.close()
