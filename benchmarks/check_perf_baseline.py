@@ -5,7 +5,7 @@ Usage::
 
     python benchmarks/check_perf_baseline.py current.json baseline.json
 
-Both files are ``repro-bench/1`` perf_smoke records (``BENCH_pr2.json`` is
+Both files are ``repro-bench/1`` perf_smoke records (``BENCH_pr7.json`` is
 the committed baseline; CI produces ``perf_smoke_ci.json`` fresh each run).
 CI runners are noisy shared machines, so this gate is deliberately loose:
 it fails only on a catastrophic slowdown — a tracked metric falling below
@@ -26,6 +26,10 @@ SLOWDOWN_FACTOR = 2.5
 METRICS = [
     "simulators.functional.fast_instr_per_sec",
     "simulators.superscalar.fast_instr_per_sec",
+    "backends.functional.translate_instr_per_sec",
+    "backends.superscalar.translate_instr_per_sec",
+    "backends.functional.interp_instr_per_sec",
+    "backends.superscalar.interp_instr_per_sec",
     "compile_cache.cold_cells_per_sec",
     "compile_cache.warm_cells_per_sec",
     "end_to_end.speedup",

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Optional
 
 from repro.frontend import CodegenError, LexError, ParseError
 from repro.harness.cache import CODE_VERSION, CompileCache
+from repro.hw.backend import BACKENDS
 from repro.harness.experiments import BENCH_CONFIG_KEYS, Lab
 from repro.harness.fsutil import atomic_write_json
 from repro.harness.pipeline import CompileConfig, compile_minic
@@ -244,6 +246,13 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"interlock-stalls={st.interlock_stall_cycles:,} "
               f"slot-occupancy={st.issue_slot_occupancy * 100:.1f}%",
               file=sys.stderr)
+        if st.translated_blocks:
+            print(f"# [translate] blocks={st.translated_blocks:,} "
+                  f"superblocks={st.superblocks_chained:,} "
+                  f"trace-hits={st.trace_hits:,} "
+                  f"trace-misses={st.trace_misses:,} "
+                  f"invalidations={st.trace_invalidations:,}",
+                  file=sys.stderr)
         if cp.stats is not None:
             sc = cp.stats
             print(f"# [sched] traces={sc.traces} "
@@ -486,6 +495,15 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--train", help="JSON training inputs "
                        "(profile source)", default=None)
 
+    def add_backend_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="simulator execution engine (default: "
+                            "$REPRO_SIM_BACKEND, or 'translate'): "
+                            "'translate' runs generated superblock code "
+                            "with trace-reuse memoization, 'interp' the "
+                            "pre-decoded fast interpreters, 'reference' "
+                            "the readable reference interpreters")
+
     p = sub.add_parser("compile", help="print the scheduled program")
     add_compile_opts(p)
     p.set_defaults(fn=cmd_compile)
@@ -504,6 +522,7 @@ def make_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="trace ring-buffer capacity in events; the oldest "
                         "events are dropped beyond this (default: 200000)")
+    add_backend_opt(p)
     p.set_defaults(fn=cmd_run)
 
     def add_parallel_opts(p: argparse.ArgumentParser) -> None:
@@ -561,6 +580,7 @@ def make_parser() -> argparse.ArgumentParser:
                         "print the boosting-statistics tables (also embeds "
                         "them in --json output)")
     add_parallel_opts(p)
+    add_backend_opt(p)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -581,6 +601,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-selftest", action="store_true",
                    help="skip the broken-shift-buffer checker self-test")
     add_parallel_opts(p)
+    add_backend_opt(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("workloads", help="list the workload suite")
@@ -593,6 +614,10 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        # Exported rather than threaded through call sites so parallel
+        # worker processes inherit the same engine choice.
+        os.environ["REPRO_SIM_BACKEND"] = args.backend
     try:
         return args.fn(args)
     except KeyboardInterrupt:

@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import warnings
 from pathlib import Path
 from typing import Optional
@@ -57,7 +58,7 @@ __all__ = ["CODE_VERSION", "CompileCache", "default_cache_dir"]
 #: Version tag of the whole compile pipeline.  Bump on any change to the
 #: front end, optimizer, register allocator, profiler, or schedulers that
 #: can alter their output for unchanged source + config.
-CODE_VERSION = 3
+CODE_VERSION = 4
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -152,6 +153,51 @@ class CompileCache:
         self.misses = 0
         self.discarded = 0
         self.quarantined = 0
+        self.purged = 0
+        self._version_checked = False
+
+    # --------------------------------------------------------------- versions
+    def _check_version(self) -> None:
+        """Purge entries left behind by an older :data:`CODE_VERSION`.
+
+        The version participates in every key hash, so stale entries can
+        never be *loaded* — but without this sweep a version bump leaves
+        them on disk forever, silently unreachable.  The cache directory
+        carries a ``VERSION`` marker; on mismatch every entry is deleted
+        with a one-line stderr note.
+        """
+        if self._version_checked:
+            return
+        self._version_checked = True
+        marker = self.cache_dir / "VERSION"
+        try:
+            on_disk = marker.read_text().strip()
+        except OSError:
+            on_disk = None
+        if on_disk == str(CODE_VERSION):
+            return
+        entries = list(self.cache_dir.glob("*.pkl"))
+        if entries and on_disk != str(CODE_VERSION):
+            for path in entries:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self.purged += 1
+            for path in self.cache_dir.glob("*.strikes"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            print(f"compile cache: purged {self.purged} entr"
+                  f"{'y' if self.purged == 1 else 'ies'} from code version "
+                  f"{on_disk or 'unknown'} (now {CODE_VERSION})",
+                  file=sys.stderr)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(marker, f"{CODE_VERSION}\n")
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ keys
     def key(self, kind: str, source: str, config: Optional[CompileConfig],
@@ -208,6 +254,7 @@ class CompileCache:
         keeps failing is quarantined — skipped entirely — instead of being
         discarded and rebuilt forever.
         """
+        self._check_version()
         if self.is_quarantined(key):
             self.quarantined += 1
             self.misses += 1
@@ -245,6 +292,7 @@ class CompileCache:
         rewritten (writing it again is what a corruption hot-loop is made
         of).
         """
+        self._check_version()
         if self.is_quarantined(key):
             return
         try:
@@ -301,5 +349,6 @@ class CompileCache:
             "misses": self.misses,
             "discarded": self.discarded,
             "quarantined": self.quarantined,
+            "purged": self.purged,
             "hit_rate": self.hits / total if total else 0.0,
         }

@@ -97,6 +97,7 @@ def make_input_image(program: Program, inputs: Optional[InputSet]
 
 def annotate_predictions(program: Program, profile) -> None:
     """Write profile-derived static predictions into the branch encodings."""
+    program.invalidate_caches()
     for proc in program.procedures.values():
         for block in proc.blocks:
             term = block.terminator
@@ -193,6 +194,13 @@ def compile_ir(
     source_count = program.instruction_count()
     reference = clone_program(program)
     sched, stats = schedule_ir(program, config)
+    # Build the translating backend's generated code now, so it is part of
+    # the compile (and of CompileCache payloads — the units are plain-data
+    # attributes on these plain dataclasses) instead of a hidden cost on
+    # the first simulator run.
+    from repro.hw import translate
+    translate.functional_unit(reference)
+    translate.superscalar_unit(sched)
     return CompiledProgram(config=config, program=program, sched=sched,
                            stats=stats, source_instr_count=source_count,
                            reference=reference)

@@ -104,3 +104,109 @@ def branch_taken(instr: Instruction, a: int = 0, b: int = 0) -> bool:
     if fn is None:
         raise ValueError(f"{instr} is not a conditional branch")
     return fn(a, b)
+
+
+# --------------------------------------------------------------------------
+# Expression templates for the translating backend (repro.hw.translate).
+#
+# Each entry renders the same semantics as the ALU_FUNCS/BRANCH_FUNCS lambda
+# above as a Python *expression* over operand expressions, so generated
+# superblock code inlines the operation instead of calling through the
+# table.  ``{a}``/``{b}`` are operand expressions (already masked unsigned
+# 32-bit values); immediates are folded into literals by ``alu_expr``.
+# ``tests/hw/test_translate.py`` sweeps every template against its table
+# function so the two can never drift apart.
+#
+# Signed tricks: for masked 32-bit x, ``(x ^ 0x80000000) - 0x80000000`` is
+# s32(x), and xoring the top bit of both sides turns a signed comparison
+# into an unsigned one.
+
+_H = 0x80000000
+
+
+def alu_expr(op: Opcode, a: str, b: str, imm: int):
+    """Inline expression for ``ALU_FUNCS[op](a, b, imm)``, or ``None`` when
+    the operation cannot be inlined (traps, out-of-range immediates) and
+    must go through the table function instead."""
+    m, h = MASK32, _H
+    if op is Opcode.ADD:
+        return f"({a} + {b}) & {m}"
+    if op is Opcode.ADDI:
+        return f"({a} + {imm}) & {m}"
+    if op is Opcode.SUB:
+        return f"({a} - {b}) & {m}"
+    if op is Opcode.AND:
+        return f"{a} & {b}"
+    if op is Opcode.ANDI:
+        return f"{a} & {imm & m}"
+    if op is Opcode.OR:
+        return f"{a} | {b}"
+    if op is Opcode.ORI:
+        return f"{a} | {imm & m}"
+    if op is Opcode.XOR:
+        return f"{a} ^ {b}"
+    if op is Opcode.XORI:
+        return f"{a} ^ {imm & m}"
+    if op is Opcode.NOR:
+        return f"~({a} | {b}) & {m}"
+    if op is Opcode.SLT:
+        return f"1 if ({a} ^ {h}) < ({b} ^ {h}) else 0"
+    if op is Opcode.SLTI:
+        if not -(2 ** 31) <= imm < 2 ** 31:
+            return None
+        return f"1 if ({a} ^ {h}) < {(imm & m) ^ _H} else 0"
+    if op is Opcode.SLTU:
+        return f"1 if {a} < {b} else 0"
+    if op is Opcode.SLTIU:
+        return f"1 if {a} < {imm & m} else 0"
+    if op is Opcode.LUI:
+        return f"{(imm << 16) & m}"
+    if op is Opcode.LI:
+        return f"{imm & m}"
+    if op is Opcode.MOVE:
+        return a
+    if op is Opcode.SLL:
+        return f"({a} << {imm & 31}) & {m}"
+    if op is Opcode.SRL:
+        return f"{a} >> {imm & 31}"
+    if op is Opcode.SRA:
+        return f"((({a} ^ {h}) - {h}) >> {imm & 31}) & {m}"
+    if op is Opcode.SLLV:
+        return f"({a} << ({b} & 31)) & {m}"
+    if op is Opcode.SRLV:
+        return f"{a} >> ({b} & 31)"
+    if op is Opcode.SRAV:
+        return f"((({a} ^ {h}) - {h}) >> ({b} & 31)) & {m}"
+    if op is Opcode.MUL:
+        # (s32(a) * s32(b)) & MASK32 == (a * b) & MASK32 (mod-2**32).
+        return f"({a} * {b}) & {m}"
+    return None  # DIV/REM trap — they stay table calls
+
+
+def branch_expr(op: Opcode, a: str, b: str, negate: bool = False) -> str:
+    """Inline condition expression for ``BRANCH_FUNCS[op](a, b)`` (or its
+    negation), over masked unsigned 32-bit operand expressions."""
+    h = _H
+    if negate:
+        op = _BRANCH_NEG[op]
+    if op is Opcode.BEQ:
+        return f"{a} == {b}"
+    if op is Opcode.BNE:
+        return f"{a} != {b}"
+    if op is Opcode.BLEZ:  # s32(a) <= 0
+        return f"({a} == 0 or {a} >= {h})"
+    if op is Opcode.BGTZ:  # s32(a) > 0
+        return f"0 < {a} < {h}"
+    if op is Opcode.BLTZ:  # s32(a) < 0
+        return f"{a} >= {h}"
+    if op is Opcode.BGEZ:  # s32(a) >= 0
+        return f"{a} < {h}"
+    raise ValueError(f"{op} is not a conditional branch")
+
+
+#: each conditional branch's logical negation, for emitting off-trace exits
+_BRANCH_NEG = {
+    Opcode.BEQ: Opcode.BNE, Opcode.BNE: Opcode.BEQ,
+    Opcode.BLEZ: Opcode.BGTZ, Opcode.BGTZ: Opcode.BLEZ,
+    Opcode.BLTZ: Opcode.BGEZ, Opcode.BGEZ: Opcode.BLTZ,
+}

@@ -24,12 +24,12 @@ Two interpreter loops implement the same semantics:
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.hw.alu import ALU_FUNCS, BRANCH_FUNCS, branch_taken, execute_alu, s32
+from repro.hw.backend import resolve_backend
 from repro.hw.errors import FuelExhausted, WallClockExceeded
 from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
 from repro.hw.memory import Memory
@@ -37,10 +37,6 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import RA, SP, Reg
 from repro.program.procedure import Program
-
-#: ``REPRO_FAST_SIM=0`` forces the reference interpreter everywhere —
-#: the debugging escape hatch and the perf-smoke baseline.
-_FAST_DEFAULT = os.environ.get("REPRO_FAST_SIM", "1") != "0"
 
 __all__ = [
     "BranchProfile", "EXIT_TOKEN", "FuelExhausted", "FunctionalSim",
@@ -97,6 +93,7 @@ class FunctionalSim:
         wall_clock_limit: Optional[float] = None,
         fast: Optional[bool] = None,
         stats=None,
+        backend: Optional[str] = None,
     ) -> None:
         self.program = program
         self.max_steps = max_steps
@@ -104,7 +101,8 @@ class FunctionalSim:
         self.trap_handler = trap_handler
         self.fault_hook = fault_hook
         self.wall_clock_limit = wall_clock_limit
-        self.fast = _FAST_DEFAULT if fast is None else fast
+        self.backend = resolve_backend(backend, fast)
+        self.fast = self.backend != "reference"
 
         nregs = max(program.max_register_index() + 1, 32)
         self.regs = [0] * nregs
@@ -218,10 +216,23 @@ class FunctionalSim:
         name = entry or self.program.entry
         deadline = (time.monotonic() + self.wall_clock_limit
                     if self.wall_clock_limit is not None else None)
-        if self.fast:
-            result = self._run_fast(name, self.max_steps, deadline)
-        else:
-            result = self._interp(name, 0, self.max_steps, deadline)
+        result = None
+        if (self.backend == "translate" and self.profile is None
+                and self.fault_hook is None and self.trap_handler is None):
+            # instrumentation hooks need per-instruction visibility the
+            # generated superblocks do not expose — those runs fall back
+            # to the pre-decoded interpreter, which is observably
+            # identical.
+            from repro.hw import translate
+            if translate.functional_unit(self.program,
+                                          len(self.regs)) is not None:
+                result = translate.run_functional_translated(
+                    self, name, self.max_steps, deadline)
+        if result is None:
+            if self.fast:
+                result = self._run_fast(name, self.max_steps, deadline)
+            else:
+                result = self._interp(name, 0, self.max_steps, deadline)
         if self._stats is not None:
             shapes = {}
             for pname, proc in self.program.procedures.items():

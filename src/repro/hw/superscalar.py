@@ -24,11 +24,11 @@ with the NO_BOOST model.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Callable, Optional
 
 from repro.hw.alu import ALU_FUNCS, branch_taken, execute_alu, s32
+from repro.hw.backend import resolve_backend
 from repro.hw.errors import (
     CycleLimitExceeded, ScheduleError, SimulationError, WallClockExceeded,
 )
@@ -41,10 +41,6 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import RA, SP, Reg
 from repro.sched.schedprog import ScheduledProcedure, ScheduledProgram
-
-#: ``REPRO_FAST_SIM=0`` forces the reference interpreter everywhere —
-#: the debugging escape hatch and the perf-smoke baseline.
-_FAST_DEFAULT = os.environ.get("REPRO_FAST_SIM", "1") != "0"
 
 __all__ = ["SimulationError", "SuperscalarSim", "run_scheduled"]
 
@@ -74,6 +70,7 @@ class SuperscalarSim:
         wall_clock_limit: Optional[float] = None,
         shiftbuf: Optional[ExceptionShiftBuffer] = None,
         fast: Optional[bool] = None,
+        backend: Optional[str] = None,
         stats=None,
         trace=None,
     ) -> None:
@@ -118,7 +115,8 @@ class SuperscalarSim:
         self.boosted_squashed = 0
         self._ctl: Optional[tuple] = None
         self.now = 0
-        self.fast = _FAST_DEFAULT if fast is None else fast
+        self.backend = resolve_backend(backend, fast)
+        self.fast = self.backend != "reference"
         self._decoded: Optional[dict[str, list]] = None
         #: optional observability sinks (repro.obs); None keeps the fast
         #: path at one ``is not None`` test per basic block.  A sink with
@@ -217,8 +215,16 @@ class SuperscalarSim:
 
     # -------------------------------------------------------------- execution
     def run(self, entry: Optional[str] = None) -> ExecutionResult:
-        result = (self._run_fast(entry) if self.fast
-                  else self._run_slow(entry))
+        result = None
+        if (self.backend == "translate" and self.fault_hook is None
+                and self.trap_handler is None and self._trace is None):
+            from repro.hw import translate
+            unit = translate.superscalar_unit(self.sched)
+            if unit is not None and unit.translated_blocks:
+                result = translate.run_superscalar_translated(self, entry)
+        if result is None:
+            result = (self._run_fast(entry) if self.fast
+                      else self._run_slow(entry))
         if self._stats is not None:
             self._stats.finalize_superscalar(self)
             result.sim_stats = self._stats

@@ -179,6 +179,14 @@ class SimStats:
     shadow_high_water: int = 0
     storebuf_high_water: int = 0
 
+    # Translating backend (repro.hw.translate); zero under the
+    # interpreter backends.
+    translated_blocks: int = 0
+    superblocks_chained: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_invalidations: int = 0
+
     # Dynamic (out-of-order) pipeline.
     rob_high_water: int = 0
     rob_occupancy_sum: int = 0
@@ -254,6 +262,16 @@ class SimStats:
         self.branches = result.branch_count
         self.mispredicts = result.mispredict_count
 
+    def _copy_translation(self, sim) -> None:
+        counters = getattr(sim, "translate_counters", None)
+        if counters is None:
+            return
+        self.translated_blocks = counters["translated_blocks"]
+        self.superblocks_chained = counters["superblocks_chained"]
+        self.trace_hits = counters["trace_hits"]
+        self.trace_misses = counters["trace_misses"]
+        self.trace_invalidations = counters["trace_invalidations"]
+
     def _accumulate_blocks(self, shapes: Dict) -> None:
         """Combine per-block execution counts with static block shapes.
 
@@ -286,6 +304,7 @@ class SimStats:
                 )
                 shapes[(proc.name, idx)] = (len(block.cycles), filled, width)
         self._accumulate_blocks(shapes)
+        self._copy_translation(sim)
         stall = self.cycles - self.rows_executed - self.recovery_cycles
         self.interlock_stall_cycles = max(stall, 0)
         self.pending = []
@@ -294,6 +313,7 @@ class SimStats:
         self.kind = "functional"
         self._copy_result(sim.result)
         self._accumulate_blocks(shapes)
+        self._copy_translation(sim)
         self.pending = []
 
     def finalize_dynamic(self, sim) -> None:
@@ -355,6 +375,11 @@ class SimStats:
             "squash_events": self.squash_events,
             "squash_rate": round(self.squash_rate, 6),
             "storebuf_high_water": self.storebuf_high_water,
+            "superblocks_chained": self.superblocks_chained,
+            "trace_hits": self.trace_hits,
+            "trace_invalidations": self.trace_invalidations,
+            "trace_misses": self.trace_misses,
+            "translated_blocks": self.translated_blocks,
         }
 
 

@@ -19,6 +19,7 @@ from repro.program.procedure import Program
 
 def optimize_program(program: Program, max_rounds: int = 10) -> Program:
     """Run the scalar optimization pipeline to a fixed point (in place)."""
+    program.invalidate_caches()
     clean_program(program)
     for _ in range(max_rounds):
         changed = fold_program(program)

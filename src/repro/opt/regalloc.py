@@ -249,6 +249,7 @@ def allocate_program(program: Program, model: str = "round_robin") -> None:
     ``infinite``."""
     if model not in ("round_robin", "infinite"):
         raise ValueError(f"unknown register model {model!r}")
+    program.invalidate_caches()
     for proc in program.procedures.values():
         if model == "round_robin":
             allocate_procedure(proc)

@@ -207,6 +207,13 @@ class Program:
                 regs.update(instr.uses())
         return regs
 
+    def invalidate_caches(self) -> None:
+        """Drop derived artifacts other layers cached on this program
+        (e.g. the translating backend's generated code).  Every pass that
+        mutates the IR in place must call this, or stale generated code
+        would keep executing the pre-mutation program."""
+        self.__dict__.pop("_translation_unit", None)
+
     def __str__(self) -> str:
         return "\n\n".join(str(p) for p in self.procedures.values())
 

@@ -168,6 +168,7 @@ def apply_flips(program: Program, flips: frozenset[int]) -> int:
     Returns the number of branches actually flipped.
     """
     hit = 0
+    program.invalidate_caches()
     for proc in program.procedures.values():
         for block in proc.blocks:
             term = block.terminator
