@@ -5,7 +5,8 @@ The observability counters (``repro-stats/1``, see ``docs/observability.md``)
 are deterministic: the same source + config must produce byte-identical
 scheduler and simulator statistics on every machine.  This script runs
 
-    python -m repro bench grep compress --stats --json <tmp> --no-cache
+    python -m repro bench grep compress fuzzalias branchmesh \\
+        --stats --json <tmp> --no-cache
 
 and compares the ``stats`` section against the committed baseline,
 ``benchmarks/BENCH_stats_baseline.json``.  Any drift — a counter that moved,
@@ -30,7 +31,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_stats_baseline.json"
-BENCH_ARGS = ["bench", "grep", "compress", "--stats", "--no-cache"]
+BENCH_ARGS = ["bench", "grep", "compress", "fuzzalias", "branchmesh",
+              "--stats", "--no-cache"]
 
 #: diff lines shown before truncating — enough to see the shape of a
 #: regression without drowning a genuine schema change in output

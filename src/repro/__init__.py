@@ -13,7 +13,7 @@ The package builds the paper's whole system from scratch:
   statically-scheduled superscalar with shadow register files / shadow
   store buffer / exception shift buffer, and the dynamically-scheduled
   Tomasulo+ROB comparator (:mod:`repro.hw`);
-* the seven Table-1 workloads and the experiment harness regenerating
+* the Table-1 workloads (plus two fuzz-promoted ones) and the harness regenerating
   every table and figure of the paper (:mod:`repro.workloads`,
   :mod:`repro.harness`).
 

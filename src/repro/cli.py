@@ -9,6 +9,9 @@ Commands:
 * ``bench [WORKLOAD ...]`` — regenerate the paper's tables and figures;
 * ``verify`` — fault-injection differential verification of the boosting
   machinery (see ``docs/fault-injection.md``);
+* ``fuzz`` — generative differential fuzzing: seeded Minic programs through
+  the cross-backend × cross-machine oracle, with automatic divergence
+  reduction into a triage corpus (see ``docs/fuzzing.md``);
 * ``workloads`` — list the Table-1 workload suite;
 * ``models`` — list the boosting hardware models and their parameters.
 """
@@ -457,6 +460,111 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.stats import STATS_SCHEMA
+    from repro.verify.fuzz import FuzzCampaign, GenConfig
+
+    def progress(msg: str) -> None:
+        print(msg, file=sys.stderr, flush=True)
+
+    config = GenConfig(size=args.size, pred_lo=args.pred_lo,
+                       pred_hi=args.pred_hi)
+    try:
+        campaign = FuzzCampaign(
+            count=args.count, seed_start=args.seed_start, config=config,
+            model_keys=args.models or None, backends=args.backends or None,
+            plans=args.plans, sabotage=args.sabotage, progress=progress)
+    except ValueError as err:
+        print(f"repro fuzz: {err}", file=sys.stderr)
+        return 2
+    facets = dict(command="fuzz", code_version=CODE_VERSION,
+                  **campaign.facets())
+    fingerprint = Journal.make_fingerprint(**facets)
+    sharded = args.shards > 1
+    policy = _make_policy(args) if not sharded else None
+    chaos = _make_chaos(args, policy) if not sharded else None
+    journal = None
+    if not sharded:
+        try:
+            journal = _open_journal(args, "fuzz", fingerprint, facets)
+        except JournalError as err:
+            print(f"repro fuzz: {err}", file=sys.stderr)
+            return 2
+    clean_text = None
+    try:
+        with graceful_signals():
+            if args.chaos is not None:
+                # Chaos self-test oracle: the same campaign, clean + serial.
+                clean_campaign = FuzzCampaign(
+                    count=args.count, seed_start=args.seed_start,
+                    config=config, model_keys=args.models or None,
+                    backends=args.backends or None, plans=args.plans,
+                    sabotage=args.sabotage)
+                clean_text = clean_campaign.run(jobs=1).format()
+            if sharded:
+                task_policy, shard_policy, shard_chaos = \
+                    _make_shard_policies(args)
+                summary = campaign.run_sharded(
+                    args.shards, _campaign_dir(args, "fuzz"), fingerprint,
+                    facets=facets, jobs=args.jobs, policy=task_policy,
+                    shard_policy=shard_policy, shard_chaos=shard_chaos,
+                    resume=args.resume)
+            else:
+                summary = campaign.run(jobs=args.jobs, policy=policy,
+                                       chaos=chaos, journal=journal)
+    except JournalError as err:
+        print(f"repro fuzz: {err}", file=sys.stderr)
+        return 2
+    except CampaignInterrupted as intr:
+        print(f"fuzz: interrupted — {intr.completed}/{intr.total} programs "
+              f"finished{_resume_hint(args, journal)}", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    if campaign.shard_report is not None:
+        _shard_summary("fuzz", campaign.shard_report)
+    # The chaos comparison uses the pre-triage text: reduction happens once,
+    # in the parent, after the merge — it is not part of what parallelism
+    # must reproduce byte-for-byte.
+    text = summary.format()
+    campaign.finalize(summary, triage_dir=Path(args.triage_dir),
+                      reduce=not args.no_reduce)
+    print(summary.format())
+    exit_code = 0 if summary.ok else 1
+    if args.json:
+        stats = summary.stats()
+        atomic_write_json(args.json, {
+            "schema": "repro-fuzz/1",
+            "facets": facets,
+            "stats": {"schema": STATS_SCHEMA, "fuzz": stats.snapshot()},
+            "divergences": [{
+                "program": d.program, "seed": d.seed,
+                "signature": d.signature, "plan": d.plan_text,
+                "repro": d.repro_cmd,
+                "reduced_lines": (len(d.reduced_source.splitlines())
+                                  if d.reduced_source else None),
+            } for d in summary.divergences],
+            "triage": [{
+                "signature": t.signature, "bucket": t.bucket,
+                "occurrences": t.occurrences,
+                "reduced_lines": t.reduced_lines, "note": t.note,
+            } for t in summary.triage],
+        })
+        print(f"wrote {args.json}", file=sys.stderr)
+    if clean_text is not None:
+        if text == clean_text:
+            print("fuzz: chaos self-test PASSED — supervised run "
+                  "byte-identical to the clean run", file=sys.stderr)
+        else:
+            print("fuzz: chaos self-test FAILED — supervised run diverged "
+                  "from the clean run", file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     print(f"{'name':10s} {'stands in for':22s} description")
     for w in all_workloads():
@@ -567,7 +675,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="regenerate the paper's tables/figures")
     p.add_argument("workloads", nargs="*",
-                   help="subset of workloads (default: all seven)")
+                   help="subset of workloads (default: all registered)")
     p.add_argument("--write-experiments", metavar="PATH",
                    help="also write an EXPERIMENTS.md-style report")
     p.add_argument("--json", metavar="PATH",
@@ -594,7 +702,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-start", type=int, default=0,
                    help="first seed of the range (default: 0)")
     p.add_argument("--workloads", nargs="+", metavar="NAME",
-                   help="subset of workloads (default: all seven)")
+                   help="subset of workloads (default: all registered)")
     p.add_argument("--models", nargs="+", metavar="MODEL",
                    help="boosting models to verify (default: squashing "
                         "boost1 minboost3 boost7)")
@@ -603,6 +711,48 @@ def make_parser() -> argparse.ArgumentParser:
     add_parallel_opts(p)
     add_backend_opt(p)
     p.set_defaults(fn=cmd_verify)
+
+    from repro.verify.fuzz.fuzzcampaign import SABOTAGES
+    from repro.verify.fuzz.generator import SIZE_PROFILES
+
+    p = sub.add_parser(
+        "fuzz",
+        help="generative differential fuzzing of the whole pipeline")
+    p.add_argument("--count", type=int, default=50, metavar="N",
+                   help="generated programs (default: 50)")
+    p.add_argument("--seed-start", type=int, default=0,
+                   help="first program seed (default: 0)")
+    p.add_argument("--plans", type=int, default=4, metavar="N",
+                   help="fault plans per program, including the benign "
+                        "plan (default: 4)")
+    p.add_argument("--size", choices=sorted(SIZE_PROFILES), default="small",
+                   help="generated-program size profile (default: small)")
+    p.add_argument("--pred-lo", type=float, default=0.72,
+                   help="lower end of the branch-predictability band "
+                        "(default: 0.72)")
+    p.add_argument("--pred-hi", type=float, default=0.98,
+                   help="upper end of the branch-predictability band "
+                        "(default: 0.98)")
+    p.add_argument("--models", nargs="+", metavar="MODEL",
+                   help="boosting models for the superscalar cells "
+                        "(default: squashing boost7)")
+    p.add_argument("--backends", nargs="+", metavar="ENGINE",
+                   help="execution engines to cross-check "
+                        "(default: reference interp translate)")
+    p.add_argument("--sabotage", choices=sorted(SABOTAGES), default=None,
+                   help="plant a deliberate bug so the campaign can prove "
+                        "it catches, reduces, and triages one")
+    p.add_argument("--triage-dir", metavar="PATH",
+                   default=".repro-fuzz-triage",
+                   help="persistent triage corpus: one directory per "
+                        "divergence signature with minimized source and a "
+                        "one-line repro (default: .repro-fuzz-triage)")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip automatic divergence reduction")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write campaign stats and divergences as JSON")
+    add_parallel_opts(p)
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("workloads", help="list the workload suite")
     p.set_defaults(fn=cmd_workloads)

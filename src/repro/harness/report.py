@@ -46,13 +46,16 @@ def render_table1(lab: Lab) -> str:
         f"{'paper IPC':>10s} {'paper acc':>10s}",
     ]
     for row in table1(lab):
-        p_ipc, p_acc = PAPER_TABLE1[row.name]
+        # Fuzz-promoted workloads have no paper column to compare against.
+        paper = PAPER_TABLE1.get(row.name)
+        p_ipc = f"{paper[0]:.2f}" if paper else "—"
+        p_acc = f"{paper[1]:.1f}%" if paper else "—"
         acc = (None if row.prediction_accuracy is None
                else row.prediction_accuracy * 100)
         lines.append(
             f"{row.name:10s} {_f(row.cycles, '{:,}', 13)} "
             f"{_f(row.ipc, '{:.2f}', 6)} {_f(acc, '{:.1f}%', 9)} "
-            f"{p_ipc:>10.2f} {p_acc:>9.1f}%")
+            f"{p_ipc:>10s} {p_acc:>10s}")
     return "\n".join(lines)
 
 
@@ -101,9 +104,9 @@ def render_table2(lab: Lab) -> str:
     for row in rows:
         cells = " ".join(_f(row.improvements[k], "{:.1f}%", 10)
                          for k in TABLE2_MODELS)
-        paper = PAPER_TABLE2[row.name]
-        lines.append(f"{row.name:10s} {cells}   (paper: "
-                     + "/".join(f"{v:.1f}" for v in paper) + ")")
+        paper = PAPER_TABLE2.get(row.name)
+        note = ("/".join(f"{v:.1f}" for v in paper) if paper else "—")
+        lines.append(f"{row.name:10s} {cells}   (paper: {note})")
     cells = " ".join(_f(means[k], "{:.1f}%", 10) for k in TABLE2_MODELS)
     lines.append(f"{'G.M.':10s} {cells}   (paper: "
                  + "/".join(f"{v:.1f}" for v in PAPER_TABLE2_GM) + ")")
@@ -329,11 +332,13 @@ def write_experiments_md(lab: Lab, path: str) -> str:
     ]
     rows = []
     for r in t1:
-        p_ipc, p_acc = PAPER_TABLE1[r.name]
+        paper = PAPER_TABLE1.get(r.name)
         acc = (None if r.prediction_accuracy is None
                else 100 * r.prediction_accuracy)
         rows.append([r.name, _f(r.cycles, "{:,}"), _f(r.ipc, "{:.2f}"),
-                     f"{p_ipc:.2f}", _f(acc, "{:.1f}%"), f"{p_acc:.1f}%"])
+                     f"{paper[0]:.2f}" if paper else "—",
+                     _f(acc, "{:.1f}%"),
+                     f"{paper[1]:.1f}%" if paper else "—"])
     parts.append(_md_table(
         ["benchmark", "cycles (measured)", "IPC", "IPC (paper)",
          "pred. acc.", "pred. acc. (paper)"], rows))
@@ -367,11 +372,12 @@ def write_experiments_md(lab: Lab, path: str) -> str:
     ]
     rows = []
     for r in t2_rows:
-        paper = PAPER_TABLE2[r.name]
+        paper = PAPER_TABLE2.get(r.name)
         rows.append([r.name]
                     + [_f(r.improvements[k], "{:.1f}%")
                        for k in TABLE2_MODELS]
-                    + ["/".join(f"{v:.1f}" for v in paper)])
+                    + ["/".join(f"{v:.1f}" for v in paper)
+                       if paper else "—"])
     rows.append(["**G.M.**"]
                 + [f"**{_f(t2_means[k], '{:.1f}%')}**" for k in TABLE2_MODELS]
                 + ["/".join(f"{v:.1f}" for v in PAPER_TABLE2_GM)])

@@ -416,6 +416,51 @@ class ShardStats:
         }
 
 
+@dataclass
+class FuzzStats:
+    """Counters from one generative fuzz campaign.
+
+    Accumulated by :class:`repro.verify.fuzz.fuzzcampaign.FuzzCampaign`;
+    ``snapshot()`` lands in the ``repro-stats/1`` section of
+    ``fuzz --json``.  Everything here is deterministic for a given
+    (seed range, config, model/backend matrix) — timing never leaks in —
+    so merged reports stay byte-identical at any parallelism.
+    """
+
+    programs: int = 0  # generated programs that entered the oracle
+    compile_errors: int = 0  # programs the pipeline failed to prepare
+    runs: int = 0  # differential comparisons executed
+    plans: int = 0  # fault plans drawn (incl. the benign plan)
+    trapped: int = 0  # comparisons whose reference run trapped
+    flipped: int = 0  # comparisons under a prediction-flip plan
+    injected_hits: int = 0  # injected-fault firings across both machines
+    divergent: int = 0  # comparisons that disagreed
+    oracle_errors: int = 0  # harness-level failures (timeouts, workers)
+    backend_cells: int = 0  # (program, engine) functional cross-checks
+    model_cells: int = 0  # (program, model, backend) superscalar cells
+    dynamic_cells: int = 0  # (program, rename-mode) dynamic-machine cells
+    reduced: int = 0  # divergences auto-reduced to a minimal source
+    triage_buckets: int = 0  # distinct divergence signatures filed
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "backend_cells": self.backend_cells,
+            "compile_errors": self.compile_errors,
+            "divergent": self.divergent,
+            "dynamic_cells": self.dynamic_cells,
+            "flipped": self.flipped,
+            "injected_hits": self.injected_hits,
+            "model_cells": self.model_cells,
+            "oracle_errors": self.oracle_errors,
+            "plans": self.plans,
+            "programs": self.programs,
+            "reduced": self.reduced,
+            "runs": self.runs,
+            "trapped": self.trapped,
+            "triage_buckets": self.triage_buckets,
+        }
+
+
 class NullStats(SimStats):
     """A sink whose hooks do nothing.
 

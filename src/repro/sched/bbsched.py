@@ -85,6 +85,15 @@ def _displace_into_delay(ddg: DepGraph, state: ScheduleState, term_idx: int,
         v_idx = by_instr.get(id(victim))
         if v_idx is None or _feeds(ddg, v_idx, term_idx):
             continue
+        # The victim slides one cycle down, so every already-placed
+        # dependence successor must still issue at or after its new
+        # position.  A WAR successor co-issued in row ``k`` (legal:
+        # reads precede writes within a cycle) would otherwise end up
+        # writing a register one cycle *before* the victim reads it.
+        if any(state.placed_cycle.get(s) is not None
+               and state.placed_cycle[s] < (k + 1) + lat
+               for s, lat, _ in ddg.succs_of(v_idx)):
+            continue
         state.rows[k + 1][slot] = victim
         state.rows[k][slot] = None
         state.placed_cycle[v_idx] = k + 1

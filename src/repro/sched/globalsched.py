@@ -416,12 +416,13 @@ def schedule_procedure_global(
     pending: dict[int, list[tuple[Instruction, int]]] = {}
     resume_label: dict[int, str] = {}
     comp_defs: dict[str, set] = {}
+    shadow_defs: dict[str, set] = {}
     by_label: dict[str, ScheduledBlock] = {}
 
     for trace in traces:
         stats.note_trace(len(trace.labels))
         engine = MotionEngine(proc, cfg, trace, model, scheduled_labels,
-                              resume_label, comp_defs)
+                              resume_label, comp_defs, shadow_defs)
         ts = _TraceScheduler(proc, cfg, trace, machine, model, engine,
                              pending, resume_label, stats)
         for sblock in ts.run():

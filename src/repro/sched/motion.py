@@ -76,7 +76,8 @@ class MotionEngine:
     def __init__(self, proc: Procedure, cfg: CFG, trace: Trace,
                  model: BoostModel, scheduled_labels: set[str],
                  resume_label: Optional[dict[int, str]] = None,
-                 comp_defs: Optional[dict[str, set]] = None) -> None:
+                 comp_defs: Optional[dict[str, set]] = None,
+                 shadow_defs: Optional[dict[str, set]] = None) -> None:
         self.proc = proc
         self.cfg = cfg
         self.trace = trace
@@ -91,6 +92,13 @@ class MotionEngine:
         #: write of its register in that block: a later sequential motion
         #: into the block may not redefine these.
         self.comp_defs = comp_defs if comp_defs is not None else {}
+        #: registers written by *boosted* compensation copies, per block
+        #: label.  Until its branch commits, such a write lives only in the
+        #: shadow file — a later plain (sequential) copy in the same block
+        #: that reads one of these registers would see stale architectural
+        #: state, so it must be boosted too (or pushed onto the edge, which
+        #: runs after the commit).
+        self.shadow_defs = shadow_defs if shadow_defs is not None else {}
         self.equiv = ControlEquivalence(cfg)
         self._liveness: Optional[Liveness] = None
         self._between_cache: dict[tuple[str, str], list[Instruction]] = {}
@@ -360,7 +368,15 @@ class MotionEngine:
                       and not (term is not None
                                and set(instr_defs(instr))
                                & set(instr_uses(term))))
-        if appendable and (term is None or term.op is Opcode.J):
+        # A value produced by a boosted copy in this block exists only in
+        # shadow state until the branch commits; a plain copy consuming it
+        # would read stale architectural registers.  Only a boosted copy
+        # (shadow-to-shadow forwarding) or an edge-split copy (runs after
+        # the commit) can follow it.
+        shadowed = bool(set(instr_uses(instr))
+                        & self.shadow_defs.get(pred_label, frozenset()))
+        if appendable and not shadowed and (term is None
+                                            or term.op is Opcode.J):
             return DupPlan(pred_label, join_label, boost=0)
         if appendable and term is not None and term.op.is_cond_branch:
             off = self.cfg.off_trace_succ(pred_label, join_label)
@@ -370,7 +386,7 @@ class MotionEngine:
                        or (off is not None and any(
                            d in self.liveness.live_in.get(off, frozenset())
                            for d in instr_defs(instr))))
-            if not unsafe and not illegal:
+            if not unsafe and not illegal and not shadowed:
                 return DupPlan(pred_label, join_label, boost=0)
             if (instr.side_effect_free or instr.op.is_store) \
                     and not remaining \
@@ -403,6 +419,9 @@ class MotionEngine:
                     # sequential write in the block; plain copies must stay
                     # the last write of their register.
                     self.comp_defs.setdefault(dp.pred_label, set()).update(
+                        instr_defs(copy))
+                else:
+                    self.shadow_defs.setdefault(dp.pred_label, set()).update(
                         instr_defs(copy))
             created.append((copy, dp))
         if created:

@@ -25,6 +25,7 @@ from typing import Callable, Optional
 
 from repro.frontend import compile_source
 from repro.harness.cache import CompileCache
+from repro.hw.backend import backend_choice
 from repro.harness.parallel import run_tasks
 from repro.harness.pipeline import (
     CompileConfig, make_input_image, prepare_ir, schedule_ir,
@@ -49,6 +50,26 @@ CAMPAIGN_CONFIGS: dict[str, CompileConfig] = {
 }
 
 DEFAULT_MODELS = ("squashing", "boost1", "minboost3", "boost7")
+
+
+def verify_repro_cmd(workload: str, model: str, seed: Optional[int] = None,
+                     seeds: Optional[int] = None,
+                     seed_start: int = 0) -> str:
+    """A copy-pasteable one-line repro for a campaign cell.
+
+    Every divergence and failure record carries one of these so triage
+    never starts by reconstructing flags from a report by hand.  The
+    current backend is always named: a repro that silently depends on the
+    reader's ``REPRO_SIM_BACKEND`` is not a repro.
+    """
+    from repro.hw.backend import backend_choice
+
+    cmd = f"python -m repro verify --workloads {workload} --models {model}"
+    if seed is not None:
+        cmd += f" --seed {seed}"
+    elif seeds is not None:
+        cmd += f" --seeds {seeds} --seed-start {seed_start}"
+    return cmd + f" --backend {backend_choice()}"
 
 
 @dataclass
@@ -238,7 +259,10 @@ class VerifyCampaign:
                         CampaignResult(workload=wname, config=model_key))
                     summary.oracle_errors.append(
                         f"{wname}/{model_key}: worker failed: "
-                        f"{outcome.error}")
+                        f"{outcome.error} (repro: "
+                        + verify_repro_cmd(wname, model_key,
+                                           seeds=self.seeds,
+                                           seed_start=self.seed_start) + ")")
                     continue
                 bucket, divergences, oracle_errors = outcome.value
             summary.results.append(bucket)
@@ -295,7 +319,10 @@ class VerifyCampaign:
                 summary.results.append(
                     CampaignResult(workload=wname, config=model_key))
                 summary.oracle_errors.append(
-                    f"{wname}/{model_key}: shard failed: {info['error']}")
+                    f"{wname}/{model_key}: shard failed: {info['error']} "
+                    f"(repro: "
+                    + verify_repro_cmd(wname, model_key, seeds=self.seeds,
+                                       seed_start=self.seed_start) + ")")
         self.shard_report = report
         return summary
 
@@ -325,7 +352,8 @@ class VerifyCampaign:
                 bucket.errors += 1
                 oracle_errors.append(
                     f"{wname}/{model_key} seed={plan.seed}: "
-                    f"{type(err).__name__}: {err}")
+                    f"{type(err).__name__}: {err} (repro: "
+                    f"{verify_repro_cmd(wname, model_key, seed=plan.seed)})")
                 continue
             bucket.trapped += 1 if report.trapped else 0
             bucket.clean += 1 if report.reference.completed else 0
@@ -380,10 +408,12 @@ class VerifyCampaign:
                     divergences=report.divergences, workload=wname,
                     config=model_key, seed=plan.seed,
                     plan_text=variant.describe(), minimized=True,
+                    backend=backend_choice(),
                     context={"full_plan": plan.describe()})
         return DivergenceError(
             divergences=full_report.divergences, workload=wname,
             config=model_key, seed=plan.seed, plan_text=plan.describe(),
+            backend=backend_choice(),
             context={"reference": full_report.reference.summary(),
                      "superscalar": full_report.superscalar.summary()})
 

@@ -88,6 +88,7 @@ class CheckReport:
     reference: RunOutcome
     superscalar: RunOutcome
     divergences: list[Divergence] = field(default_factory=list)
+    backend: str = ""
 
     @property
     def ok(self) -> bool:
@@ -102,7 +103,7 @@ class CheckReport:
             raise DivergenceError(
                 divergences=self.divergences, workload=self.workload,
                 config=self.config, seed=self.plan.seed,
-                plan_text=self.plan.describe(),
+                plan_text=self.plan.describe(), backend=self.backend,
                 context={"reference": self.reference.summary(),
                          "superscalar": self.superscalar.summary()})
 
@@ -116,6 +117,7 @@ class DifferentialChecker:
         max_steps: int = 20_000_000,
         wall_clock_limit: Optional[float] = 60.0,
         shiftbuf_factory: Optional[Callable[[int], ExceptionShiftBuffer]] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.max_cycles = max_cycles
         self.max_steps = max_steps
@@ -123,14 +125,30 @@ class DifferentialChecker:
         #: substitute exception shift buffer, ``levels -> buffer`` — used by
         #: the self-test to plant deliberately broken hardware
         self.shiftbuf_factory = shiftbuf_factory
+        #: execution engine for both machines (None: the environment's
+        #: choice) — the fuzz campaign's cross-backend oracle sets this
+        self.backend = backend
+
+    @staticmethod
+    def _hook(plan: FaultPlan) -> Optional[FaultInjector]:
+        """An injector only when the plan actually targets an instruction.
+
+        A hook with no targets is behaviourally inert, but its mere
+        presence forces both simulators off the translating engine (the
+        generated superblocks have no per-instruction hook points) — so a
+        benign or flip-only plan must run hook-free, or the backend under
+        test silently degrades to the interpreter.
+        """
+        return FaultInjector(plan) if plan.traps else None
 
     # ------------------------------------------------------------------ runs
     def run_reference(self, reference: Program, plan: FaultPlan,
                       input_image) -> RunOutcome:
-        injector = FaultInjector(plan)
+        injector = self._hook(plan)
         sim = FunctionalSim(reference, max_steps=self.max_steps,
                             input_image=input_image, fault_hook=injector,
-                            wall_clock_limit=self.wall_clock_limit)
+                            wall_clock_limit=self.wall_clock_limit,
+                            backend=self.backend)
         outcome = RunOutcome(machine="functional")
         try:
             sim.run()
@@ -140,20 +158,20 @@ class DifferentialChecker:
         outcome.trap = outcome.trap or sim.result.trap
         outcome.instr_count = sim.result.instr_count
         outcome.mispredicts = sim.result.mispredict_count
-        outcome.injected_hits = injector.total_hits
+        outcome.injected_hits = injector.total_hits if injector else 0
         outcome.memory = sim.mem.snapshot()
         return outcome
 
     def run_superscalar(self, sched: ScheduledProgram, plan: FaultPlan,
                         input_image) -> RunOutcome:
-        injector = FaultInjector(plan)
+        injector = self._hook(plan)
         shiftbuf = None
         if self.shiftbuf_factory is not None:
             shiftbuf = self.shiftbuf_factory(max(sched.model.max_level, 1))
         sim = SuperscalarSim(sched, max_cycles=self.max_cycles,
                              input_image=input_image, fault_hook=injector,
                              wall_clock_limit=self.wall_clock_limit,
-                             shiftbuf=shiftbuf)
+                             shiftbuf=shiftbuf, backend=self.backend)
         outcome = RunOutcome(machine="superscalar")
         try:
             sim.run()
@@ -165,7 +183,7 @@ class DifferentialChecker:
         outcome.trap = outcome.trap or sim.result.trap
         outcome.instr_count = sim.result.instr_count
         outcome.mispredicts = sim.result.mispredict_count
-        outcome.injected_hits = injector.total_hits
+        outcome.injected_hits = injector.total_hits if injector else 0
         outcome.recoveries = sim.recovery_invocations
         outcome.boosted_executed = sim.boosted_executed
         outcome.boosted_squashed = sim.boosted_squashed
@@ -241,7 +259,8 @@ class DifferentialChecker:
         ssc = self.run_superscalar(sched, plan, input_image)
         report = CheckReport(workload=workload, config=config, plan=plan,
                              reference=ref, superscalar=ssc,
-                             divergences=self.compare(ref, ssc))
+                             divergences=self.compare(ref, ssc),
+                             backend=self.backend or "")
         report.raise_if_divergent()
         return report
 
@@ -252,4 +271,5 @@ class DifferentialChecker:
         ssc = self.run_superscalar(sched, plan, input_image)
         return CheckReport(workload=workload, config=config, plan=plan,
                            reference=ref, superscalar=ssc,
-                           divergences=self.compare(ref, ssc))
+                           divergences=self.compare(ref, ssc),
+                           backend=self.backend or "")

@@ -49,15 +49,26 @@ class DivergenceError(SimulationError):
     plan_text: str = "(no faults injected)"
     minimized: bool = False
     context: dict = field(default_factory=dict)
+    #: simulator engine the diverging run used ("" = environment default)
+    backend: str = ""
+    #: verbatim one-line repro command; when set it replaces the
+    #: ``verify``-shaped default (the fuzz campaign points at
+    #: ``python -m repro fuzz`` / a triage-bucket source path instead)
+    repro_cmd: Optional[str] = None
 
     def __post_init__(self) -> None:
         super().__init__(self.describe())
 
     @property
     def repro(self) -> str:
+        if self.repro_cmd is not None:
+            return self.repro_cmd
         seed = "-" if self.seed is None else str(self.seed)
-        return (f"python -m repro verify --workloads {self.workload} "
-                f"--models {self.config} --seed {seed}")
+        cmd = (f"python -m repro verify --workloads {self.workload} "
+               f"--models {self.config} --seed {seed}")
+        if self.backend:
+            cmd += f" --backend {self.backend}"
+        return cmd
 
     def describe(self) -> str:
         lines = [f"divergence in {self.workload}/{self.config}"
@@ -78,4 +89,4 @@ class DivergenceError(SimulationError):
         # error crosses process boundaries intact.
         return (DivergenceError, (self.divergences, self.workload, self.config,
                                   self.seed, self.plan_text, self.minimized,
-                                  self.context))
+                                  self.context, self.backend, self.repro_cmd))

@@ -1,0 +1,408 @@
+"""Automatic Minic source reduction by delta debugging.
+
+Given a source file and a *predicate* ("does this source still show the
+original divergence signature?"), the reducer shrinks the program through
+the real front end: parse → mutate the AST → unparse → re-check.  The
+compiler itself is the validity oracle — a mutation that removes a needed
+declaration simply fails to compile and is rejected by the predicate, so
+the reducer needs no language-specific dependency analysis.
+
+Reduction passes, applied to fixpoint:
+
+1. **statement deletion** — ddmin-style chunked removal over every
+   statement list (function bodies, branch arms, loop bodies);
+2. **block flattening** — an ``if`` is replaced by one of its arms, a loop
+   by its body (run once) or by nothing;
+3. **operand simplification** — a binary collapses to one operand, a
+   unary/call/index to a literal, conditions to constants;
+4. **declaration pruning** — unreferenced globals and functions drop.
+
+Every accepted step re-checks the *full* divergence signature, so the
+minimized program provokes the same disagreement as the original — not
+merely "some" disagreement.  The pass order and chunk schedule are fixed,
+making reduction deterministic for a deterministic predicate.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.frontend import ast
+from repro.frontend.parser import parse
+
+# ------------------------------------------------------------------- unparse
+
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+
+
+def _expr(e, parent_prec: int = 0) -> str:
+    if isinstance(e, ast.IntLit):
+        if e.value < 0:
+            return _wrap(f"-{-e.value}", _UNARY_PREC, parent_prec)
+        return str(e.value)
+    if isinstance(e, ast.Var):
+        return e.name
+    if isinstance(e, ast.Unary):
+        return _wrap(f"{e.op}{_expr(e.operand, _UNARY_PREC)}",
+                     _UNARY_PREC, parent_prec)
+    if isinstance(e, ast.Binary):
+        prec = _PREC[e.op]
+        text = (f"{_expr(e.lhs, prec)} {e.op} {_expr(e.rhs, prec + 1)}")
+        return _wrap(text, prec, parent_prec)
+    if isinstance(e, ast.Call):
+        args = ", ".join(_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, ast.Index):
+        return f"{e.name}[{_expr(e.index)}]"
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def _wrap(text: str, prec: int, parent_prec: int) -> str:
+    return f"({text})" if prec < parent_prec else text
+
+
+def _simple_stmt(s) -> str:
+    """A statement without its trailing semicolon (for ``for`` clauses)."""
+    if isinstance(s, ast.VarDecl):
+        init = f" = {_expr(s.init)}" if s.init is not None else ""
+        return f"var {s.name}{init}"
+    if isinstance(s, ast.Assign):
+        return f"{s.name} = {_expr(s.value)}"
+    if isinstance(s, ast.IndexAssign):
+        return f"{s.name}[{_expr(s.index)}] = {_expr(s.value)}"
+    if isinstance(s, ast.ExprStmt):
+        return _expr(s.expr)
+    raise TypeError(f"not a simple statement: {s!r}")
+
+
+def _stmts(out: list[str], stmts: list, depth: int) -> None:
+    pad = "    " * depth
+    for s in stmts:
+        if isinstance(s, (ast.VarDecl, ast.Assign, ast.IndexAssign,
+                          ast.ExprStmt)):
+            out.append(f"{pad}{_simple_stmt(s)};")
+        elif isinstance(s, ast.If):
+            out.append(f"{pad}if ({_expr(s.cond)}) {{")
+            _stmts(out, s.then, depth + 1)
+            if s.orelse:
+                out.append(f"{pad}}} else {{")
+                _stmts(out, s.orelse, depth + 1)
+            out.append(f"{pad}}}")
+        elif isinstance(s, ast.While):
+            out.append(f"{pad}while ({_expr(s.cond)}) {{")
+            _stmts(out, s.body, depth + 1)
+            out.append(f"{pad}}}")
+        elif isinstance(s, ast.For):
+            init = _simple_stmt(s.init) if s.init is not None else ""
+            cond = _expr(s.cond) if s.cond is not None else ""
+            step = _simple_stmt(s.step) if s.step is not None else ""
+            out.append(f"{pad}for ({init}; {cond}; {step}) {{")
+            _stmts(out, s.body, depth + 1)
+            out.append(f"{pad}}}")
+        elif isinstance(s, ast.Return):
+            value = f" {_expr(s.value)}" if s.value is not None else ""
+            out.append(f"{pad}return{value};")
+        elif isinstance(s, ast.Break):
+            out.append(f"{pad}break;")
+        elif isinstance(s, ast.Continue):
+            out.append(f"{pad}continue;")
+        else:
+            raise TypeError(f"unknown statement {s!r}")
+
+
+def unparse(module: ast.Module) -> str:
+    """Render a Minic module back to source the parser round-trips."""
+    out: list[str] = []
+    for g in module.globals_:
+        kw = "bytes" if g.is_bytes else "global"
+        size = f"[{g.size}]" if g.size is not None else ""
+        if isinstance(g.init, bytes):
+            body = ", ".join(str(b) for b in g.init)
+            init = f" = {{ {body} }}" if g.init else ""
+        elif isinstance(g.init, list):
+            init = f" = {{ {', '.join(str(v) for v in g.init)} }}"
+        elif isinstance(g.init, int):
+            init = f" = {g.init}"
+        else:
+            init = ""
+        out.append(f"{kw} {g.name}{size}{init};")
+    if module.globals_:
+        out.append("")
+    for fn in module.functions:
+        out.append(f"func {fn.name}({', '.join(fn.params)}) {{")
+        _stmts(out, fn.body, 1)
+        out.append("}")
+        out.append("")
+    return "\n".join(out).rstrip("\n") + "\n"
+
+
+# ----------------------------------------------------------------- reduction
+
+@dataclass
+class ReduceResult:
+    """Outcome of one reduction run."""
+
+    source: str
+    original_lines: int
+    reduced_lines: int
+    rounds: int = 0
+    attempts: int = 0
+    accepted: int = 0
+
+    def summary(self) -> str:
+        return (f"reduced {self.original_lines} -> {self.reduced_lines} "
+                f"lines in {self.rounds} round(s) "
+                f"({self.accepted}/{self.attempts} mutations kept)")
+
+
+def _stmt_lists(module: ast.Module) -> list[list]:
+    """Every statement list in the module, outermost first."""
+    lists: list[list] = []
+
+    def walk(stmts: list) -> None:
+        lists.append(stmts)
+        for s in stmts:
+            if isinstance(s, ast.If):
+                walk(s.then)
+                if s.orelse:
+                    walk(s.orelse)
+            elif isinstance(s, (ast.While, ast.For)):
+                walk(s.body)
+
+    for fn in module.functions:
+        walk(fn.body)
+    return lists
+
+
+def _exprs(module: ast.Module) -> list[tuple[object, str]]:
+    """Every (holder, attribute) slot containing an expression."""
+    slots: list[tuple[object, str]] = []
+
+    def expr_slots(holder, attr) -> None:
+        e = getattr(holder, attr)
+        if e is None:
+            return
+        slots.append((holder, attr))
+        if isinstance(e, ast.Unary):
+            expr_slots(e, "operand")
+        elif isinstance(e, ast.Binary):
+            expr_slots(e, "lhs")
+            expr_slots(e, "rhs")
+        elif isinstance(e, ast.Index):
+            expr_slots(e, "index")
+        elif isinstance(e, ast.Call):
+            for i in range(len(e.args)):
+                slots.append((e.args, i))
+
+    def simple_slots(s) -> None:
+        if isinstance(s, ast.VarDecl):
+            expr_slots(s, "init")
+        elif isinstance(s, ast.Assign):
+            expr_slots(s, "value")
+        elif isinstance(s, ast.IndexAssign):
+            expr_slots(s, "index")
+            expr_slots(s, "value")
+        elif isinstance(s, ast.ExprStmt):
+            expr_slots(s, "expr")
+
+    def walk(stmts: list) -> None:
+        for s in stmts:
+            if isinstance(s, ast.If):
+                expr_slots(s, "cond")
+                walk(s.then)
+                walk(s.orelse)
+            elif isinstance(s, ast.While):
+                expr_slots(s, "cond")
+                walk(s.body)
+            elif isinstance(s, ast.For):
+                if s.init is not None:
+                    simple_slots(s.init)
+                expr_slots(s, "cond")
+                if s.step is not None:
+                    simple_slots(s.step)
+                walk(s.body)
+            elif isinstance(s, ast.Return):
+                expr_slots(s, "value")
+            else:
+                simple_slots(s)
+
+    for fn in module.functions:
+        walk(fn.body)
+    return slots
+
+
+def _get_slot(slot):
+    holder, attr = slot
+    return holder[attr] if isinstance(attr, int) else getattr(holder, attr)
+
+
+def _set_slot(slot, value) -> None:
+    holder, attr = slot
+    if isinstance(attr, int):
+        holder[attr] = value
+    else:
+        setattr(holder, attr, value)
+
+
+class _Reducer:
+    def __init__(self, predicate: Callable[[str], bool]) -> None:
+        self.predicate = predicate
+        self.attempts = 0
+        self.accepted = 0
+
+    def try_variant(self, module: ast.Module) -> Optional[str]:
+        """Unparse a candidate and ask the predicate; None on rejection."""
+        try:
+            text = unparse(module)
+        except TypeError:
+            return None
+        self.attempts += 1
+        if self.predicate(text):
+            self.accepted += 1
+            return text
+        return None
+
+    # every pass mutates ``module`` in place only on acceptance, returns
+    # True when it changed anything (→ another fixpoint round)
+    def pass_delete_statements(self, module: ast.Module) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for stmts in _stmt_lists(module):
+                n = len(stmts)
+                chunk = n
+                while chunk >= 1:
+                    start = 0
+                    while start < len(stmts):
+                        if not stmts:
+                            break
+                        saved = stmts[start:start + chunk]
+                        if not saved:
+                            break
+                        del stmts[start:start + chunk]
+                        if self.try_variant(module) is None:
+                            stmts[start:start] = saved
+                            start += chunk
+                        else:
+                            changed = progress = True
+                    chunk //= 2
+        return changed
+
+    def pass_flatten_blocks(self, module: ast.Module) -> bool:
+        changed = True
+        any_change = False
+        while changed:
+            changed = False
+            for stmts in _stmt_lists(module):
+                for i, s in enumerate(list(stmts)):
+                    if i >= len(stmts) or stmts[i] is not s:
+                        continue
+                    candidates: list[list] = []
+                    if isinstance(s, ast.If):
+                        candidates = [s.then, s.orelse]
+                    elif isinstance(s, (ast.While, ast.For)):
+                        candidates = [[], s.body]
+                    for replacement in candidates:
+                        saved = stmts[i]
+                        stmts[i:i + 1] = replacement
+                        if self.try_variant(module) is None:
+                            stmts[i:i + len(replacement)] = [saved]
+                        else:
+                            changed = any_change = True
+                            break
+        return any_change
+
+    def pass_simplify_exprs(self, module: ast.Module) -> bool:
+        changed = True
+        any_change = False
+        while changed:
+            changed = False
+            for slot in _exprs(module):
+                e = _get_slot(slot)
+                replacements: list = []
+                if isinstance(e, ast.Binary):
+                    replacements = [e.lhs, e.rhs, ast.IntLit(1)]
+                elif isinstance(e, ast.Unary):
+                    replacements = [e.operand]
+                elif isinstance(e, (ast.Call, ast.Index)):
+                    replacements = [ast.IntLit(1)]
+                elif isinstance(e, ast.Var):
+                    replacements = [ast.IntLit(0)]
+                for replacement in replacements:
+                    _set_slot(slot, replacement)
+                    if self.try_variant(module) is None:
+                        _set_slot(slot, e)
+                    else:
+                        changed = any_change = True
+                        break
+        return any_change
+
+    def pass_prune_decls(self, module: ast.Module) -> bool:
+        changed = False
+        for pool, keep_name in ((module.functions, "main"),
+                                (module.globals_, None)):
+            for item in list(pool):
+                if item.name == keep_name:
+                    continue
+                idx = pool.index(item)
+                del pool[idx]
+                if self.try_variant(module) is None:
+                    pool.insert(idx, item)
+                else:
+                    changed = True
+        return changed
+
+
+def reduce_source(source: str, predicate: Callable[[str], bool],
+                  max_rounds: int = 6) -> ReduceResult:
+    """Shrink ``source`` while ``predicate`` keeps holding.
+
+    ``predicate`` receives candidate Minic source and must return True only
+    when the candidate still exhibits the original divergence signature
+    (compile failures, timeouts, and different divergences all count as
+    False).  The original source must itself satisfy the predicate — a
+    reducer that cannot reproduce the bug it is meant to shrink would
+    silently return garbage.
+    """
+    if not predicate(source):
+        raise ValueError("reduction predicate rejects the original source "
+                         "— the divergence does not reproduce")
+    module = parse(source)
+    # normalize formatting first so line counts compare like for like
+    normalized = unparse(copy.deepcopy(module))
+    if predicate(normalized):
+        source = normalized
+        module = parse(source)
+    red = _Reducer(predicate)
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        changed = red.pass_delete_statements(module)
+        changed |= red.pass_flatten_blocks(module)
+        changed |= red.pass_simplify_exprs(module)
+        changed |= red.pass_delete_statements(module)
+        changed |= red.pass_prune_decls(module)
+        if not changed:
+            break
+    final = unparse(module)
+    if not predicate(final):                           # pragma: no cover
+        raise AssertionError("reducer invariant broken: accepted source "
+                             "stopped satisfying the predicate")
+    return ReduceResult(
+        source=final,
+        original_lines=len(source.strip().splitlines()),
+        reduced_lines=len(final.strip().splitlines()),
+        rounds=rounds, attempts=red.attempts, accepted=red.accepted)
+
+
+__all__ = ["ReduceResult", "reduce_source", "unparse"]

@@ -1,4 +1,4 @@
-"""The seven benchmark workloads of Table 1."""
+"""The seven benchmark workloads of Table 1, plus two fuzz-promoted ones."""
 
 from repro.workloads.registry import InputSet, Workload, all_workloads, get
 

@@ -7,6 +7,11 @@ behaviour, and data access patterns — at a size cycle-level simulation in
 Python handles comfortably.  Every workload has separate *train* and *eval*
 inputs: the branch profile is always collected on a different input than the
 one measured (Section 4.3).
+
+Two extra members — ``fuzzalias`` and ``branchmesh`` — were promoted from
+the differential fuzz corpus (see ``docs/fuzzing.md``) to stress
+store-to-load aliasing and low branch predictability beyond what the
+Table-1 stand-ins exercise.
 """
 
 from __future__ import annotations
@@ -38,13 +43,14 @@ def register(workload: Workload) -> Workload:
 
 
 def all_workloads() -> list[Workload]:
-    """All seven workloads, in the paper's Table 1 order."""
+    """All workloads: Table 1 order, then the fuzz-promoted pair."""
     # Import for side effects: each module registers its workload.
     from repro.workloads import (  # noqa: F401
-        wawk, wcompress, weqntott, wespresso, wgrep, wnroff, wxlisp,
+        wawk, wbranchmesh, wcompress, weqntott, wespresso, wfuzzalias,
+        wgrep, wnroff, wxlisp,
     )
     order = ["awk", "compress", "eqntott", "espresso", "grep", "nroff",
-             "xlisp"]
+             "xlisp", "fuzzalias", "branchmesh"]
     return [_REGISTRY[name] for name in order]
 
 

@@ -1,0 +1,108 @@
+"""Fuzz-promoted workload: low-predictability branch mesh.
+
+Born as generator seed 37 under ``GenConfig(size="medium", pred_lo=0.55,
+pred_hi=0.78)`` and promoted from the fuzz corpus as the suite's
+worst-predicted control flow: ~73% static prediction accuracy on the eval
+input, well below the paper's 72–98% Table-1 band floor.  Traces stay
+short, boosted work squashes often, and the squashing-vs-recovery models
+separate more sharply than on any Table-1 stand-in.  The source is frozen
+verbatim; ``python -m repro fuzz --seed-start 37 --count 1 --size medium
+--pred-lo 0.55 --pred-hi 0.78`` replays its ancestry.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """\
+global inp0[32];
+global arr1[32] = { 44, -10, -20, -5, 69, -37, 46, 77, 35, -30, 36, -26, 67, 40, -8, 17, 70, -22, -36, 71, 83, 75, 47, 82, -7, 76, 13, 4, 82, 1, -38, -27 };
+global arr2[32] = { -11, 3, 69, -8, -6, 52, 11, 73, 84, -12, 81, 52, 15, -2, -20, -36, 86, 83, 89, -33, 29, -4, 1, 48, -13, -28, 30, 84, 13, 48, 23, -16 };
+global gsum = 0;
+
+func fn0(p0) {
+    if (((p0 * 29 + 61) & 255) < 102) {
+        gsum = ((((~(p0) >> 1)) + (arr2[(p0) & 31])) % (((p0) & 15) + 4)) & (arr2[(p0) & 31]);
+    } else {
+    }
+    return p0 + (((p0) + (-(p0))) + ((-(p0)) - (p0)));
+}
+
+func fn1(p0, p1, p2) {
+    if (p0 <= 0) { return 3; }
+    return (inp0[(p0) & 31]) + fn1(p0 - 1, inp0[(p0) & 31], -(p0));
+}
+
+func main() {
+    var acc = 1;
+    var v1 = -29;
+    var v2 = 16;
+    var i3 = 0;
+    while (i3 < 17) {
+        var v4 = (((~(v1)) ^ (~(acc))) & (v1)) - (arr2[(v1) & 31]);
+        for (var i5 = 0; i5 < 10; i5 = i5 + 1) {
+            arr2[(((~(v4)) | (v4)) ^ ((~(i3)) ^ (arr1[(i5) & 31]))) & 31] = i3;
+            v4 = v4 + arr2[(arr2[(v1) & 31]) & 31];
+            var i6 = 0;
+            while (i6 < 18) {
+                i6 = i6 + 1;
+            }
+        }
+        i3 = i3 + 1;
+    }
+    if (((v2 * 37 + 229) & 255) < 196) {
+        acc = acc;
+    } else {
+        if (((acc * 29 + 17) & 255) < 171) {
+        } else {
+        }
+    }
+    gsum = (((loadw(addr(arr1) + 4 * ((acc) & 31))) - (149)) + ((v2) / (((~(v2)) & 15) + 2))) ^ (((loadw(addr(arr2) + 4 * ((v2) & 31))) + (190)) % (((-28) & 15) + 3));
+    for (var i7 = 0; i7 < 16; i7 = i7 + 1) {
+        arr1[(((-(i7)) | (-(v2))) + ((-(acc)) & (~(v2)))) & 31] = (((v2 >> 4)) | (~(i7))) * ((-(v1)) ^ (~(acc)));
+        arr2[(((~(acc)) - (arr1[(i7) & 31])) | ((v1) + (arr2[(v2) & 31]))) & 31] = ((-(v2) >> 6)) + ((~(v1)) - (i7));
+        v1 = 69;
+        print(v1 & 1023);
+        for (var i8 = 0; i8 < 19; i8 = i8 + 1) {
+        }
+    }
+    acc = (inp0[(v2) & 31]) ^ ((~(v1)) % (((~(v1)) & 15) + 3));
+    var v9 = v1;
+    storew(addr(inp0) + 4 * ((-(v9)) & 31), -(acc));
+    v9 = v9 + inp0[(((110) % (((104) & 15) + 2)) & ((v1) & (arr2[(v2) & 31]))) & 31];
+    var v10 = arr2[(v9) & 31];
+    storew(addr(arr2) + 4 * (((~(v1)) ^ (loadw(addr(inp0) + 4 * ((v9) & 31)))) & 31), ((~(v9)) + (v2)) & ((~(v2)) / (((~(v10)) & 15) + 7)));
+    v10 = v10 + arr2[(((loadw(addr(arr2) + 4 * ((v9) & 31))) & (-82)) & ((-51) & (~(v2)))) & 31];
+    var i11 = 0;
+    while (i11 < 20) {
+        print(v1 & 1023);
+        var i12 = 0;
+        while (i12 < 13) {
+            var i13 = 0;
+            while (i13 < 14) {
+                v10 = ((loadw(addr(arr2) + 4 * ((acc) & 31))) - ((i13) + (~(i11)))) & (((loadw(addr(arr2) + 4 * ((v9) & 31))) - (i11)) - ((v10) & (~(v10))));
+                if (((v9 * 29 + 89) & 255) < 150 || (v9 & 1) != 0) {
+                }
+                i13 = i13 + 1;
+            }
+            i12 = i12 + 1;
+        }
+        i11 = i11 + 1;
+    }
+    print(acc);
+    print(gsum);
+}
+"""
+
+TRAIN = {"inp0": [9708, 56524, 2, 3, 36968, 41, 52, 12, 49, -39, 49, 23, 35, -8, 1, -1, 44, 39, 50, 7023, 28, 46, 1, -1, 57465, 52, 2, 22, 58, 47, -33, 14]}
+
+EVAL = {"inp0": [7, 73744, 13, 10, 47, 30469, -6, 5903, 13, 6, 6, -42, 7, 14325, 4, 28, 52, 37, 20, -42, 88299, 49, -4, 45, 25, 2, 19, 18, 51, 50168, 4, 16063]}
+
+WORKLOAD = register(Workload(
+    name='branchmesh',
+    paper_benchmark='(fuzz corpus)',
+    description='low-predictability branch mesh from the fuzz corpus',
+    source=SOURCE,
+    train=TRAIN,
+    eval=EVAL,
+))

@@ -1,0 +1,108 @@
+"""Regressions the generative differential fuzzer found in the schedulers.
+
+Both came out of the first 500-program ``python -m repro fuzz`` campaign,
+were auto-reduced by the delta debugger, and are frozen here verbatim from
+the triage corpus:
+
+* **shadow RAW into a plain compensation copy** (seeds 107, 237; boosting
+  models only).  A ``||`` short-circuit inside a loop made the motion
+  engine plan a *plain* (sequential) compensation copy whose RAW producer
+  had received a *boosted* copy appended to the same predecessor block.
+  Until the crossed branch commits, the producer's value lives only in the
+  shadow register file, so the sequential consumer read stale architectural
+  state and the recovery block missed it entirely.  Fixed by tracking
+  shadow-written registers per block (``MotionEngine.shadow_defs``) and
+  refusing the plain append — the copy boosts or takes the split edge,
+  which runs after the commit.
+* **WAR inversion in local delay-slot displacement** (seed 169; *every*
+  model, NO_BOOST included).  The local block scheduler's
+  ``_displace_into_delay`` only refused victims feeding the branch, so it
+  pushed a register reader one cycle below a same-cycle WAR writer inside
+  an edge-split compensation block.  The global scheduler had grown exactly
+  this guard after an earlier campaign (see
+  ``test_global_regressions.py``), but the ``schedule_block_local`` path —
+  which comp blocks are scheduled on — was never patched.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.harness.pipeline import make_input_image, prepare_ir, schedule_ir
+from repro.program.procedure import clone_program
+from repro.verify.campaign import CAMPAIGN_CONFIGS
+from repro.verify.differential import DifferentialChecker
+from repro.verify.faults import FaultPlan
+
+# Reduced by repro.verify.fuzz.reduce from generator seed 107 (medium).
+SHADOW_RAW_SOURCE = """\
+global gsum = 0;
+
+func main() {
+    var v2 = 24;
+    for (var i5 = 0; i5 < 9; i5 = i5 + 1) {
+        if ((i5 * 71 & 255) < 190 || v2) {
+            gsum = gsum + 1;
+        }
+    }
+    print(gsum);
+}
+"""
+
+# Reduced by repro.verify.fuzz.reduce from generator seed 169 (small);
+# diverges in final memory, steered by the eval image (the else2 path).
+DELAY_WAR_SOURCE = """\
+global inp0[16];
+global arr1[16] = { 31, 54, 47, -27, 82, -33, -25, -19, 65, 42, 34, 84, \
+62, -7, 38, 42 };
+global arr2[16] = { 44, -21, 1, 53, -25, 90, 7, -31, 49, 73, -8, 79, -28, \
+49, -13, -8 };
+
+func main() {
+    var acc = 1;
+    var v2 = 2;
+    var v3 = -6;
+    var v4 = inp0[v3 & 15];
+    if ((v4 * 29 + 99 & 255) < 71) {
+        v2 = loadw(addr(inp0)) & 0;
+    } else {
+        if ((v4 * 29 + 232 & 255) < 66) {
+            if ((v2 * 37 + 227 & 255) < 28 || acc & 3) {
+            }
+        }
+        if ((v4 * 71 + 21 & 255) < 224 && (v4 & 1) != 2) {
+        }
+    }
+    inp0[105 * (v2 - arr2[v3 & 15]) & 15] = arr1[acc & 15] / 1;
+    v4 = loadw(addr(inp0));
+    storew(addr(arr1) + 4 * (~acc & 15), v3 << 3 & v4);
+}
+"""
+
+DELAY_WAR_TRAIN = {"inp0": [25, 36, -37, 60, 47367, 10, 39, 15, -10, -50,
+                            59, 45, 17, 31913, 4, 24]}
+DELAY_WAR_EVAL = {"inp0": [39820, -20, 30, 96961, -44, 20, -36, 33, 41,
+                           -46, 39689, 37, 13, 35, 13, 37]}
+
+
+def _diff_check(source, train, eval_inputs, model_key):
+    config = CAMPAIGN_CONFIGS[model_key]
+    prepared = prepare_ir(compile_source(source), config, train)
+    image = make_input_image(prepared, eval_inputs)
+    reference = clone_program(prepared)
+    sched, _ = schedule_ir(clone_program(prepared), config)
+    checker = DifferentialChecker(max_cycles=1_000_000, max_steps=1_000_000,
+                                  backend="reference")
+    plan = FaultPlan(seed=0)
+    oracle = checker.run_reference(reference, plan, image)
+    ssc = checker.run_superscalar(sched, plan, image)
+    assert not DifferentialChecker.compare(oracle, ssc)
+
+
+@pytest.mark.parametrize("model_key", ["boost1", "minboost3", "boost7"])
+def test_shadow_raw_blocks_plain_compensation_copy(model_key):
+    _diff_check(SHADOW_RAW_SOURCE, {}, {}, model_key)
+
+
+@pytest.mark.parametrize("model_key", list(CAMPAIGN_CONFIGS))
+def test_local_delay_slot_displacement_respects_war(model_key):
+    _diff_check(DELAY_WAR_SOURCE, DELAY_WAR_TRAIN, DELAY_WAR_EVAL, model_key)

@@ -11,7 +11,8 @@ from repro.sched.boostmodel import BOOST7, MINBOOST3
 from repro.sched.machine import SUPERSCALAR
 from repro.workloads import all_workloads, get
 
-NAMES = ["awk", "compress", "eqntott", "espresso", "grep", "nroff", "xlisp"]
+NAMES = ["awk", "compress", "eqntott", "espresso", "grep", "nroff", "xlisp",
+         "fuzzalias", "branchmesh"]
 
 
 def test_registry_has_the_table1_suite():
