@@ -41,6 +41,47 @@ from repro.sched.machine import SCALAR, SUPERSCALAR
 from repro.workloads import all_workloads
 
 
+# ------------------------------------------------------- argument validation
+# Validators run at parse time so a bad value dies with exit code 2 and a
+# one-line message naming the flag — not a traceback (or worse, a silently
+# absurd campaign) minutes into a run.
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}") from None
+    if not value > 0 or value != value:  # rejects 0, negatives, and NaN
+        raise argparse.ArgumentTypeError(
+            f"must be greater than 0, got {text}")
+    return value
+
+
 def _build_config(args: argparse.Namespace) -> CompileConfig:
     machine = SCALAR if args.machine == "scalar" else SUPERSCALAR
     model = BY_NAME[args.model]
@@ -565,6 +606,121 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.daemon import CampaignService, ServiceChaosConfig
+
+    chaos = None
+    if args.chaos is not None:
+        retries = args.retries if args.retries is not None else 2
+        # Never kill a runner more times than its retry budget allows, or
+        # the chaos self-test could not converge to clean reports.
+        chaos = ServiceChaosConfig(seed=args.chaos,
+                                   max_faults=min(2, retries))
+    runtime = {"jobs": args.jobs, "timeout": args.timeout,
+               "retries": args.retries, "backoff": args.backoff,
+               "cache_dir": args.cache_dir, "no_cache": args.no_cache}
+    service = CampaignService(
+        args.socket, args.state_dir, queue_bound=args.queue_bound,
+        runtime=runtime, chaos=chaos, resume=args.resume,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown)
+    return asyncio.run(service.run())
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, submit
+
+    try:
+        params = json.loads(args.params)
+    except ValueError as err:
+        print(f"repro submit: --params is not valid JSON: {err}",
+              file=sys.stderr)
+        return 2
+    try:
+        accepted, result = submit(args.socket, args.kind, params,
+                                  deadline=args.deadline,
+                                  wait=not args.detach)
+    except ServiceError as err:
+        print(f"repro submit: {err}", file=sys.stderr)
+        return 2
+    if accepted.get("event") != "accepted":
+        print(f"repro submit: {accepted.get('event', 'rejected')} "
+              f"({accepted.get('reason', '?')}): "
+              f"{accepted.get('message', '')}", file=sys.stderr)
+        return 3
+    print(f"submit: accepted {accepted['job']} "
+          f"(queued={accepted.get('queued')})", file=sys.stderr)
+    if args.detach:
+        print(accepted["job"])
+        return 0
+    if result is None:
+        print("repro submit: the service went away before the job "
+              "finished; poll with `repro status`", file=sys.stderr)
+        return 2
+    if result.get("text"):
+        print(result["text"])
+    state = result.get("state")
+    print(f"submit: {accepted['job']} {state} "
+          f"(attempts={result.get('attempts')})", file=sys.stderr)
+    return 0 if state == "done" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, status
+
+    try:
+        reply = status(args.socket, job=args.job)
+    except ServiceError as err:
+        print(f"repro status: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    if reply.get("event") == "error":
+        print(f"repro status: {reply.get('message')}", file=sys.stderr)
+        return 2
+    if args.job is not None:
+        if reply.get("text"):
+            print(reply["text"])
+        print(f"status: {args.job} {reply.get('state')} "
+              f"(attempts={reply.get('attempts')})", file=sys.stderr)
+        return 0
+    print(f"{'id':12s} {'kind':8s} {'state':10s} attempts")
+    for job in reply.get("jobs", []):
+        print(f"{job['id']:12s} {job['kind']:8s} {job['state']:10s} "
+              f"{job['attempts']:>8}")
+    stats = reply.get("stats", {})
+    open_cells = reply.get("breaker_open") or []
+    print(f"status: admitted={stats.get('admitted')} "
+          f"rejected={stats.get('rejected')} "
+          f"completed={stats.get('completed')} "
+          f"failed={stats.get('failed')} "
+          f"deadline-expired={stats.get('deadline_expired')} "
+          f"breaker-open=[{','.join(open_cells)}]"
+          + (" draining" if reply.get("draining") else ""),
+          file=sys.stderr)
+    return 0
+
+
+def cmd_drain(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, drain
+
+    try:
+        reply = drain(args.socket)
+    except ServiceError as err:
+        print(f"repro drain: {err}", file=sys.stderr)
+        return 2
+    stats = reply.get("stats", {})
+    print(f"drain: admitted={stats.get('admitted')} "
+          f"rejected={stats.get('rejected')} "
+          f"completed={stats.get('completed')} "
+          f"failed={stats.get('failed')} "
+          f"deadline-expired={stats.get('deadline_expired')}")
+    return 0
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     print(f"{'name':10s} {'stands in for':22s} description")
     for w in all_workloads():
@@ -634,7 +790,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_run)
 
     def add_parallel_opts(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--jobs", type=int, default=1, metavar="N",
+        p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                        help="worker processes (default: 1 = in-process; "
                             "reports are byte-identical at any N)")
         p.add_argument("--cache-dir", metavar="PATH", default=None,
@@ -642,11 +798,13 @@ def make_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR or ~/.cache/repro-boost)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk compile cache")
-        p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+        p.add_argument("--timeout", type=_positive_float, default=None,
+                       metavar="SECS",
                        help="per-task wall-clock timeout: hung workers are "
                             "killed, replaced, and the task retried "
                             "(default: none)")
-        p.add_argument("--retries", type=int, default=None, metavar="N",
+        p.add_argument("--retries", type=_nonnegative_int, default=None,
+                       metavar="N",
                        help="extra attempts for a timed-out/killed/failed "
                             "task, with exponential backoff + seeded jitter "
                             "(default: 2 once supervision is active)")
@@ -667,7 +825,8 @@ def make_parser() -> argparse.ArgumentParser:
                             "output still matches a clean run; with "
                             "--shards, SIGKILL whole shard processes "
                             "instead")
-        p.add_argument("--shards", type=int, default=1, metavar="N",
+        p.add_argument("--shards", type=_positive_int, default=1,
+                       metavar="N",
                        help="split the campaign into N lease-guarded shard "
                             "processes with journal-backed work stealing "
                             "and whole-shard crash recovery (default: 1; "
@@ -753,6 +912,98 @@ def make_parser() -> argparse.ArgumentParser:
                    help="also write campaign stats and divergences as JSON")
     add_parallel_opts(p)
     p.set_defaults(fn=cmd_fuzz)
+
+    def add_socket_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--socket", metavar="PATH",
+                       default=".repro-service.sock",
+                       help="service Unix socket path "
+                            "(default: .repro-service.sock)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon (see docs/service.md)")
+    add_socket_opt(p)
+    p.add_argument("--state-dir", metavar="PATH",
+                   default=".repro-service",
+                   help="service state directory: per-job journals, "
+                        "records, and reports (default: .repro-service)")
+    p.add_argument("--queue-bound", type=_positive_int, default=4,
+                   metavar="N",
+                   help="max jobs admitted but not yet terminal; beyond "
+                        "this, submissions get a structured REJECTED busy "
+                        "(default: 4)")
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes per campaign job (default: 1)")
+    p.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="compile-cache directory shared by every job "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-boost)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk compile cache")
+    p.add_argument("--timeout", type=_positive_float, default=None,
+                   metavar="SECS",
+                   help="per-task wall-clock timeout inside each job "
+                        "(default: none)")
+    p.add_argument("--retries", type=_nonnegative_int, default=None,
+                   metavar="N",
+                   help="retry budget, both for tasks inside a job and for "
+                        "runner processes that die (default: 2)")
+    p.add_argument("--backoff", type=_positive_float, default=0.5,
+                   metavar="SECS",
+                   help="base retry backoff inside each job (default: 0.5)")
+    p.add_argument("--breaker-threshold", type=_positive_int, default=3,
+                   metavar="N",
+                   help="consecutive timeout/killed failures on one "
+                        "configuration cell before its circuit opens "
+                        "(default: 3)")
+    p.add_argument("--breaker-cooldown", type=_positive_float, default=30.0,
+                   metavar="SECS",
+                   help="seconds an open circuit waits before admitting a "
+                        "half-open probe (default: 30)")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="service chaos self-test: seeded SIGKILLs of "
+                        "runner processes mid-job; reports must still "
+                        "converge byte-identically")
+    p.add_argument("--resume", action="store_true",
+                   help="re-adopt non-terminal jobs from a previous daemon "
+                        "life; their reports are byte-identical to an "
+                        "uninterrupted run")
+    p.set_defaults(fn=cmd_serve)
+
+    from repro.service.protocol import JOB_KINDS
+
+    p = sub.add_parser(
+        "submit", help="submit a campaign job to the service")
+    p.add_argument("kind", choices=JOB_KINDS,
+                   help="campaign kind to run")
+    add_socket_opt(p)
+    p.add_argument("--params", metavar="JSON", default="{}",
+                   help="campaign parameters as a JSON object, e.g. "
+                        "'{\"workloads\": [\"matmul\"]}' — see "
+                        "docs/service.md for each kind's parameters")
+    p.add_argument("--deadline", type=_positive_float, default=None,
+                   metavar="SECS",
+                   help="wall-clock budget from admission; an expired job "
+                        "returns a structured partial report "
+                        "(default: none)")
+    p.add_argument("--detach", action="store_true",
+                   help="exit after admission (prints the job id); poll "
+                        "with `repro status`")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="query the campaign service")
+    add_socket_opt(p)
+    p.add_argument("--job", metavar="ID", default=None,
+                   help="show one job's detail (including its report when "
+                        "terminal) instead of the overview")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw response object")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser(
+        "drain",
+        help="gracefully drain the service: finish in-flight jobs, stop")
+    add_socket_opt(p)
+    p.set_defaults(fn=cmd_drain)
 
     p = sub.add_parser("workloads", help="list the workload suite")
     p.set_defaults(fn=cmd_workloads)

@@ -458,6 +458,7 @@ def run_sharded(worker: Callable[[Any], Any], tasks: Sequence[Any],
                 task_chaos: Optional[ChaosConfig] = None,
                 lease_ttl: float = 15.0, resume: bool = False,
                 salvage: bool = True,
+                deadline: Optional[float] = None,
                 progress: Optional[Callable[[str], None]] = None,
                 ) -> ShardReport:
     """Run ``tasks`` split across ``shards`` lease-guarded worker processes.
@@ -475,6 +476,11 @@ def run_sharded(worker: Callable[[Any], Any], tasks: Sequence[Any],
     ``resume=False`` wipes any prior shard journals in ``campaign_dir``;
     ``resume=True`` adopts them (the coordinator itself can be SIGKILL'd
     and resumed, exactly like a single-journal campaign).
+
+    ``deadline`` bounds the whole sharded campaign in wall-clock seconds:
+    when it expires the coordinator SIGKILLs every shard, skips salvage,
+    and degrades each unjournaled task to a structured ``kind:"deadline"``
+    failure — journaled work survives for a later ``resume=True`` run.
     """
     if len(keys) != len(tasks):
         raise ValueError("keys and tasks must align")
@@ -538,11 +544,34 @@ def run_sharded(worker: Callable[[Any], Any], tasks: Sequence[Any],
             progress(f"shard {j} died (exit {code}); retry budget "
                      f"exhausted — survivors or salvage will adopt it")
 
+    deadline_at = (time.monotonic() + deadline
+                   if deadline is not None else None)
+    expired = False
     try:
         for j in range(shards):
             spawn(j)
         while True:
             now = time.monotonic()
+            if deadline_at is not None and now >= deadline_at:
+                expired = True
+                progress(f"deadline: campaign budget of {deadline:.1f}s "
+                         f"exhausted — killing {shards} shard(s)")
+                for st in states:
+                    st.respawn_at = None
+                    if st.proc is not None and st.proc.is_alive():
+                        try:
+                            os.kill(st.proc.pid, signal.SIGKILL)
+                        except (OSError, TypeError):
+                            pass
+                for st in states:
+                    if st.proc is not None:
+                        st.proc.join(timeout=5)
+                        try:
+                            st.proc.close()
+                        except Exception:
+                            pass
+                        st.proc = None
+                break
             live = False
             for j, st in enumerate(states):
                 if st.proc is not None:
@@ -591,6 +620,15 @@ def run_sharded(worker: Callable[[Any], Any], tasks: Sequence[Any],
     report.completed, report.provenance = _merge_journals(
         campaign_dir, shards, fingerprint, facets, report.stats)
     missing = [k for k in keys if k not in report.completed]
+    if expired:
+        for k in missing:
+            report.failures[k] = {
+                "kind": "deadline", "attempts": 0,
+                "error": f"deadline expired: campaign budget of "
+                         f"{deadline:.1f}s exhausted before this task "
+                         f"was journaled"}
+        report.stats.failed_tasks = len(report.failures)
+        return report
     if missing and salvage:
         spec_proto = ShardSpec(
             campaign_dir=str(campaign_dir), shard=0, shards=shards,

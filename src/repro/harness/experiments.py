@@ -218,6 +218,11 @@ class Lab:
         todo: list[tuple[str, str]] = []
         for wname, key in cells:
             jkey = f"{wname}/{key}"
+            if (wname, key) in self.errors:
+                # Pre-failed cell (e.g. the campaign service's circuit
+                # breaker): never runs, never journaled — a later run with
+                # the circuit closed must be free to compute it.
+                continue
             if journal is not None and jkey in journal.completed:
                 result, cell_error = journal.completed[jkey]
                 self.resumed.add((wname, key))
@@ -232,7 +237,7 @@ class Lab:
 
         restored = len(cells) - len(todo)
         supervised = (jobs > 1 or chaos is not None
-                      or (policy is not None and policy.timeout is not None))
+                      or (policy is not None and policy.preemptive))
         if not supervised:
             done = restored
             try:

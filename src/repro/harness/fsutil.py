@@ -89,7 +89,10 @@ class LeaseInfo:
     owner: str      # unique owner token ("host:pid:uuid")
     host: str
     pid: int
-    stamp: float    # unix time of the last heartbeat
+    stamp: float    # unix time of the last heartbeat (diagnostics only)
+    #: monotonic-clock reading at the last heartbeat — the staleness basis.
+    #: ``None`` for lease files written by older code (wall-clock only).
+    mono: Optional[float] = None
 
 
 class Lease:
@@ -118,6 +121,14 @@ class Lease:
     ownership with :meth:`held` after acquiring and on every heartbeat.
     """
 
+    #: clock used for heartbeat staleness — monotonic, so a wall-clock jump
+    #: (NTP step, manual reset) can never mass-expire live leases.  Class
+    #: attribute so tests can substitute a mocked clock.  CLOCK_MONOTONIC is
+    #: system-wide per boot, so readings compare across processes on a host;
+    #: cross-boot leases are caught by the dead-pid check and the
+    #: negative-delta guard in :meth:`is_stale`.
+    _monotonic = staticmethod(time.monotonic)
+
     def __init__(self, path: Path | str, ttl: float = 15.0,
                  owner: Optional[str] = None) -> None:
         self.path = Path(path)
@@ -133,16 +144,27 @@ class Lease:
         garbage lease is treated as absent — it guards nothing)."""
         try:
             record = json.loads(Path(path).read_text(encoding="utf-8"))
+            mono = record.get("mono")
             return LeaseInfo(owner=record["owner"], host=record["host"],
                              pid=int(record["pid"]),
-                             stamp=float(record["stamp"]))
+                             stamp=float(record["stamp"]),
+                             mono=float(mono) if mono is not None else None)
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
     def is_stale(self, info: Optional[LeaseInfo],
                  now: Optional[float] = None) -> bool:
         """A missing lease is stale; so is a dead same-host owner or one
-        whose heartbeat is older than the TTL."""
+        whose heartbeat is older than the TTL.
+
+        Heartbeat age is measured on the *monotonic* clock (``now``, when
+        given, is a monotonic reading): stepping the wall clock forward
+        cannot mass-expire live leases, and stepping it back cannot keep a
+        dead one alive.  The wall-clock ``stamp`` in the file is
+        diagnostics only.  A negative monotonic delta means the lease was
+        written in a different boot — stale.  Legacy leases without a
+        monotonic reading fall back to the wall-clock stamp.
+        """
         if info is None:
             return True
         if info.host == self.host:
@@ -152,13 +174,16 @@ class Lease:
                 return True
             except OSError:
                 pass  # e.g. EPERM: the pid exists, trust the heartbeat
-        return ((now if now is not None else time.time())
-                - info.stamp > self.ttl)
+        if info.mono is None:  # legacy lease file: wall clock is all we have
+            return time.time() - info.stamp > self.ttl
+        delta = (now if now is not None else self._monotonic()) - info.mono
+        return delta > self.ttl or delta < 0
 
     # --------------------------------------------------------------- protocol
     def _payload(self) -> bytes:
         return (json.dumps({"owner": self.owner, "host": self.host,
-                            "pid": self.pid, "stamp": time.time()})
+                            "pid": self.pid, "stamp": time.time(),
+                            "mono": self._monotonic()})
                 + "\n").encode("utf-8")
 
     def try_acquire(self) -> bool:

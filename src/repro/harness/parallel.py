@@ -100,10 +100,10 @@ def run_tasks(worker: Callable[[Any], Any], tasks: Sequence[Any],
     """Run ``worker`` over ``tasks``, returning outcomes in task order.
 
     ``worker`` must be a module-level function and each task picklable when
-    execution crosses a process boundary (``jobs > 1``, or a ``policy``
-    with a wall-clock timeout, or ``chaos``).  Worker processes use the
-    ``fork`` start method where available so they inherit imported modules
-    instead of re-importing them.
+    execution crosses a process boundary (``jobs > 1``, a ``policy`` with a
+    wall-clock timeout or batch deadline, or ``chaos``).  Worker processes
+    use the ``fork`` start method where available so they inherit imported
+    modules instead of re-importing them.
 
     ``policy`` is a :class:`repro.harness.resilience.SupervisionPolicy`
     (per-task timeouts, bounded retries with seeded backoff); ``chaos`` a
@@ -118,7 +118,7 @@ def run_tasks(worker: Callable[[Any], Any], tasks: Sequence[Any],
     :class:`repro.harness.resilience.CampaignInterrupted`.
     """
     needs_pool = ((jobs > 1 and len(tasks) > 1) or chaos is not None
-                  or (policy is not None and policy.timeout is not None))
+                  or (policy is not None and policy.preemptive))
     if not needs_pool:
         return _run_serial(worker, tasks, on_result)
     from repro.harness.resilience import run_supervised

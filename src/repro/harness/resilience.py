@@ -108,6 +108,13 @@ class SupervisionPolicy:
     drawn from a generator seeded by ``(seed, task index, attempt)`` — fully
     deterministic, so a retried campaign replays the exact same schedule and
     stays byte-identical.
+
+    ``deadline`` bounds the whole *batch*, not one task: once that many
+    wall-clock seconds have elapsed since the pool started, in-flight tasks
+    are cancelled (their workers killed) and every unfinished task is
+    recorded as a structured ``kind:"deadline"`` failure instead of running.
+    This is the cancellation path the campaign service's per-request
+    deadlines propagate into.
     """
 
     timeout: Optional[float] = None   # per-task wall-clock seconds
@@ -116,9 +123,17 @@ class SupervisionPolicy:
     backoff_cap: float = 30.0
     jitter: float = 0.5               # max extra delay, as a fraction
     seed: int = 0                     # jitter determinism
+    deadline: Optional[float] = None  # whole-batch wall-clock seconds
 
     def attempts_allowed(self) -> int:
         return self.retries + 1
+
+    @property
+    def preemptive(self) -> bool:
+        """Does this policy need capabilities only a child process pool can
+        provide (killing a task mid-run)?  True when a per-task timeout or
+        a batch deadline is set."""
+        return self.timeout is not None or self.deadline is not None
 
     def delay(self, index: int, attempt: int) -> float:
         """Seconds to wait before re-dispatching ``index`` after failed
@@ -278,7 +293,10 @@ def run_supervised(worker: Callable[[Any], Any], tasks: Sequence[Any],
     seeded exponential backoff until the retry budget runs out, at which
     point the task's outcome records the failure (kind ``timeout`` /
     ``killed`` / ``exception`` / ``unpicklable``) for the caller's
-    graceful-degradation machinery.  Outcomes return in task order.
+    graceful-degradation machinery.  A policy ``deadline`` cancels the whole
+    batch when it expires: busy workers are killed and every unfinished task
+    degrades to a ``kind:"deadline"`` outcome.  Outcomes return in task
+    order.
     """
     policy = policy or SupervisionPolicy()
     total = len(tasks)
@@ -289,6 +307,8 @@ def run_supervised(worker: Callable[[Any], Any], tasks: Sequence[Any],
     ready: deque[tuple[int, int]] = deque((i, 1) for i in range(total))
     delayed: list[tuple[float, int, int]] = []  # (ready_at, index, attempt)
     slots: list[_Slot] = []
+    batch_deadline = (time.monotonic() + policy.deadline
+                      if policy.deadline is not None else None)
 
     def finish(outcome: TaskOutcome) -> None:
         results[outcome.index] = outcome
@@ -337,20 +357,49 @@ def run_supervised(worker: Callable[[Any], Any], tasks: Sequence[Any],
                     index, kind="unpicklable", attempts=attempt,
                     error=f"task not picklable: {type(err).__name__}: {err}"))
 
+    def expire_batch() -> None:
+        """The batch deadline passed: record every unfinished task as a
+        structured ``deadline`` failure.  Teardown of the (possibly still
+        busy) workers is the ``finally`` block's job."""
+        attempts_seen = {index: attempt - 1 for index, attempt in ready}
+        for _, index, attempt in delayed:
+            attempts_seen[index] = attempt - 1
+        running = {slot.index: slot.attempt for slot in slots if slot.busy}
+        attempts_seen.update(running)
+        for index in range(total):
+            if index in results:
+                continue
+            finish(TaskOutcome(
+                index, kind="deadline",
+                attempts=attempts_seen.get(index, 0),
+                error=f"deadline expired: batch budget of "
+                      f"{policy.deadline:.1f}s exhausted "
+                      + ("mid-task" if index in running
+                         else "before the task ran")))
+
     try:
         slots.extend(_Slot(ctx, worker, chaos)
                      for _ in range(max(1, min(jobs, total))))
         while len(results) < total:
+            now = time.monotonic()
+            if batch_deadline is not None and now >= batch_deadline:
+                expire_batch()
+                break
             dispatch()
             busy = [s for s in slots if s.busy]
             now = time.monotonic()
             if not busy:
                 if delayed:
-                    time.sleep(max(0.0, delayed[0][0] - now))
+                    wake_at = delayed[0][0]
+                    if batch_deadline is not None:
+                        wake_at = min(wake_at, batch_deadline)
+                    time.sleep(max(0.0, wake_at - now))
                 continue
             waits = [s.deadline - now for s in busy if s.deadline is not None]
             if delayed:
                 waits.append(delayed[0][0] - now)
+            if batch_deadline is not None:
+                waits.append(batch_deadline - now)
             wait_for = max(0.0, min(waits)) if waits else None
             arrived = _conn_wait([s.conn for s in busy], wait_for)
             now = time.monotonic()

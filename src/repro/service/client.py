@@ -1,0 +1,98 @@
+"""Thin blocking clients for the campaign service.
+
+These are the whole of what ``repro submit`` / ``repro status`` /
+``repro drain`` do: connect to the Unix socket, write one request line,
+read response lines.  No retries, no state — the daemon owns all of that.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, Optional
+
+from repro.service.protocol import encode
+
+__all__ = ["ServiceError", "request", "submit", "status", "drain"]
+
+
+class ServiceError(RuntimeError):
+    """The service could not be reached or answered with garbage."""
+
+
+def request(socket_path: str, req: dict,
+            timeout: Optional[float] = None) -> Iterator[dict]:
+    """Send one request; yield response objects until the daemon closes.
+
+    Connection-level failures become :class:`ServiceError` with the socket
+    path in the message — 'connection refused' alone helps nobody.
+    """
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout)
+        try:
+            sock.connect(socket_path)
+            sock.sendall(encode(req))
+        except OSError as err:
+            reason = err.strerror or str(err)
+            raise ServiceError(
+                f"cannot reach the service at {socket_path}: {reason} "
+                f"(is `repro serve` running?)") from None
+        try:
+            with sock.makefile("rb") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        raise ServiceError(
+                            f"garbage from the service at {socket_path}: "
+                            f"{line[:120]!r}") from None
+        except ConnectionError:
+            # E.g. a daemon SIGKILLed mid-response, or a stale socket
+            # whose backlog accepted us just before the listener died.
+            raise ServiceError(
+                f"connection to the service at {socket_path} was reset "
+                f"mid-stream") from None
+    finally:
+        sock.close()
+
+
+def submit(socket_path: str, kind: str, params: Optional[dict] = None,
+           deadline: Optional[float] = None, wait: bool = True,
+           timeout: Optional[float] = None
+           ) -> tuple[dict, Optional[dict]]:
+    """Submit a job.  Returns ``(admission response, result or None)``.
+
+    The result is ``None`` when the job was rejected or ``wait`` is off.
+    """
+    req = {"op": "submit", "kind": kind, "params": params or {},
+           "deadline": deadline, "wait": wait}
+    responses = request(socket_path, req, timeout=timeout)
+    first = next(responses, None)
+    if first is None:
+        raise ServiceError(f"the service at {socket_path} closed the "
+                           f"connection without answering")
+    if first.get("event") != "accepted" or not wait:
+        return first, None
+    return first, next(responses, None)
+
+
+def status(socket_path: str, job: Optional[str] = None,
+           timeout: Optional[float] = None) -> dict:
+    req = {"op": "status", "job": job}
+    result = next(request(socket_path, req, timeout=timeout), None)
+    if result is None:
+        raise ServiceError(f"the service at {socket_path} closed the "
+                           f"connection without answering")
+    return result
+
+
+def drain(socket_path: str, timeout: Optional[float] = None) -> dict:
+    result = next(request(socket_path, {"op": "drain"}, timeout=timeout),
+                  None)
+    if result is None:
+        raise ServiceError(f"the service at {socket_path} closed the "
+                           f"connection without answering")
+    return result

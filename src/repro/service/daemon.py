@@ -1,0 +1,532 @@
+"""The campaign service daemon: ``python -m repro serve``.
+
+A long-running asyncio process that turns bench/verify/fuzz campaigns into
+queued jobs over a Unix socket (newline-delimited JSON, see
+:mod:`repro.service.protocol`).  The design goals, in order:
+
+* **bounded memory** — admission is gated by ``queue_bound``: at most that
+  many jobs may be admitted-but-not-terminal at once.  Overload is a
+  structured ``rejected: busy`` response, never an unbounded queue.
+* **no lost work** — every job journals its cells as it runs; a runner
+  killed at any instant (chaos, OOM, deadline backstop) is respawned
+  against the journal and converges to the same report bytes.  A daemon
+  killed at any instant leaves ``job.json`` records that ``serve
+  --resume`` re-adopts.
+* **bounded latency** — a per-request deadline becomes the batch deadline
+  of the runner's :class:`SupervisionPolicy`, so expiry produces a
+  structured partial report (every unfinished cell ``kind: deadline``)
+  rather than a hung job; a SIGKILL backstop covers a runner too wedged
+  to notice.
+* **failure isolation** — a per-configuration circuit breaker
+  (:mod:`repro.service.breaker`) stops one pathological config cell from
+  burning every job's retry budget; open cells degrade to deterministic
+  skips, and half-open probes restore them.
+* **graceful drain** — SIGTERM (or the ``drain`` op) stops admission,
+  finishes what is queued and running, prints a one-line summary, and
+  exits 0.
+
+Jobs execute strictly in admission order, one at a time — parallelism
+lives *inside* a job (the supervised worker pool), where it is already
+proven byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.stats import ServiceStats
+from repro.service.breaker import TRIPPING_KINDS, CircuitBreaker
+from repro.service.jobs import (
+    JobRecord, admission_error, breaker_cells, cell_key, load_jobs,
+    next_job_id, run_job,
+)
+from repro.service.protocol import (
+    TERMINAL_STATES, decode, encode, response, validate_submit,
+)
+
+__all__ = ["CampaignService", "ServiceChaosConfig"]
+
+
+@dataclass
+class ServiceChaosConfig:
+    """Seeded fault injection for the service-layer chaos self-test.
+
+    Whether a runner attempt gets SIGKILLed — and when — is a pure
+    function of ``(seed, job id, attempt)``, so a chaos run is exactly
+    reproducible.  Kills only fire while ``attempt <= max_faults``; with
+    ``max_faults`` at or below the daemon's runner retry budget every job
+    eventually gets an unkilled attempt, which (with the journal carrying
+    earlier attempts' cells) is what lets the self-test demand reports
+    byte-identical to a clean serial oracle.
+    """
+
+    seed: int
+    max_faults: int = 2
+    #: kill delay band in seconds — early enough to land mid-campaign
+    kill_after: tuple = (0.05, 0.6)
+
+    def kill_delay(self, job_id: str, attempt: int) -> Optional[float]:
+        if attempt > self.max_faults:
+            return None
+        rng = random.Random(f"service:{self.seed}:{job_id}:{attempt}")
+        if rng.random() >= 0.8:
+            return None
+        lo, hi = self.kill_after
+        return lo + (hi - lo) * rng.random()
+
+
+class _Job:
+    """In-memory state of one admitted job."""
+
+    def __init__(self, record: JobRecord, job_dir: Path) -> None:
+        self.record = record
+        self.dir = job_dir
+        self.admitted_mono = time.monotonic()
+        self.done = asyncio.Event()
+        self.report: Optional[dict] = None
+
+
+class CampaignService:
+    #: extra seconds past a job's deadline before the backstop SIGKILL —
+    #: the in-runner batch deadline should always fire first and produce
+    #: the structured partial report; the backstop only reaps a runner too
+    #: wedged to run its own expiry path
+    DEADLINE_GRACE = 10.0
+
+    def __init__(self, socket_path: str, state_dir: str, *,
+                 queue_bound: int = 4, runtime: Optional[dict] = None,
+                 chaos: Optional[ServiceChaosConfig] = None,
+                 resume: bool = False, breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0,
+                 banner: bool = True) -> None:
+        self.socket_path = str(socket_path)
+        self.state_dir = Path(state_dir)
+        self.queue_bound = queue_bound
+        self.runtime = dict(runtime or {})
+        self.chaos = chaos
+        self.resume = resume
+        self.banner = banner
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      cooldown=breaker_cooldown)
+        self.stats = ServiceStats()
+        self.jobs: dict[str, _Job] = {}
+        self._pending = 0  # admitted but not yet terminal
+        self._draining = False
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_requested: Optional[asyncio.Event] = None
+        self._drained: Optional[asyncio.Event] = None
+        self._conns: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------ lifecycle
+    async def run(self) -> int:
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._drain_requested = asyncio.Event()
+        self._drained = asyncio.Event()
+        # Signal handlers before anything slow (orphan fencing, job
+        # re-adoption): a SIGTERM racing startup must drain, not kill.
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.begin_drain)
+        (self.state_dir / "jobs").mkdir(parents=True, exist_ok=True)
+        resumed = self._adopt_jobs() if self.resume else 0
+        self.stats.resumed_jobs = resumed
+
+        socket_path = Path(self.socket_path)
+        socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if socket_path.exists():
+            socket_path.unlink()  # stale socket from a killed daemon
+        server = await asyncio.start_unix_server(self._on_connection,
+                                                 path=self.socket_path)
+        if self.banner:
+            print(f"serve: socket={self.socket_path} "
+                  f"queue-bound={self.queue_bound} "
+                  f"jobs={self.runtime.get('jobs', 1)} "
+                  f"cache={self._cache_label()} resumed={resumed}",
+                  file=sys.stderr, flush=True)
+
+        consumer = asyncio.create_task(self._consume())
+        await self._drain_requested.wait()
+        await self._queue.put(None)  # sentinel: behind all admitted jobs
+        await consumer
+        server.close()
+        await server.wait_closed()
+        self._drained.set()
+        if self._conns:  # let drain/status responders flush
+            await asyncio.wait(self._conns, timeout=5)
+        try:
+            socket_path.unlink()
+        except OSError:
+            pass
+        s = self.stats
+        print(f"serve: drained — admitted={s.admitted} "
+              f"rejected={s.rejected} completed={s.completed} "
+              f"failed={s.failed} deadline-expired={s.deadline_expired} "
+              f"breaker-opened={self.breaker.opened_total}",
+              file=sys.stderr, flush=True)
+        return 0
+
+    def begin_drain(self) -> None:
+        self._draining = True
+        self._drain_requested.set()
+
+    def _cache_label(self) -> str:
+        if self.runtime.get("no_cache"):
+            return "off"
+        from repro.harness.cache import CompileCache
+        return str(CompileCache(self.runtime.get("cache_dir")).cache_dir)
+
+    def _adopt_jobs(self) -> int:
+        """Re-queue every non-terminal job from a previous daemon life.
+
+        Their journals carry what earlier runners finished, so the
+        re-adopted report is byte-identical to one from an uninterrupted
+        daemon.  Deadline budgets restart from re-admission — the original
+        admission clock died with the original daemon.
+        """
+        adopted = 0
+        for record in load_jobs(self.state_dir):
+            job = _Job(record, self.state_dir / "jobs" / record.id)
+            if record.state in TERMINAL_STATES:
+                job.report = self._read_report(job)
+                job.done.set()
+                self.jobs[record.id] = job
+                continue
+            self._fence_orphan_runner(job)
+            record.state = "queued"
+            record.save(job.dir)
+            self.jobs[record.id] = job
+            self._pending += 1
+            self._queue.put_nowait(job)
+            adopted += 1
+        return adopted
+
+    def _fence_orphan_runner(self, job: _Job) -> None:
+        """Kill a runner group left over from a previous daemon life.
+
+        A SIGKILLed daemon cannot clean up its children, so a job being
+        re-adopted may still have its old runner appending to the journal.
+        Two writers would corrupt it; fence the orphan before spawning a
+        replacement.  The pid file is best-effort — a recycled pid is only
+        killed when it still leads a process group of ours.
+        """
+        pid_path = job.dir / "runner.pid"
+        try:
+            pid = int(pid_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        try:
+            if os.getpgid(pid) == pid:  # still the group leader we made
+                os.killpg(pid, signal.SIGKILL)
+        except (OSError, ValueError):
+            pass  # long dead
+        try:
+            pid_path.unlink()
+        except OSError:
+            pass
+
+    # ----------------------------------------------------------- connections
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conns.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # the client hung up mid-stream; its jobs keep running
+        finally:
+            self._conns.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        line = await reader.readline()
+        if not line:
+            return
+        try:
+            req = decode(line)
+        except ValueError as err:
+            await self._send(writer, response("error", message=str(err)))
+            return
+        op = req.get("op")
+        if op == "submit":
+            await self._op_submit(req, writer)
+        elif op == "status":
+            await self._op_status(req, writer)
+        elif op == "drain":
+            await self._op_drain(writer)
+        else:
+            await self._send(writer, response(
+                "error", message=f"unknown op {op!r}"))
+
+    async def _send(self, writer, obj: dict) -> None:
+        writer.write(encode(obj))
+        await writer.drain()
+
+    # ------------------------------------------------------------------- ops
+    async def _op_submit(self, req: dict, writer) -> None:
+        reason = validate_submit(req)
+        if reason is None:
+            reason = admission_error(req["kind"], req.get("params") or {})
+        if reason is not None:
+            self.stats.rejected_invalid += 1
+            await self._send(writer, response(
+                "rejected", reason="invalid", message=reason))
+            return
+        if self._draining:
+            self.stats.rejected_draining += 1
+            await self._send(writer, response(
+                "rejected", reason="draining",
+                message="service is draining; not admitting new jobs"))
+            return
+        if self._pending >= self.queue_bound:
+            self.stats.rejected_busy += 1
+            await self._send(writer, response(
+                "rejected", reason="busy", queued=self._pending,
+                bound=self.queue_bound,
+                message=f"admission queue full "
+                        f"({self._pending}/{self.queue_bound} jobs "
+                        f"in flight); retry after a job completes"))
+            return
+
+        record = JobRecord(
+            id=f"job-{next_job_id(self.state_dir):06d}",
+            kind=req["kind"], params=req.get("params") or {},
+            deadline=req.get("deadline"))
+        job = _Job(record, self.state_dir / "jobs" / record.id)
+        job.dir.mkdir(parents=True, exist_ok=True)
+        record.save(job.dir)
+        self.jobs[record.id] = job
+        self._pending += 1
+        self.stats.admitted += 1
+        await self._queue.put(job)
+        await self._send(writer, response(
+            "accepted", job=record.id, queued=self._pending))
+        if req.get("wait", True):
+            await job.done.wait()
+            await self._send(writer, self._result_event(job))
+
+    def _result_event(self, job: _Job) -> dict:
+        report = job.report or {}
+        return response(
+            "result", job=job.record.id, state=job.record.state,
+            ok=bool(report.get("ok")), text=report.get("text", ""),
+            failures=report.get("failures", []),
+            attempts=job.record.attempts, error=job.record.error)
+
+    async def _op_status(self, req: dict, writer) -> None:
+        job_id = req.get("job")
+        if job_id is not None:
+            job = self.jobs.get(job_id)
+            if job is None:
+                await self._send(writer, response(
+                    "error", message=f"unknown job {job_id!r}"))
+                return
+            await self._send(writer, self._result_event(job))
+            return
+        jobs = [{"id": j.record.id, "kind": j.record.kind,
+                 "state": j.record.state, "attempts": j.record.attempts}
+                for _, j in sorted(self.jobs.items())]
+        await self._send(writer, response(
+            "status", jobs=jobs, draining=self._draining,
+            breaker_open=self.breaker.open_cells(),
+            stats=self._stats_snapshot()))
+
+    async def _op_drain(self, writer) -> None:
+        self.begin_drain()
+        await self._drained.wait()
+        await self._send(writer, response(
+            "drained", stats=self._stats_snapshot()))
+
+    def _stats_snapshot(self) -> dict:
+        self.stats.breaker_opened = self.breaker.opened_total
+        self.stats.breaker_half_open_probes = self.breaker.half_open_probes
+        self.stats.breaker_closed = self.breaker.closed_total
+        return self.stats.snapshot()
+
+    # ------------------------------------------------------------------ jobs
+    async def _consume(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is None:
+                return
+            try:
+                await self._run_job(job)
+            except Exception as err:  # noqa: BLE001 — one job, not the daemon
+                job.record.state = "failed"
+                job.record.error = f"{type(err).__name__}: {err}"
+                job.record.save(job.dir)
+            self._pending -= 1
+            self._count_terminal(job.record.state)
+            job.done.set()
+
+    def _count_terminal(self, state: str) -> None:
+        if state == "done":
+            self.stats.completed += 1
+        elif state == "deadline":
+            self.stats.deadline_expired += 1
+        else:
+            self.stats.failed += 1
+
+    def _read_report(self, job: _Job) -> Optional[dict]:
+        try:
+            return json.loads(
+                (job.dir / "report.json").read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    async def _run_job(self, job: _Job) -> None:
+        record = job.record
+        record.state = "running"
+        record.save(job.dir)
+        deadline_at = (job.admitted_mono + record.deadline
+                       if record.deadline is not None else None)
+        skip = self._breaker_skips(record)
+        retries = self.runtime.get("retries")
+        budget = retries if retries is not None else 2
+        report_path = job.dir / "report.json"
+
+        while True:
+            if report_path.exists():
+                # Written by a previous attempt (killed after its last
+                # act) or a previous daemon life: adopt as-is.
+                report = self._read_report(job)
+                if report is not None:
+                    break
+                report_path.unlink()  # unreadable: recompute
+            remaining = None
+            if deadline_at is not None:
+                remaining = max(deadline_at - time.monotonic(), 0.0)
+            record.attempts += 1
+            record.save(job.dir)
+            await self._spawn_runner(job, remaining, skip)
+            if report_path.exists():
+                report = self._read_report(job)
+                if report is not None:
+                    break
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                report = {"state": "deadline", "ok": False, "text": "",
+                          "failures": [{"key": "*", "kind": "deadline",
+                                        "attempts": record.attempts,
+                                        "error": "runner killed at the "
+                                                 "deadline backstop"}],
+                          "completed": [],
+                          "error": "deadline expired before the runner "
+                                   "produced a report"}
+                break
+            if record.attempts > budget:
+                report = {"state": "failed", "ok": False, "text": "",
+                          "failures": [], "completed": [],
+                          "error": f"runner died {record.attempts} time(s) "
+                                   f"without producing a report "
+                                   f"(retry budget {budget} exhausted)"}
+                break
+            self.stats.runner_restarts += 1
+
+        job.report = report
+        self._account_breaker(report)
+        record.state = report.get("state", "failed")
+        record.error = report.get("error")
+        record.save(job.dir)
+
+    def _breaker_skips(self, record: JobRecord) -> list[str]:
+        skip: list[str] = []
+        for cell, jkeys in sorted(
+                breaker_cells(record.kind, record.params).items()):
+            if not self.breaker.allow(cell):
+                skip.extend(jkeys)
+        return sorted(skip)
+
+    def _account_breaker(self, report: dict) -> None:
+        for failure in report.get("failures", ()):
+            kind = failure.get("kind")
+            if kind in TRIPPING_KINDS:
+                self.breaker.record_failure(cell_key(failure["key"]), kind)
+        for jkey in report.get("completed", ()):
+            self.breaker.record_success(cell_key(jkey))
+
+    async def _spawn_runner(self, job: _Job, remaining: Optional[float],
+                            skip: list[str]) -> None:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-fork platforms
+            ctx = multiprocessing.get_context()
+        runtime = dict(self.runtime)
+        runtime["deadline"] = remaining
+        runtime["skip"] = skip
+        # Not a daemon process: the runner spawns its own supervised pool.
+        proc = ctx.Process(target=run_job,
+                           args=(str(job.dir), job.record.kind,
+                                 job.record.params, runtime))
+        proc.start()
+        try:
+            # Mirror the child's own setpgid to close the race where a
+            # kill timer fires before the child reaches it.
+            os.setpgid(proc.pid, proc.pid)
+        except OSError:
+            pass  # the child beat us to it, or already exited
+        pid_path = job.dir / "runner.pid"
+        pid_path.write_text(str(proc.pid), encoding="utf-8")
+        loop = asyncio.get_running_loop()
+        exited = loop.create_future()
+        loop.add_reader(proc.sentinel,
+                        lambda: exited.done() or exited.set_result(None))
+        timers = []
+        if self.chaos is not None:
+            delay = self.chaos.kill_delay(job.record.id, job.record.attempts)
+            if delay is not None:
+                timers.append(loop.call_later(
+                    delay, self._kill_runner, proc, "chaos"))
+        if remaining is not None:
+            timers.append(loop.call_later(
+                remaining + self.DEADLINE_GRACE,
+                self._kill_runner, proc, "deadline backstop"))
+        try:
+            while True:
+                done, _ = await asyncio.wait({exited}, timeout=1.0)
+                if done:
+                    break
+                # Fallback: a SIGKILLed runner's sentinel can be held
+                # open by an orphaned grandchild that inherited the pipe;
+                # is_alive() reaps via waitpid and sees through that.
+                if not proc.is_alive():
+                    break
+        finally:
+            loop.remove_reader(proc.sentinel)
+            for timer in timers:
+                timer.cancel()
+            proc.join()
+            try:
+                proc.close()
+            except Exception:  # pragma: no cover
+                pass
+            try:
+                pid_path.unlink()
+            except OSError:
+                pass
+
+    def _kill_runner(self, proc, why: str) -> None:
+        if why == "chaos":
+            self.stats.chaos_kills += 1
+        if proc.pid is None:
+            return
+        try:  # the whole runner group: the campaign pool dies with it
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (OSError, ValueError):
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (OSError, ValueError):  # already gone
+                pass

@@ -1,0 +1,345 @@
+"""Job state and the runner child of the campaign service.
+
+A *job* is one queued campaign (bench, verify, or fuzz).  Everything the
+daemon knows about a job lives under its own directory,
+``<state-dir>/jobs/<id>/``:
+
+* ``job.json`` — the admission record (kind, params, deadline) plus the
+  current lifecycle state, rewritten atomically on every transition;
+* ``journal`` — the campaign's crash-safe checkpoint journal
+  (:class:`repro.harness.resilience.Journal`), written by the runner as
+  cells complete.  A runner killed mid-job resumes from it, so the final
+  report converges to the same bytes however many times the runner died;
+* ``report.json`` — the terminal report, written atomically by the runner
+  as its very last act.  Its presence *is* the signal that the job's
+  computation finished; the daemon never parses a half-written one.
+
+The runner is a forked child (:func:`run_job`) so a hung or dying campaign
+can be SIGKILLed without taking the daemon down, and so ``serve --resume``
+can re-adopt a half-finished job by simply spawning a fresh runner against
+the surviving journal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.fsutil import atomic_write_json
+
+JOB_SCHEMA = "repro-service-job/1"
+REPORT_SCHEMA = "repro-service-report/1"
+
+
+def cell_key(jkey: str) -> str:
+    """The circuit-breaker cell of a journal key.
+
+    Journal keys are ``workload/config`` (bench) or ``workload/model``
+    (verify); the breaker tracks the *configuration* axis — the expensive
+    one that makes workers time out — so the cell is the last component.
+    """
+    return jkey.rsplit("/", 1)[-1]
+
+
+@dataclass
+class JobRecord:
+    """The durable admission record of one job (``job.json``)."""
+
+    id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    deadline: Optional[float] = None  # seconds from admission, None = none
+    state: str = "queued"  # queued | running | done | failed | deadline
+    attempts: int = 0  # runner processes spawned for this job
+    error: Optional[str] = None
+
+    def save(self, job_dir: Path) -> None:
+        atomic_write_json(job_dir / "job.json", {
+            "schema": JOB_SCHEMA, "id": self.id, "kind": self.kind,
+            "params": self.params, "deadline": self.deadline,
+            "state": self.state, "attempts": self.attempts,
+            "error": self.error,
+        })
+
+    @classmethod
+    def load(cls, job_dir: Path) -> Optional["JobRecord"]:
+        try:
+            record = json.loads(
+                (job_dir / "job.json").read_text(encoding="utf-8"))
+            return cls(id=record["id"], kind=record["kind"],
+                       params=record.get("params") or {},
+                       deadline=record.get("deadline"),
+                       state=record.get("state", "queued"),
+                       attempts=int(record.get("attempts", 0)),
+                       error=record.get("error"))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+
+def load_jobs(state_dir: Path) -> list[JobRecord]:
+    """Every job record under ``state_dir``, in admission (id) order."""
+    jobs_dir = Path(state_dir) / "jobs"
+    if not jobs_dir.is_dir():
+        return []
+    records = []
+    for job_dir in sorted(jobs_dir.iterdir()):
+        record = JobRecord.load(job_dir)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def next_job_id(state_dir: Path) -> int:
+    """First unused numeric job id (ids are ``job-%06d``)."""
+    highest = 0
+    jobs_dir = Path(state_dir) / "jobs"
+    if jobs_dir.is_dir():
+        for job_dir in jobs_dir.iterdir():
+            name = job_dir.name
+            if name.startswith("job-") and name[4:].isdigit():
+                highest = max(highest, int(name[4:]))
+    return highest + 1
+
+
+# -------------------------------------------------------------- admission
+def admission_error(kind: str, params: dict) -> Optional[str]:
+    """Reject bad campaign parameters at admission, not in the runner.
+
+    A deterministic construction error (unknown workload, unknown model)
+    must never reach the runner: the runner's retry budget exists for
+    crashes and kills, and burning it on a request that could never run
+    would also mis-train the circuit breaker.
+    """
+    from repro.workloads import all_workloads
+
+    if kind == "bench":
+        known = {w.name for w in all_workloads()}
+        unknown = sorted(set(params.get("workloads") or ()) - known)
+        if unknown:
+            return f"unknown workload(s): {', '.join(unknown)}"
+        return None
+    try:
+        if kind == "verify":
+            from repro.verify import VerifyCampaign
+            VerifyCampaign(workload_names=params.get("workloads") or None,
+                           model_keys=params.get("models") or None,
+                           seeds=params.get("seeds", 20),
+                           seed_start=params.get("seed_start", 0))
+        else:  # fuzz
+            from repro.verify.fuzz import FuzzCampaign
+            FuzzCampaign(count=params.get("count", 50),
+                         seed_start=params.get("seed_start", 0),
+                         plans=params.get("plans", 4),
+                         model_keys=params.get("models") or None,
+                         backends=params.get("backends") or None)
+    except ValueError as err:
+        return str(err)
+    return None
+
+
+def breaker_cells(kind: str, params: dict) -> dict[str, list[str]]:
+    """Configuration cell -> the job's journal keys under that cell.
+
+    This is the daemon's pre-flight map: before spawning a runner it asks
+    the breaker about each cell and turns refused cells into the runner's
+    ``skip`` list.  Fuzz jobs have no configuration axis a breaker could
+    reasonably isolate (every program is new work), so they are not gated.
+    """
+    from repro.workloads import all_workloads
+
+    names = [w.name for w in all_workloads()]
+    if kind == "bench":
+        from repro.harness.experiments import BENCH_CONFIG_KEYS
+        workloads = params.get("workloads") or names
+        configs = BENCH_CONFIG_KEYS
+    elif kind == "verify":
+        from repro.verify.campaign import DEFAULT_MODELS
+        workloads = params.get("workloads") or sorted(names)
+        configs = params.get("models") or list(DEFAULT_MODELS)
+    else:
+        return {}
+    return {config: [f"{w}/{config}" for w in workloads]
+            for config in configs}
+
+
+# ----------------------------------------------------------------- runner
+def run_job(job_dir: str, kind: str, params: dict, runtime: dict) -> None:
+    """Runner-child entry: execute one campaign, write ``report.json``.
+
+    ``runtime`` carries the daemon's execution knobs: ``jobs``,
+    ``timeout``, ``retries``, ``backoff``, ``cache_dir``, ``no_cache``,
+    ``deadline`` (the job's *remaining* budget in seconds — it becomes the
+    batch deadline of the :class:`SupervisionPolicy`, so expiry degrades
+    every unfinished cell to a structured ``kind: deadline`` failure
+    instead of leaving a corpse), and ``skip`` (journal keys whose circuit
+    breaker is open; they degrade to deterministic skip errors and are
+    never journaled).
+
+    The report is written atomically as the last act; any exception
+    becomes a terminal ``failed`` report rather than a retryable crash —
+    by the time a request is here it was validated at admission, so an
+    exception is deterministic and retrying it would only waste budget.
+    """
+    import os
+
+    try:
+        # Lead a fresh process group so a SIGKILL aimed at this runner
+        # (chaos, deadline backstop, orphan fencing) takes the supervised
+        # pool workers down too.  An orphaned worker is not just a leak:
+        # it holds an inherited copy of this process's sentinel pipe, so
+        # leaving one alive would make the daemon wait forever for a
+        # runner that is already dead.
+        os.setpgid(0, 0)
+    except OSError:  # pragma: no cover — already a leader, or restricted
+        pass
+    path = Path(job_dir)
+    try:
+        report = _execute(path, kind, params, runtime)
+    except Exception as err:  # noqa: BLE001 — the report IS the error path
+        report = _report("failed", ok=False, text="",
+                         error=f"{type(err).__name__}: {err}")
+    atomic_write_json(path / "report.json", report)
+
+
+def _report(state: str, ok: bool, text: str, failures=None, completed=None,
+            error: Optional[str] = None) -> dict:
+    return {"schema": REPORT_SCHEMA, "state": state, "ok": ok,
+            "text": text, "failures": failures or [],
+            "completed": completed or [], "error": error}
+
+
+def _policy(runtime: dict):
+    from repro.harness.resilience import SupervisionPolicy
+
+    timeout = runtime.get("timeout")
+    retries = runtime.get("retries")
+    deadline = runtime.get("deadline")
+    if timeout is None and retries is None and deadline is None:
+        return None
+    return SupervisionPolicy(
+        timeout=timeout, retries=retries if retries is not None else 2,
+        backoff=runtime.get("backoff", 0.5), deadline=deadline)
+
+
+def _cache(runtime: dict):
+    from repro.harness.cache import CompileCache
+
+    if runtime.get("no_cache"):
+        return None
+    return CompileCache(runtime.get("cache_dir"))
+
+
+def _terminal_state(failures: list[dict], ok: bool) -> str:
+    if any(f.get("kind") == "deadline" for f in failures):
+        return "deadline"
+    return "done" if ok else "failed"
+
+
+def _execute(job_dir: Path, kind: str, params: dict, runtime: dict) -> dict:
+    from repro.harness.cache import CODE_VERSION
+    from repro.harness.resilience import Journal
+
+    jobs = runtime.get("jobs", 1)
+    policy = _policy(runtime)
+    cache = _cache(runtime)
+    skip = sorted(runtime.get("skip") or ())
+
+    if kind == "bench":
+        from repro.harness.experiments import BENCH_CONFIG_KEYS, Lab
+        from repro.harness.report import render_all
+        from repro.verify.campaign import breaker_skip_error
+        from repro.workloads import all_workloads
+
+        workloads = all_workloads()
+        if params.get("workloads"):
+            selected = set(params["workloads"])
+            workloads = [w for w in workloads if w.name in selected]
+        facets = dict(command="bench", code_version=CODE_VERSION,
+                      workloads=[w.name for w in workloads], sabotage=None,
+                      configs=BENCH_CONFIG_KEYS, stats=False)
+        journal = Journal(job_dir / "journal",
+                          Journal.make_fingerprint(**facets),
+                          resume=True, facets=facets)
+        lab = Lab(workloads, cache=cache)
+        for jkey in skip:
+            wname, _, config = jkey.rpartition("/")
+            lab.errors[(wname, config)] = breaker_skip_error(jkey)
+            lab.failures[(wname, config)] = {
+                "kind": "breaker", "attempts": 0,
+                "error": lab.errors[(wname, config)]}
+        try:
+            lab.populate(jobs=jobs, policy=policy, journal=journal)
+        finally:
+            journal.close()
+        text = render_all(lab)
+        failures = [{"key": f"{w}/{c}", **record}
+                    for (w, c), record in sorted(lab.failures.items())]
+        failed_keys = {f["key"] for f in failures}
+        completed = [f"{w.name}/{config}" for w in workloads
+                     for config in BENCH_CONFIG_KEYS
+                     if f"{w.name}/{config}" not in failed_keys]
+        ok = not lab.errors
+        return _report(_terminal_state(failures, ok), ok=ok, text=text,
+                       failures=failures, completed=completed)
+
+    if kind == "verify":
+        from repro.verify import VerifyCampaign
+
+        campaign = VerifyCampaign(
+            workload_names=params.get("workloads") or None,
+            model_keys=params.get("models") or None,
+            seeds=params.get("seeds", 20),
+            seed_start=params.get("seed_start", 0), cache=cache)
+        facets = dict(command="verify", code_version=CODE_VERSION,
+                      workloads=[w.name for w in campaign.workloads],
+                      models=campaign.model_keys, seeds=campaign.seeds,
+                      seed_start=campaign.seed_start)
+        journal = Journal(job_dir / "journal",
+                          Journal.make_fingerprint(**facets),
+                          resume=True, facets=facets)
+        try:
+            summary = campaign.run(jobs=jobs, policy=policy,
+                                   journal=journal, skip=skip)
+        finally:
+            journal.close()
+        text = summary.format()
+        failures = ([{"key": k, **record}
+                     for k, record in sorted(campaign.failures.items())]
+                    + [{"key": jkey, "kind": "breaker", "attempts": 0,
+                        "error": "circuit breaker open"} for jkey in skip])
+        failed_keys = {f["key"] for f in failures}
+        completed = [f"{w.name}/{m}" for w in campaign.workloads
+                     for m in campaign.model_keys
+                     if f"{w.name}/{m}" not in failed_keys]
+        ok = summary.ok
+        return _report(_terminal_state(failures, ok), ok=ok, text=text,
+                       failures=failures, completed=completed)
+
+    # fuzz: no triage/reduction in service mode — the report is the
+    # pre-finalize summary, which is what the parallel/chaos machinery
+    # guarantees byte-identical (reduction is a separate, interactive step)
+    from repro.verify.fuzz import FuzzCampaign
+
+    campaign = FuzzCampaign(
+        count=params.get("count", 50),
+        seed_start=params.get("seed_start", 0),
+        plans=params.get("plans", 4),
+        model_keys=params.get("models") or None,
+        backends=params.get("backends") or None)
+    facets = dict(command="fuzz", code_version=CODE_VERSION,
+                  **campaign.facets())
+    journal = Journal(job_dir / "journal",
+                      Journal.make_fingerprint(**facets),
+                      resume=True, facets=facets)
+    try:
+        summary = campaign.run(jobs=jobs, policy=policy, journal=journal)
+    finally:
+        journal.close()
+    text = summary.format()
+    failures = [{"key": k, **record}
+                for k, record in sorted(campaign.failures.items())]
+    ok = summary.ok
+    return _report(_terminal_state(failures, ok), ok=ok, text=text,
+                   failures=failures, completed=[])

@@ -481,6 +481,11 @@ class FuzzCampaign:
         self.sabotage = sabotage
         self.progress = progress or (lambda msg: None)
         self.shard_report = None
+        #: jkey -> structured supervision-failure record (kind, attempts,
+        #: error) for programs that degraded at the harness level during the
+        #: last :meth:`run` — the campaign service reads these for its
+        #: circuit-breaker accounting
+        self.failures: dict[str, dict] = {}
 
     # ----------------------------------------------------------------- facets
     def facets(self) -> dict:
@@ -512,7 +517,7 @@ class FuzzCampaign:
             ) -> FuzzSummary:
         """Run the campaign; merge order is seed order at any ``jobs``."""
         supervised = (jobs > 1 or chaos is not None
-                      or (policy is not None and policy.timeout is not None))
+                      or (policy is not None and policy.preemptive))
         if supervised:
             return self._run_supervised(jobs, policy, chaos, journal)
         summary = FuzzSummary()
@@ -575,6 +580,9 @@ class FuzzCampaign:
             else:
                 outcome = outcomes[seed]
                 if outcome.error is not None:
+                    self.failures[self._key(seed)] = {
+                        "kind": outcome.kind, "attempts": outcome.attempts,
+                        "error": outcome.error}
                     summary.results.append(FuzzProgramResult(
                         name=f"fuzz-{seed:06d}", seed=seed))
                     summary.oracle_errors.append(

@@ -231,3 +231,36 @@ def test_verify_sharded_resume_refuses_a_foreign_campaign(tmp_path, capsys):
     assert rc == 2
     assert "different campaign" in err
     assert "seeds: 1 -> 2" in err
+
+
+# ------------------------------------------------- argparse-time validation
+@pytest.mark.parametrize("argv, fragment", [
+    (["bench", "--jobs", "0"], "must be at least 1"),
+    (["bench", "--jobs", "-3"], "must be at least 1"),
+    (["bench", "--jobs", "two"], "expected a positive integer"),
+    (["verify", "--shards", "0"], "must be at least 1"),
+    (["verify", "--shards", "1.5"], "expected a positive integer"),
+    (["bench", "--retries", "-2"], "must be at least 0"),
+    (["bench", "--retries", "many"], "expected a non-negative integer"),
+    (["bench", "--timeout", "0"], "must be greater than 0"),
+    (["bench", "--timeout", "-1"], "must be greater than 0"),
+    (["bench", "--timeout", "nan"], "must be greater than 0"),
+    (["bench", "--timeout", "soon"], "expected a positive number"),
+])
+def test_bad_parallel_options_fail_at_parse_time(argv, fragment, capsys):
+    # Bad values must die in argparse with exit code 2 and a one-line
+    # message — not hours later inside a worker pool.
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    _, err = capsys.readouterr()
+    # One diagnostic line after the usage text, fragment included.
+    last = err.rstrip().splitlines()[-1]
+    assert fragment in last
+    assert last.startswith("repro")
+
+
+def test_good_parallel_options_still_parse(tmp_path, capsys):
+    rc = main(["bench", "awk", "--jobs", "2", "--timeout", "30",
+               "--retries", "1", "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 0

@@ -125,3 +125,81 @@ def test_acquire_creates_parent_directories(tmp_path):
     lease = Lease(tmp_path / "deep" / "nested" / "x.lease")
     assert lease.try_acquire()
     assert lease.held()
+
+
+# ------------------------------------------------- monotonic-clock staleness
+class _FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _mock_lease(path, ttl, clock):
+    """A Lease whose staleness clock is ``clock`` — no sleeping in tests."""
+    class MockedLease(Lease):
+        _monotonic = staticmethod(clock)
+    return MockedLease(path, ttl=ttl)
+
+
+def test_wall_clock_jump_cannot_expire_a_live_lease(path):
+    # The owner heartbeats on schedule, but the wall clock leaps a day
+    # forward (NTP step).  Staleness is monotonic-based, so the lease must
+    # survive; under the old wall-clock rule every live lease in the fleet
+    # would have mass-expired at that instant.
+    clock = _FakeClock()
+    a = _mock_lease(path, ttl=10.0, clock=clock)
+    assert a.try_acquire()
+    info = json.loads(path.read_text())
+    info["stamp"] -= 86400.0  # the heartbeat *looks* a day old on the wall
+    atomic_write_bytes(path, (json.dumps(info) + "\n").encode())
+    clock.now += 1.0  # but only a second passed on the monotonic clock
+    assert not a.is_stale(Lease.read(path))
+    thief = _mock_lease(path, ttl=10.0, clock=clock)
+    assert not thief.try_steal()
+    assert a.held()
+
+
+def test_monotonic_ttl_expiry_is_stale(path):
+    clock = _FakeClock()
+    a = _mock_lease(path, ttl=10.0, clock=clock)
+    assert a.try_acquire()
+    clock.now += 10.5
+    assert a.is_stale(Lease.read(path))
+
+
+def test_negative_monotonic_delta_is_stale(path):
+    # A monotonic reading *ahead* of ours means the lease was written in a
+    # different boot (CLOCK_MONOTONIC restarts at boot) — stale, whatever
+    # the wall clock says.
+    clock = _FakeClock(now=5.0)  # "just rebooted"
+    a = _mock_lease(path, ttl=3600.0, clock=clock)
+    assert a.try_acquire()
+    info = json.loads(path.read_text())
+    info["mono"] = 999999.0  # from the previous boot's long uptime
+    atomic_write_bytes(path, (json.dumps(info) + "\n").encode())
+    assert a.is_stale(Lease.read(path))
+
+
+def test_legacy_lease_without_mono_falls_back_to_wall_clock(path):
+    clock = _FakeClock()
+    a = _mock_lease(path, ttl=0.05, clock=clock)
+    assert a.try_acquire()
+    info = json.loads(path.read_text())
+    del info["mono"]  # a lease file written by older code
+    info["stamp"] = time.time() - 1.0  # wall-old beyond the ttl
+    atomic_write_bytes(path, (json.dumps(info) + "\n").encode())
+    assert a.is_stale(Lease.read(path))
+    info["stamp"] = time.time()  # wall-fresh
+    atomic_write_bytes(path, (json.dumps(info) + "\n").encode())
+    assert not a.is_stale(Lease.read(path))
+
+
+def test_payload_carries_both_clocks(path):
+    a = Lease(path)
+    assert a.try_acquire()
+    info = Lease.read(path)
+    assert info.mono is not None
+    assert abs(info.stamp - time.time()) < 60.0
+    assert abs(info.mono - time.monotonic()) < 60.0

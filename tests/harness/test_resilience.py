@@ -332,3 +332,75 @@ def test_record_meta_round_trips(tmp_path, fingerprint):
     assert resumed.meta == {"a": {"by": "salvage", "stolen": True}}
     assert resumed.completed == {"a": 1, "b": 2}
     resumed.close()
+
+
+# ----------------------------------------------------------- batch deadline
+def test_preemptive_property():
+    assert not SupervisionPolicy().preemptive
+    assert SupervisionPolicy(timeout=1.0).preemptive
+    assert SupervisionPolicy(deadline=1.0).preemptive
+    assert SupervisionPolicy(timeout=1.0, deadline=1.0).preemptive
+
+
+def test_batch_deadline_expires_unstarted_and_running_tasks():
+    # Two slow tasks on one worker against a 0.3s batch budget: the first
+    # is running when the budget dies ("mid-task"), the second never got a
+    # worker ("before the task ran").  Both degrade to kind "deadline".
+    policy = SupervisionPolicy(deadline=0.3, retries=0, **FAST)
+    tasks = [(1, 30.0), (2, 30.0)]
+    t0 = time.monotonic()
+    outcomes = run_supervised(_sleepy, tasks, jobs=1, policy=policy)
+    assert time.monotonic() - t0 < 20.0  # nowhere near the task runtimes
+    assert [o.kind for o in outcomes] == ["deadline", "deadline"]
+    assert "mid-task" in outcomes[0].error
+    assert "before the task ran" in outcomes[1].error
+    assert not outcomes[0].ok and not outcomes[1].ok
+
+
+def test_generous_deadline_changes_nothing():
+    policy = SupervisionPolicy(deadline=120.0, retries=0, **FAST)
+    outcomes = run_supervised(_square, list(range(6)), jobs=2,
+                              policy=policy)
+    assert [o.value for o in outcomes] == [x * x for x in range(6)]
+    assert all(o.kind == "ok" for o in outcomes)
+
+
+def test_deadline_alone_forces_a_pool():
+    # A deadline needs preemption, so even jobs=1 must cross a process
+    # boundary — otherwise a wedged task could never be interrupted.
+    from repro.harness.parallel import run_tasks
+
+    policy = SupervisionPolicy(deadline=0.2, retries=0, **FAST)
+    outcomes = run_tasks(_sleepy, [(1, 30.0)], jobs=1, policy=policy)
+    assert outcomes[0].kind == "deadline"
+
+
+# ---------------------------------------------- cross-process jitter pinning
+def test_retry_jitter_is_deterministic_across_processes():
+    # The seeded backoff jitter must be a pure function of (seed, index,
+    # attempt) — not of hash randomization, process start time, or any
+    # other per-process state.  Compute the same delay grid in two fresh
+    # interpreters (different PYTHONHASHSEED to be sure) and in-process.
+    import subprocess
+    import sys
+
+    snippet = (
+        "from repro.harness.resilience import SupervisionPolicy\n"
+        "p = SupervisionPolicy(seed=42, backoff=0.25, jitter=0.5)\n"
+        "grid = [p.delay(i, a) for i in range(8) for a in range(1, 4)]\n"
+        "print(repr(grid))\n"
+    )
+    outs = []
+    for hashseed in ("0", "1"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            ["src"] + env.get("PYTHONPATH", "").split(os.pathsep))
+        result = subprocess.run([sys.executable, "-c", snippet],
+                                capture_output=True, text=True, env=env,
+                                check=True, cwd=str(Path(__file__).parents[2]))
+        outs.append(result.stdout.strip())
+    assert outs[0] == outs[1]
+    policy = SupervisionPolicy(seed=42, backoff=0.25, jitter=0.5)
+    local = repr([policy.delay(i, a)
+                  for i in range(8) for a in range(1, 4)])
+    assert outs[0] == local

@@ -1,0 +1,120 @@
+"""Circuit-breaker state machine, driven by a fake monotonic clock."""
+
+import pytest
+
+from repro.service.breaker import TRIPPING_KINDS, CircuitBreaker
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _breaker(threshold=3, cooldown=30.0):
+    clock = _Clock()
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown,
+                          clock=clock), clock
+
+
+def test_unknown_cells_are_closed():
+    breaker, _ = _breaker()
+    assert breaker.allow("squashing")
+    assert breaker.state("squashing") == "closed"
+    assert breaker.open_cells() == []
+
+
+def test_threshold_consecutive_failures_open_the_circuit():
+    breaker, _ = _breaker(threshold=3)
+    assert not breaker.record_failure("squashing", "timeout")
+    assert not breaker.record_failure("squashing", "killed")
+    assert breaker.allow("squashing")  # still closed at 2/3
+    assert breaker.record_failure("squashing", "timeout")  # 3rd opens
+    assert breaker.state("squashing") == "open"
+    assert not breaker.allow("squashing")
+    assert breaker.open_cells() == ["squashing"]
+    assert breaker.opened_total == 1
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _ = _breaker(threshold=2)
+    breaker.record_failure("boost1", "timeout")
+    breaker.record_success("boost1")
+    breaker.record_failure("boost1", "timeout")
+    assert breaker.state("boost1") == "closed"  # never reached 2 in a row
+
+
+def test_non_tripping_kinds_are_ignored():
+    breaker, _ = _breaker(threshold=1)
+    for kind in ("error", "breaker", "deadline", "exception"):
+        assert kind not in TRIPPING_KINDS
+        assert not breaker.record_failure("squashing", kind)
+    assert breaker.state("squashing") == "closed"
+    assert breaker.allow("squashing")
+
+
+def test_open_refuses_until_the_cooldown_elapses():
+    breaker, clock = _breaker(threshold=1, cooldown=30.0)
+    breaker.record_failure("squashing", "killed")
+    assert not breaker.allow("squashing")
+    clock.advance(29.9)
+    assert not breaker.allow("squashing")
+    clock.advance(0.2)
+    assert breaker.allow("squashing")  # the half-open probe
+    assert breaker.state("squashing") == "half_open"
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker, clock = _breaker(threshold=1, cooldown=10.0)
+    breaker.record_failure("squashing", "timeout")
+    clock.advance(10.1)
+    assert breaker.allow("squashing")       # probe slot consumed
+    assert not breaker.allow("squashing")   # everyone else still refused
+    assert not breaker.allow("squashing")
+    assert breaker.half_open_probes == 1
+
+
+def test_probe_success_closes_the_circuit():
+    breaker, clock = _breaker(threshold=1, cooldown=10.0)
+    breaker.record_failure("squashing", "timeout")
+    clock.advance(10.1)
+    assert breaker.allow("squashing")
+    breaker.record_success("squashing")
+    assert breaker.state("squashing") == "closed"
+    assert breaker.allow("squashing")
+    assert breaker.closed_total == 1
+
+
+def test_probe_failure_reopens_for_a_fresh_cooldown():
+    breaker, clock = _breaker(threshold=3, cooldown=10.0)
+    for _ in range(3):
+        breaker.record_failure("squashing", "timeout")
+    clock.advance(10.1)
+    assert breaker.allow("squashing")
+    # One more failure re-opens immediately — no need for `threshold`
+    # consecutive failures again; the probe was the test and it failed.
+    assert breaker.record_failure("squashing", "killed")
+    assert breaker.state("squashing") == "open"
+    clock.advance(9.9)
+    assert not breaker.allow("squashing")  # fresh cooldown from the reopen
+    clock.advance(0.2)
+    assert breaker.allow("squashing")
+    assert breaker.opened_total == 2
+
+
+def test_cells_are_independent():
+    breaker, _ = _breaker(threshold=1)
+    breaker.record_failure("squashing", "timeout")
+    assert not breaker.allow("squashing")
+    assert breaker.allow("boost1")
+    assert breaker.open_cells() == ["squashing"]
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)

@@ -1,0 +1,67 @@
+"""Wire-protocol unit tests: framing and admission-time validation."""
+
+import pytest
+
+from repro.service.protocol import (
+    ALLOWED_PARAMS, JOB_KINDS, SERVICE_SCHEMA, decode, encode, response,
+    validate_submit,
+)
+
+
+def test_encode_is_one_deterministic_line():
+    line = encode({"b": 1, "a": 2})
+    assert line == b'{"a": 2, "b": 1}\n'
+    assert decode(line) == {"a": 2, "b": 1}
+
+
+def test_decode_rejects_non_objects_and_garbage():
+    with pytest.raises(ValueError):
+        decode(b"[1, 2, 3]\n")
+    with pytest.raises(ValueError):
+        decode(b"definitely not json\n")
+
+
+def test_response_carries_schema_and_event():
+    obj = response("accepted", job="job-000001")
+    assert obj["schema"] == SERVICE_SCHEMA
+    assert obj["event"] == "accepted"
+    assert obj["job"] == "job-000001"
+
+
+def _submit(kind="verify", params=None, **extra):
+    return {"op": "submit", "kind": kind, "params": params or {}, **extra}
+
+
+def test_valid_submits_pass_for_every_kind():
+    assert validate_submit(_submit("bench", {"workloads": ["awk"]})) is None
+    assert validate_submit(_submit("verify", {"models": ["squashing"],
+                                              "seeds": 3})) is None
+    assert validate_submit(_submit("fuzz", {"count": 5,
+                                            "seed_start": 100})) is None
+    assert validate_submit(_submit("bench", deadline=1.5)) is None
+
+
+@pytest.mark.parametrize("req, fragment", [
+    (_submit(kind="compile"), "unknown kind"),
+    (_submit(kind=None), "unknown kind"),
+    ({"op": "submit", "kind": "bench", "params": ["awk"]},
+     "params must be a JSON object"),
+    (_submit("bench", {"seeds": 3}), "unknown bench parameter"),
+    (_submit("verify", {"workloads": "awk"}), "list of strings"),
+    (_submit("verify", {"models": [1, 2]}), "list of strings"),
+    (_submit("verify", {"seeds": "three"}), "must be an integer"),
+    (_submit("verify", {"seeds": True}), "must be an integer"),
+    (_submit("fuzz", {"count": 2.5}), "must be an integer"),
+    (_submit("bench", deadline=0), "positive number"),
+    (_submit("bench", deadline=-3), "positive number"),
+    (_submit("bench", deadline="soon"), "positive number"),
+    (_submit("bench", deadline=True), "positive number"),
+])
+def test_malformed_submits_are_rejected_with_a_reason(req, fragment):
+    reason = validate_submit(req)
+    assert reason is not None
+    assert fragment in reason
+
+
+def test_allowed_params_cover_every_kind():
+    assert set(ALLOWED_PARAMS) == set(JOB_KINDS)
