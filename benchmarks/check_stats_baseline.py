@@ -70,17 +70,44 @@ def flatten(value, prefix="", into=None) -> dict:
     return into
 
 
-def diff(baseline: dict, current: dict) -> list[str]:
+def diff(baseline: dict, current: dict) -> dict[str, list[str]]:
+    """Categorized dotted-path drift between the two stats payloads.
+
+    Three buckets, reported separately so the common cases read at a
+    glance: ``changed`` (a counter moved), ``only_in_run`` (the code now
+    emits a counter the baseline has never seen — the usual shape right
+    after adding instrumentation), and ``only_in_baseline`` (the run
+    stopped emitting a counter the baseline expects — usually a
+    collection bug, not intentional drift).
+    """
     base, cur = flatten(baseline), flatten(current)
-    lines = []
+    out: dict[str, list[str]] = {
+        "changed": [],
+        "only_in_run": [],
+        "only_in_baseline": [],
+    }
     for path in sorted(base.keys() | cur.keys()):
         if path not in cur:
-            lines.append(f"- {path} = {base[path]!r}  (vanished)")
+            out["only_in_baseline"].append(f"- {path} = {base[path]!r}")
         elif path not in base:
-            lines.append(f"+ {path} = {cur[path]!r}  (new)")
+            out["only_in_run"].append(f"+ {path} = {cur[path]!r}")
         elif base[path] != cur[path]:
-            lines.append(f"! {path}: {base[path]!r} -> {cur[path]!r}")
-    return lines
+            out["changed"].append(f"! {path}: {base[path]!r} -> {cur[path]!r}")
+    return out
+
+
+#: bucket -> heading printed when the bucket is non-empty
+_DIFF_HEADINGS = {
+    "changed": "changed counters",
+    "only_in_run": (
+        "counters present in the run but MISSING FROM THE BASELINE "
+        "(new instrumentation? refresh to adopt them)"
+    ),
+    "only_in_baseline": (
+        "counters in the baseline but MISSING FROM THE RUN "
+        "(collection regression?)"
+    ),
+}
 
 
 def main(argv=None) -> int:
@@ -120,22 +147,30 @@ def main(argv=None) -> int:
         )
         return 2
 
-    lines = diff(baseline, current)
-    if not lines:
+    buckets = diff(baseline, current)
+    total = sum(len(v) for v in buckets.values())
+    if not total:
         print(
             "stats-gate: PASS — stats byte-match the baseline "
             f"({len(flatten(baseline))} counters)"
         )
         return 0
     print(
-        f"stats-gate: FAIL — {len(lines)} counter(s) drifted from "
+        f"stats-gate: FAIL — {total} counter(s) drifted from "
         f"{args.baseline}:",
         file=sys.stderr,
     )
-    for line in lines[:MAX_DIFF_LINES]:
-        print(f"  {line}", file=sys.stderr)
-    if len(lines) > MAX_DIFF_LINES:
-        print(f"  ... and {len(lines) - MAX_DIFF_LINES} more", file=sys.stderr)
+    for bucket, lines in buckets.items():
+        if not lines:
+            continue
+        print(f"  {_DIFF_HEADINGS[bucket]} ({len(lines)}):", file=sys.stderr)
+        for line in lines[:MAX_DIFF_LINES]:
+            print(f"    {line}", file=sys.stderr)
+        if len(lines) > MAX_DIFF_LINES:
+            print(
+                f"    ... and {len(lines) - MAX_DIFF_LINES} more",
+                file=sys.stderr,
+            )
     print(
         "stats-gate: if the drift is intentional, refresh with:\n"
         "  PYTHONPATH=src python benchmarks/check_stats_baseline.py --refresh",

@@ -15,7 +15,8 @@ def test_figure8(lab, benchmark):
     print()
     print(render_figure8(lab))
 
-    assert len(rows) == 7
+    # seven paper workloads + any fuzz-promoted stress programs
+    assert len(rows) >= 7
     for row in rows:
         assert row.global_speedup >= row.bb_speedup - 1e-9, row
         assert row.bb_speedup >= 0.95, row

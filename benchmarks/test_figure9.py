@@ -16,7 +16,8 @@ def test_figure9(lab, benchmark):
     print()
     print(render_figure9(lab))
 
-    assert len(rows) == 7
+    # seven paper workloads + any fuzz-promoted stress programs
+    assert len(rows) >= 7
     for row in rows:
         assert row.minboost3_speedup > 1.0, row
         assert row.dynamic_speedup > 1.0, row

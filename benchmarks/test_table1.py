@@ -16,14 +16,18 @@ def test_table1(lab, benchmark):
     print(render_table1(lab))
 
     by_name = {r.name: r for r in rows}
-    assert set(by_name) == {"awk", "compress", "eqntott", "espresso",
-                            "grep", "nroff", "xlisp"}
+    paper = {"awk", "compress", "eqntott", "espresso",
+             "grep", "nroff", "xlisp"}
+    # Seven paper workloads, plus any fuzz-promoted stress programs.
+    assert paper <= set(by_name)
     # The paper's scalar machine sustains a bit under one IPC everywhere.
     for row in rows:
         assert 0.5 < row.ipc < 1.0, row
         assert 0.6 < row.prediction_accuracy <= 1.0, row
-    # Shape: grep/nroff are the most predictable, eqntott the least.
-    accuracies = {name: r.prediction_accuracy for name, r in by_name.items()}
+    # Shape over the paper's own set: grep/nroff are the most predictable,
+    # eqntott the least (stress programs like branchmesh are deliberately
+    # harder to predict and would skew the comparison).
+    accuracies = {name: by_name[name].prediction_accuracy for name in paper}
     assert accuracies["eqntott"] == min(accuracies.values())
     assert accuracies["grep"] == max(accuracies.values())
     assert accuracies["grep"] > 0.95

@@ -15,7 +15,8 @@ def test_table2(lab, benchmark):
     print()
     print(render_table2(lab))
 
-    assert len(rows) == 7
+    # seven paper workloads + any fuzz-promoted stress programs
+    assert len(rows) >= 7
     # Every hardware model improves on pure global scheduling in the mean.
     for key in ("squashing", "boost1", "minboost3", "boost7"):
         assert means[key] > 0, (key, means)

@@ -516,7 +516,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         campaign = FuzzCampaign(
             count=args.count, seed_start=args.seed_start, config=config,
             model_keys=args.models or None, backends=args.backends or None,
-            plans=args.plans, sabotage=args.sabotage, progress=progress)
+            plans=args.plans, sabotage=args.sabotage,
+            dynamic_variants=args.dynamic_variants or None,
+            progress=progress)
     except ValueError as err:
         print(f"repro fuzz: {err}", file=sys.stderr)
         return 2
@@ -542,7 +544,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                     count=args.count, seed_start=args.seed_start,
                     config=config, model_keys=args.models or None,
                     backends=args.backends or None, plans=args.plans,
-                    sabotage=args.sabotage)
+                    sabotage=args.sabotage,
+                    dynamic_variants=args.dynamic_variants or None)
                 clean_text = clean_campaign.run(jobs=1).format()
             if sharded:
                 task_policy, shard_policy, shard_chaos = \
@@ -898,6 +901,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", nargs="+", metavar="ENGINE",
                    help="execution engines to cross-check "
                         "(default: reference interp translate)")
+    p.add_argument("--dynamic-variants", nargs="+", metavar="VARIANT",
+                   help="dynamic-machine comparator variants for the "
+                        "benign-plan cells (default: norename rename lsq "
+                        "memdep memdep-tight)")
     p.add_argument("--sabotage", choices=sorted(SABOTAGES), default=None,
                    help="plant a deliberate bug so the campaign can prove "
                         "it catches, reduces, and triages one")

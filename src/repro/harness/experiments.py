@@ -54,9 +54,25 @@ CONFIGS: dict[str, CompileConfig] = {
                                    regalloc="infinite"),
 }
 
+#: dynamically-scheduled machine variants measured by the bench report, in
+#: report order — the two paper-era comparators plus the memory-speculative
+#: baselines layered on them (see docs/memory-speculation.md): a 16-entry
+#: load/store queue with store-to-load forwarding, the same plus
+#: memory-dependence speculation, and the speculative machine with a
+#: variable-rate (4-wide refill) front end
+DYNAMIC_CONFIGS: dict[str, DynamicConfig] = {
+    "dynamic": DynamicConfig(rename=False),
+    "dynamic_rename": DynamicConfig(rename=True),
+    "dynamic_lsq": DynamicConfig(rename=True, lsq_size=16, stlf=True),
+    "dynamic_memdep": DynamicConfig(rename=True, lsq_size=16, stlf=True,
+                                    memdep_speculate=True),
+    "dynamic_vfr": DynamicConfig(rename=True, lsq_size=16, stlf=True,
+                                 memdep_speculate=True, fetch_rate=4),
+}
+
 #: every configuration the bench report measures, in report order — the
-#: static compile configs plus the two dynamically-scheduled machines
-BENCH_CONFIG_KEYS: list[str] = list(CONFIGS) + ["dynamic", "dynamic_rename"]
+#: static compile configs plus the dynamically-scheduled machine variants
+BENCH_CONFIG_KEYS: list[str] = list(CONFIGS) + list(DYNAMIC_CONFIGS)
 
 
 def geometric_mean(values: list[float]) -> Optional[float]:
@@ -139,10 +155,12 @@ class Lab:
             return self._measured[key]
         w = self.workload(wname)
         sabotaged = (self.sabotage == wname and config_key != "scalar")
-        if config_key in ("dynamic", "dynamic_rename"):
+        if config_key in DYNAMIC_CONFIGS:
             base = self.compiled(wname, "scalar")
             image = make_input_image(base.program, w.eval)
-            config = DynamicConfig(rename=(config_key == "dynamic_rename"))
+            # DynamicSim never mutates its config, so sharing the
+            # registry instances across cells is safe.
+            config = DYNAMIC_CONFIGS[config_key]
             kwargs = {"max_cycles": self.SABOTAGE_CYCLES} if sabotaged else {}
             if self.collect_stats:
                 kwargs["stats"] = SimStats()
@@ -471,4 +489,40 @@ def figure9(lab: Lab) -> tuple[list[Figure9Row], dict[str, float]]:
             [r.dynamic_rename_speedup for r in rows
              if r.dynamic_rename_speedup is not None]),
     }
+    return rows, means
+
+
+# ------------------------------------------------- Figure 9 under stronger
+# baselines: the memory-speculative dynamic-machine matrix
+@dataclass
+class DynamicMatrixRow:
+    name: str
+    minboost3_speedup: Optional[float]
+    #: dynamic-variant key -> speedup over scalar; None where a run failed
+    speedups: dict[str, Optional[float]]
+
+
+def dynamic_matrix(lab: Lab) -> tuple[list[DynamicMatrixRow],
+                                      dict[str, Optional[float]]]:
+    """Speedup over scalar for every dynamic-machine variant, next to
+    MinBoost3 — the paper's Figure 9 comparison re-run against baselines
+    the paper never had to beat (LSQ forwarding, memory-dependence
+    speculation, variable fetch rate)."""
+    rows = []
+    for w in lab.workloads:
+        rows.append(DynamicMatrixRow(
+            name=w.name,
+            minboost3_speedup=lab.speedup(w.name, "minboost3"),
+            speedups={key: lab.speedup(w.name, key)
+                      for key in DYNAMIC_CONFIGS},
+        ))
+    means: dict[str, Optional[float]] = {
+        "minboost3": geometric_mean(
+            [r.minboost3_speedup for r in rows
+             if r.minboost3_speedup is not None]),
+    }
+    for key in DYNAMIC_CONFIGS:
+        means[key] = geometric_mean(
+            [r.speedups[key] for r in rows
+             if r.speedups[key] is not None])
     return rows, means

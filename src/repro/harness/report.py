@@ -6,7 +6,8 @@ from __future__ import annotations
 from dataclasses import asdict
 
 from repro.harness.experiments import (
-    BENCH_CONFIG_KEYS, Lab, TABLE2_MODELS, figure8, figure9, table1, table2,
+    BENCH_CONFIG_KEYS, DYNAMIC_CONFIGS, Lab, TABLE2_MODELS, dynamic_matrix,
+    figure8, figure9, table1, table2,
 )
 from repro.harness.fsutil import atomic_write_text
 from repro.obs.stats import STATS_SCHEMA
@@ -143,6 +144,38 @@ def render_figure9(lab: Lab) -> str:
     return "\n".join(lines)
 
 
+#: column headers for the dynamic-machine matrix, keyed like
+#: ``DYNAMIC_CONFIGS``
+_DYN_LABELS = {
+    "dynamic": "dyn",
+    "dynamic_rename": "+rename",
+    "dynamic_lsq": "+lsq",
+    "dynamic_memdep": "+memdep",
+    "dynamic_vfr": "+vfr",
+}
+
+
+def render_dynamic_matrix(lab: Lab) -> str:
+    rows, means = dynamic_matrix(lab)
+    header = " ".join(f"{_DYN_LABELS[k]:>8s}" for k in DYNAMIC_CONFIGS)
+    lines = [
+        "Dynamic-machine matrix: speedup over scalar under stronger "
+        "baselines",
+        "(lsq = 16-entry load/store queue + store-to-load forwarding, "
+        "memdep = dependence speculation, vfr = variable fetch rate)",
+        f"{'':10s} {'MinBoost3':>9s} {header}",
+    ]
+    for row in rows:
+        cells = " ".join(_f(row.speedups[k], "{:.2f}", 8)
+                         for k in DYNAMIC_CONFIGS)
+        lines.append(f"{row.name:10s} "
+                     f"{_f(row.minboost3_speedup, '{:.2f}', 9)} {cells}")
+    cells = " ".join(_f(means[k], "{:.2f}", 8) for k in DYNAMIC_CONFIGS)
+    lines.append(f"{'G.M.':10s} {_f(means['minboost3'], '{:.2f}', 9)} "
+                 f"{cells}")
+    return "\n".join(lines)
+
+
 def render_errors(lab: Lab) -> str:
     """Error summary for every degraded cell (empty string when clean).
 
@@ -226,6 +259,31 @@ def render_stats(lab: Lab) -> str:
                 f"{st.boosted:>8d} {st.duplicates:>5d} "
                 f"{st.recovery_blocks:>10d} "
                 f"{100 * st.issue_slot_occupancy:>5.1f}%")
+    lsq_keys = [k for k in DYNAMIC_CONFIGS
+                if DYNAMIC_CONFIGS[k].lsq_size > 0]
+    lines += [
+        "",
+        "Memory speculation: dynamic-machine counters per workload × "
+        "variant",
+        f"{'':10s} {'variant':>8s} {'stlf':>7s} {'mdsquash':>9s} "
+        f"{'mdstall':>8s} {'lsq hw':>7s} {'lsq avg':>8s} {'flushes':>8s}",
+    ]
+    for w in lab.workloads:
+        for key in lsq_keys:
+            res = lab.cell(w.name, key)
+            st = res.sim_stats if res is not None else None
+            name = w.name if key == lsq_keys[0] else ""
+            label = _DYN_LABELS[key]
+            if st is None:
+                lines.append(f"{name:10s} {label:>8s} {'ERR':>7s} "
+                             f"{'ERR':>9s} {'ERR':>8s} {'ERR':>7s} "
+                             f"{'ERR':>8s} {'ERR':>8s}")
+                continue
+            lines.append(
+                f"{name:10s} {label:>8s} {st.stlf_hits:>7d} "
+                f"{st.memdep_squashes:>9d} {st.memdep_stall_cycles:>8d} "
+                f"{st.lsq_high_water:>7d} {st.lsq_occupancy:>8.2f} "
+                f"{st.flushes:>8d}")
     return "\n".join(lines)
 
 
@@ -263,6 +321,7 @@ def render_all(lab: Lab) -> str:
         render_figure8(lab),
         render_table2(lab),
         render_figure9(lab),
+        render_dynamic_matrix(lab),
     ]
     errors = render_errors(lab)
     if errors:
@@ -280,6 +339,7 @@ def bench_json(lab: Lab) -> dict:
     f8_rows, f8_means = figure8(lab)
     t2_rows, t2_means = table2(lab)
     f9_rows, f9_means = figure9(lab)
+    dm_rows, dm_means = dynamic_matrix(lab)
     return {
         "schema": BENCH_SCHEMA,
         "table1": [asdict(r) for r in table1(lab)],
@@ -289,6 +349,8 @@ def bench_json(lab: Lab) -> dict:
                    "geomeans": t2_means},
         "figure9": {"rows": [asdict(r) for r in f9_rows],
                     "geomeans": f9_means},
+        "dynamic_matrix": {"rows": [asdict(r) for r in dm_rows],
+                           "geomeans": dm_means},
         "stats": stats_json(lab),
         "shards": (lab.shard_report.to_json()
                    if lab.shard_report is not None else None),
@@ -412,6 +474,33 @@ def write_experiments_md(lab: Lab, path: str) -> str:
         "Shape check: both machines land in the same band — the "
         "statically-scheduled machine with minimal boosting hardware keeps "
         "pace with the reservation-station/reorder-buffer/BTB design.",
+        "",
+        "## Dynamic-machine matrix — Figure 9 under stronger baselines",
+        "",
+        "The paper's comparator orders memory conservatively.  These "
+        "variants add a 16-entry load/store queue with store-to-load "
+        "forwarding (`+lsq`), memory-dependence speculation (`+memdep`), "
+        "and a variable-rate front end (`+vfr`) — see "
+        "[docs/memory-speculation.md](docs/memory-speculation.md).",
+        "",
+    ]
+    dm_rows, dm_means = dynamic_matrix(lab)
+    rows = [[r.name, _f(r.minboost3_speedup, "{:.2f}x")]
+            + [_f(r.speedups[k], "{:.2f}x") for k in DYNAMIC_CONFIGS]
+            for r in dm_rows]
+    rows.append(["**G.M.**", f"**{_f(dm_means['minboost3'], '{:.2f}x')}**"]
+                + [f"**{_f(dm_means[k], '{:.2f}x')}**"
+                   for k in DYNAMIC_CONFIGS])
+    parts.append(_md_table(
+        ["benchmark", "MinBoost3"]
+        + [_DYN_LABELS[k] for k in DYNAMIC_CONFIGS], rows))
+    parts += [
+        "",
+        "Shape check: forwarding alone never hurts (the conservative LSQ "
+        "is architecturally identical and no slower); dependence "
+        "speculation and the wider refill front end push the dynamic "
+        "machine ahead on memory- and branch-bound workloads, which is "
+        "exactly the gap a paper-era comparison could not see.",
         "",
         "## Figure 7 / §4.3.2 — hardware cost",
         "",

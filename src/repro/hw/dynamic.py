@@ -17,6 +17,18 @@ slots — branch effects are handled by speculative fetch plus flush on
 misprediction, with stores, PRINTs, and traps deferred to commit so
 wrong-path execution can never become architectural.
 
+Memory ordering is conservative by default — a load waits until every
+older store address is known — matching the paper-era comparator.  With
+``lsq_size > 0`` in-flight memory operations run through a
+:class:`~repro.hw.lsq.LoadStoreQueue` instead: store-to-load forwarding
+(``stlf``), optional memory-dependence speculation
+(``memdep_speculate``), and a memory-order squash through the same
+recovery path as a branch misprediction when a speculated load turns out
+to alias a later-resolving store (see ``docs/memory-speculation.md``).
+``fetch_rate`` widens instruction fetch while the fetch queue refills
+after a redirect — the variable-fetch-rate front end of arXiv 1707.04657
+in its simplest deterministic form.
+
 Like the functional and superscalar simulators, every static instruction is
 decoded once (``_Dec``) into pre-resolved handlers, register indices, and
 flat branch targets; the per-cycle stages then dispatch on plain ints
@@ -32,6 +44,7 @@ from repro.hw.alu import ALU_FUNCS, BRANCH_FUNCS, s32
 from repro.hw.btb import BranchTargetBuffer
 from repro.hw.exceptions import ExecutionResult, Trap, TrapKind
 from repro.hw.functional import EXIT_TOKEN
+from repro.hw.lsq import LoadStoreQueue
 from repro.hw.memory import Memory
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FU, Opcode
@@ -57,8 +70,9 @@ class _Dec:
     """One static instruction, decoded once for the cycle loop."""
 
     __slots__ = ("kind", "fu_slot", "is_term", "is_cbr", "is_load",
-                 "src_idxs", "def_idxs", "dst_idx", "imm", "latency",
-                 "mem_size", "is_lb", "pc", "target_idx", "alu_fn", "cbr_fn")
+                 "is_store", "src_idxs", "def_idxs", "dst_idx", "imm",
+                 "latency", "mem_size", "is_lb", "pc", "target_idx",
+                 "alu_fn", "cbr_fn")
 
     def __init__(self, sim: "DynamicSim", idx: int,
                  instr: Instruction) -> None:
@@ -89,6 +103,7 @@ class _Dec:
         self.is_term = instr.is_terminator
         self.is_cbr = self.kind == _K_CBR
         self.is_load = self.kind == _K_LOAD
+        self.is_store = self.kind == _K_STORE
         self.src_idxs = tuple(-1 if r.is_zero else r.index
                               for r in instr.srcs)
         self.def_idxs = tuple(r.index for r in instr.defs())
@@ -127,6 +142,19 @@ class DynamicConfig:
     taken_fetch_bubble: int = 1
     #: front-end refill after a misprediction flush
     mispredict_restart: int = 2
+    #: load/store queue entries; 0 = no LSQ — the conservative memory
+    #: pipeline (a load waits for every older store address)
+    lsq_size: int = 0
+    #: store-to-load forwarding from the youngest exact-matching older
+    #: store (LSQ only; without it a matching load drains the store first)
+    stlf: bool = True
+    #: let loads execute past unresolved older store addresses; a
+    #: later-resolving aliasing store squashes the load and everything
+    #: younger (LSQ only)
+    memdep_speculate: bool = False
+    #: fetch budget while the fetch queue is empty (post-redirect refill);
+    #: 0 = always ``fetch_width`` (arXiv 1707.04657's variable fetch rate)
+    fetch_rate: int = 0
 
 
 @dataclass(slots=True)
@@ -149,6 +177,10 @@ class _Entry:
     predicted_next: Optional[int] = None
     actual_next: Optional[int] = None
     flushed: bool = False
+    #: load executed past >=1 unresolved older store address (LSQ)
+    mem_speculative: bool = False
+    #: seq of the store this load forwarded from; 0 = read memory
+    fwd_seq: int = 0
 
 
 class DynamicSim:
@@ -214,6 +246,15 @@ class DynamicSim:
         # multiply/divide unit is unpipelined
         self._muldiv_free = 0
         self._mem_free = 0
+        # Load/store queue (None = conservative legacy memory pipeline).
+        cfg = self.config
+        self.lsq = (LoadStoreQueue(cfg.lsq_size, cfg.stlf,
+                                   cfg.memdep_speculate)
+                    if cfg.lsq_size > 0 else None)
+        self.memdep_squashes = 0
+        self.memdep_stall_cycles = 0
+        self._memdep_wait = False     # a ready load stalled on ordering
+        self._memdep_victim = None    # load proven wrong by a store resolve
 
     # ------------------------------------------------------------ helpers
     def _pc(self, idx: int) -> int:
@@ -269,7 +310,13 @@ class DynamicSim:
             return
         flat = self.flat
         dec = self._dec
-        for _ in range(self.config.fetch_width):
+        width = self.config.fetch_width
+        if self.config.fetch_rate > width and not self.fetch_queue:
+            # Variable fetch rate: widen fetch while the queue refills
+            # after a redirect (or at start-up), then settle back to the
+            # steady-state width once dispatch has something to chew on.
+            width = self.config.fetch_rate
+        for _ in range(width):
             if self.fetch_idx is None or self.fetch_stalled_on is not None:
                 return
             if len(self.fetch_queue) >= self.config.fetch_buffer:
@@ -304,6 +351,9 @@ class DynamicSim:
                 return
             entry = self.fetch_queue[0]
             dec = entry.dec
+            if (self.lsq is not None and (dec.is_load or dec.is_store)
+                    and self.lsq.full()):
+                return  # no free LSQ slot: memory ops stall dispatch
             if not cfg.rename:
                 # Without renaming: one outstanding write per register.
                 for di in dec.def_idxs:
@@ -322,6 +372,8 @@ class DynamicSim:
             for di in dec.def_idxs:
                 rename[di] = entry
             self.rob.append(entry)
+            if self.lsq is not None and (dec.is_load or dec.is_store):
+                self.lsq.allocate(entry)
             in_flight += 1
 
     # ----------------------------------------------------------------- issue
@@ -375,9 +427,10 @@ class DynamicSim:
         fu_used = [0, 0, 0]           # ALU, SHIFT, BRANCH
         operands_ready = self._operands_ready
         try_execute = self._try_execute
+        self._memdep_wait = False
         for entry in self.rob:
             if issued >= issue_width:
-                return
+                break
             if entry.started or entry.done:
                 continue
             if entry.dispatch_cycle >= cycle:
@@ -387,6 +440,17 @@ class DynamicSim:
             if not try_execute(entry, fu_used):
                 continue
             issued += 1
+            if self._memdep_victim is not None:
+                # The store that just executed resolved to an address a
+                # younger speculated load already used.  Squash from that
+                # load and stop issuing — the tail of self.rob we were
+                # iterating has just been flushed.
+                victim = self._memdep_victim
+                self._memdep_victim = None
+                self._memdep_squash(victim)
+                break
+        if self._memdep_wait:
+            self.memdep_stall_cycles += 1
 
     def _try_execute(self, entry: _Entry, fu_used: list) -> bool:
         dec = entry.dec
@@ -421,10 +485,23 @@ class DynamicSim:
                     entry.trap = trap
                 self._finish(entry, 1)
                 self._mem_free = self.cycle + 1
+                if self.lsq is not None and self.lsq.speculate:
+                    # The address just resolved: did any younger load
+                    # already execute past it on a bad bet?
+                    self._memdep_victim = self.lsq.aliasing_victim(entry)
                 return True
-            fwd = self._earlier_stores_resolved(entry)
-            if fwd is None:
-                return False
+            if self.lsq is not None:
+                probe = self.lsq.probe_load(entry)
+                if probe.wait:
+                    self._memdep_wait = True
+                    return False
+                fwd = -1 if probe.value is None else probe.value
+                entry.mem_speculative = probe.speculative
+                entry.fwd_seq = probe.fwd_seq
+            else:
+                fwd = self._earlier_stores_resolved(entry)
+                if fwd is None:
+                    return False
             try:
                 self.mem.check(entry.addr, entry.mem_size)
             except Trap as trap:
@@ -537,12 +614,16 @@ class DynamicSim:
                     self._flush_after(entry)
                     return
 
-    def _flush_after(self, entry: _Entry) -> None:
+    def _squash_younger(self, keep_seq: int,
+                        restart_idx: Optional[int]) -> None:
+        """Shared recovery path: flush every entry with ``seq > keep_seq``
+        and refetch from ``restart_idx`` after the restart penalty.  Both
+        branch mispredictions and memory-order violations land here."""
         if self._stats_hot is not None:
             self._stats_hot.flushes += 1
         keep: list[_Entry] = []
         for other in self.rob:
-            if other.seq <= entry.seq:
+            if other.seq <= keep_seq:
                 keep.append(other)
             else:
                 other.flushed = True
@@ -551,14 +632,27 @@ class DynamicSim:
             e.flushed = True
         self.fetch_queue.clear()
         self.fetch_stalled_on = None
+        if self.lsq is not None:
+            self.lsq.drop_flushed()
+        self._memdep_victim = None
         # Rebuild the rename table from the surviving entries.
         self.rename = {}
         for other in self.rob:
             for di in other.dec.def_idxs:
                 self.rename[di] = other
-        self.fetch_idx = entry.actual_next if entry.actual_next is not None \
-            and entry.actual_next >= 0 else None
+        self.fetch_idx = restart_idx
         self._fetch_resume = self.cycle + self.config.mispredict_restart
+
+    def _flush_after(self, entry: _Entry) -> None:
+        restart = entry.actual_next if entry.actual_next is not None \
+            and entry.actual_next >= 0 else None
+        self._squash_younger(entry.seq, restart)
+
+    def _memdep_squash(self, victim: _Entry) -> None:
+        """A resolved store aliased an already-executed younger load:
+        squash the load and everything younger, refetch from the load."""
+        self.memdep_squashes += 1
+        self._squash_younger(victim.seq - 1, victim.idx)
 
     # ----------------------------------------------------------------- commit
     def _commit(self) -> None:
@@ -588,6 +682,9 @@ class DynamicSim:
                 result.trap = trap
                 raise trap
             self.rob.pop(0)
+            if self.lsq is not None and (kind == _K_LOAD
+                                         or kind == _K_STORE):
+                self.lsq.retire(entry)
             if kind == _K_PRINT:
                 result.output.append(s32(entry.value))
             elif kind == _K_STORE:
@@ -613,10 +710,13 @@ class DynamicSim:
         fetch = self._fetch
         max_cycles = self.max_cycles
         st = self._stats_hot
+        lsq = self.lsq
         while not self.halted:
             self.cycle += 1
             if self.cycle > max_cycles:
                 raise RuntimeError(f"exceeded {max_cycles} cycles")
+            if lsq is not None:
+                lsq.occupancy_sum += len(lsq.entries)
             if st is not None:
                 st.note_dynamic_cycle(len(self.rob), len(self.fetch_queue),
                                       self.cycle < self._fetch_resume)

@@ -1,0 +1,160 @@
+"""Load/store queue for the dynamically-scheduled machine.
+
+The conservative :class:`~repro.hw.dynamic.DynamicSim` memory pipeline
+(``lsq_size=0``) refuses to execute a load while *any* older store address
+is unknown.  The LSQ relaxes that, one mechanism at a time:
+
+* **age-ordered entries** — every in-flight load and store occupies one
+  queue slot from dispatch to commit (or squash), in program order, so
+  memory-ordering questions are answered by a bounded scan instead of a
+  walk of the whole reorder buffer;
+* **store-to-load forwarding** (``stlf``) — a load whose youngest
+  overlapping older store is an exact address/size match takes the store's
+  data straight from the queue, without waiting for stores older than the
+  match to resolve (their values are dead: the match masks them);
+* **memory-dependence speculation** (``speculate``) — a load may execute
+  past *unresolved* older store addresses on the bet that they will not
+  alias.  Every such load is flagged; when an older store later resolves
+  to an overlapping address, :meth:`aliasing_victim` names the oldest
+  mis-speculated load, and the simulator squashes it (and everything
+  younger) through the same recovery path a branch misprediction uses.
+
+A load that forwarded from store ``S`` is *not* a victim of a
+later-resolving store older than ``S`` — the forward already took the
+youngest older value, so the resolving store's data was dead for this
+load.  :attr:`_Entry.fwd_seq` records the forwarding store's age to make
+that test cheap.
+
+The queue never touches memory itself: stores drain to memory at commit
+(in program order, by the simulator), which is also what a waiting load
+observes when its blocking store leaves the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(slots=True)
+class LoadProbe:
+    """Memory-ordering answer for one ready load (see :meth:`probe_load`).
+
+    ``wait`` means the load must retry next cycle.  Otherwise it may
+    execute now: ``value`` carries forwarded store data (``None`` = read
+    memory), ``fwd_seq`` the forwarding store's sequence number (0 = no
+    forward), and ``speculative`` whether the load is executing past at
+    least one unresolved older store address.
+    """
+
+    wait: bool = False
+    value: Optional[int] = None
+    fwd_seq: int = 0
+    speculative: bool = False
+
+
+class LoadStoreQueue:
+    """Age-ordered queue of in-flight memory operations.
+
+    Entries are the simulator's ROB entries themselves (``seq`` orders
+    them; ``addr``/``mem_size``/``store_data`` resolve at issue); the
+    queue only adds the ordering decisions and the occupancy/forwarding
+    counters the ``repro-stats/1`` section reports.
+    """
+
+    def __init__(self, size: int, stlf: bool, speculate: bool) -> None:
+        self.size = size
+        self.stlf = stlf
+        self.speculate = speculate
+        self.entries: list = []      # _Entry refs in seq (program) order
+        # counters surfaced through SimStats.finalize_dynamic
+        self.high_water = 0
+        self.occupancy_sum = 0
+        self.stlf_hits = 0
+
+    # ------------------------------------------------------------ occupancy
+    def full(self) -> bool:
+        return len(self.entries) >= self.size
+
+    def allocate(self, entry) -> None:
+        """Dispatch: append in program order (caller checked :meth:`full`)."""
+        self.entries.append(entry)
+        if len(self.entries) > self.high_water:
+            self.high_water = len(self.entries)
+
+    def retire(self, entry) -> None:
+        """Commit: memory ops leave in program order, so this is the head."""
+        if self.entries and self.entries[0] is entry:
+            self.entries.pop(0)
+        else:  # pragma: no cover - commit is in-order by construction
+            self.entries.remove(entry)
+
+    def drop_flushed(self) -> None:
+        """After any squash: shed entries the simulator just flushed."""
+        self.entries = [e for e in self.entries if not e.flushed]
+
+    # -------------------------------------------------------------- ordering
+    def probe_load(self, load) -> LoadProbe:
+        """Decide whether a ready load may execute, and from where.
+
+        Scans older stores youngest-first; the first overlapping resolved
+        store settles the question (an exact match forwards under
+        ``stlf``, anything else waits for the store to drain at commit).
+        An unresolved older store address met before the verdict forces a
+        wait in conservative mode and marks the load speculative under
+        ``speculate``.
+        """
+        probe = LoadProbe()
+        lo = load.addr
+        hi = lo + load.mem_size
+        for other in reversed(self.entries):
+            if other.seq >= load.seq or not other.dec.is_store:
+                continue
+            if other.addr is None:
+                if not self.speculate:
+                    probe.wait = True
+                    return probe
+                probe.speculative = True
+                continue
+            o_lo = other.addr
+            o_hi = o_lo + other.mem_size
+            if o_hi <= lo or hi <= o_lo:
+                continue
+            if o_lo == lo and other.mem_size == load.mem_size:
+                if self.stlf:
+                    probe.value = other.store_data
+                    probe.fwd_seq = other.seq
+                    self.stlf_hits += 1
+                else:
+                    probe.wait = True  # forwarding disabled: drain first
+                return probe
+            probe.wait = True          # partial overlap: wait for commit
+            return probe
+        return probe
+
+    def aliasing_victim(self, store):
+        """The oldest younger load this resolving store proves wrong.
+
+        Only loads that executed speculatively (past this store while its
+        address was unknown) qualify, and a load that forwarded from a
+        store *younger* than this one is immune — its value came from the
+        write that supersedes this store.  ``None`` means the speculation
+        held.
+        """
+        s_lo = store.addr
+        s_hi = s_lo + store.mem_size
+        for other in self.entries:  # program order: first hit is oldest
+            if (other.seq <= store.seq or not other.dec.is_load
+                    or not other.done or not other.mem_speculative):
+                continue
+            if other.fwd_seq > store.seq:
+                continue
+            o_lo = other.addr
+            o_hi = o_lo + other.mem_size
+            if o_hi <= s_lo or s_hi <= o_lo:
+                continue
+            return other
+        return None
+
+
+__all__ = ["LoadProbe", "LoadStoreQueue"]

@@ -196,6 +196,14 @@ class SimStats:
     rename_stall_events: int = 0
     flushes: int = 0
 
+    # Dynamic-machine memory speculation (zero without an LSQ; see
+    # docs/memory-speculation.md for the counter -> figure mapping).
+    stlf_hits: int = 0
+    memdep_squashes: int = 0
+    memdep_stall_cycles: int = 0
+    lsq_high_water: int = 0
+    lsq_occupancy_sum: int = 0
+
     # Transient hot-loop state; cleared by finalize_*.  ``None`` (as in
     # NullStats) tells the hot loops to skip even the per-block counter.
     block_execs: Optional[Dict] = field(default_factory=dict)
@@ -320,6 +328,15 @@ class SimStats:
     def finalize_dynamic(self, sim) -> None:
         self.kind = "dynamic"
         self._copy_result(sim.result)
+        # Memory-speculation counters are tracked as plain ints on the
+        # simulator (and its LSQ) — no hot-loop hook needed.
+        self.memdep_squashes = getattr(sim, "memdep_squashes", 0)
+        self.memdep_stall_cycles = getattr(sim, "memdep_stall_cycles", 0)
+        lsq = getattr(sim, "lsq", None)
+        if lsq is not None:
+            self.stlf_hits = lsq.stlf_hits
+            self.lsq_high_water = lsq.high_water
+            self.lsq_occupancy_sum = lsq.occupancy_sum
         self.block_execs = {}
         self.pending = []
 
@@ -343,6 +360,12 @@ class SimStats:
             return 0.0
         return self.rob_occupancy_sum / self.cycles
 
+    @property
+    def lsq_occupancy(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.lsq_occupancy_sum / self.cycles
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "blocks_executed": self.blocks_executed,
@@ -361,6 +384,10 @@ class SimStats:
             "interlock_stall_cycles": self.interlock_stall_cycles,
             "issue_slot_occupancy": round(self.issue_slot_occupancy, 6),
             "kind": self.kind,
+            "lsq_high_water": self.lsq_high_water,
+            "lsq_occupancy": round(self.lsq_occupancy, 6),
+            "memdep_squashes": self.memdep_squashes,
+            "memdep_stall_cycles": self.memdep_stall_cycles,
             "mispredicts": self.mispredicts,
             "nops": self.nops,
             "recovery_cycles": self.recovery_cycles,
@@ -375,6 +402,7 @@ class SimStats:
             "slots_total": self.slots_total,
             "squash_events": self.squash_events,
             "squash_rate": round(self.squash_rate, 6),
+            "stlf_hits": self.stlf_hits,
             "storebuf_high_water": self.storebuf_high_water,
             "superblocks_chained": self.superblocks_chained,
             "trace_hits": self.trace_hits,
@@ -488,7 +516,7 @@ class FuzzStats:
     oracle_errors: int = 0  # harness-level failures (timeouts, workers)
     backend_cells: int = 0  # (program, engine) functional cross-checks
     model_cells: int = 0  # (program, model, backend) superscalar cells
-    dynamic_cells: int = 0  # (program, rename-mode) dynamic-machine cells
+    dynamic_cells: int = 0  # (program, variant) dynamic-machine cells
     reduced: int = 0  # divergences auto-reduced to a minimal source
     triage_buckets: int = 0  # distinct divergence signatures filed
 

@@ -28,7 +28,8 @@ from repro.verify.fuzz.generator import (  # noqa: F401
     GenConfig, GeneratedProgram, SIZE_PROFILES, generate_program,
 )
 from repro.verify.fuzz.fuzzcampaign import (  # noqa: F401
-    FuzzCampaign, FuzzDivergence, FuzzSummary, SABOTAGES,
+    DYNAMIC_FUZZ_VARIANTS, FuzzCampaign, FuzzDivergence, FuzzSummary,
+    SABOTAGES,
 )
 from repro.verify.fuzz.reduce import (  # noqa: F401
     ReduceResult, reduce_source, unparse,

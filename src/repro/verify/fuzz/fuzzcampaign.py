@@ -13,9 +13,12 @@ One campaign cell is ``(program, plan, machine, model, backend)``:
   model × backend under the same fault plan, compared against the oracle
   with the usual differential rules (trap precision, prefix-consistent
   output under traps, byte-identical memory on clean exits);
-* **dynamic cells** run the dynamically-scheduled comparator (with and
-  without register renaming) on the benign plan — the dynamic machine has
-  no fault-hook port, so injected plans stay out of its cells.
+* **dynamic cells** run the dynamically-scheduled comparator on the benign
+  plan, one cell per variant in ``DYNAMIC_FUZZ_VARIANTS`` — renaming
+  on/off, the load/store queue with store-to-load forwarding, and
+  memory-dependence speculation at two queue sizes (the tight queue also
+  exercises LSQ-full dispatch stalls) — the dynamic machine has no
+  fault-hook port, so injected plans stay out of its cells.
 
 Plans are deterministic per ``(program seed, plan index)``; plan index 0 is
 always the explicit benign plan, the rest are drawn by
@@ -70,6 +73,19 @@ from repro.verify.fuzz.reduce import reduce_source
 #: model and the deepest boosting model — the two ends of the recovery
 #: design space (more via ``--models``)
 DEFAULT_FUZZ_MODELS = ("squashing", "boost7")
+
+#: dynamic-machine comparator variants, benign plan only (subset via
+#: ``--dynamic-variants``); generated programs lean on raw storew/loadw
+#: aliasing, so the speculative variants are the forwarding/squash hunters
+DYNAMIC_FUZZ_VARIANTS: dict[str, DynamicConfig] = {
+    "norename": DynamicConfig(rename=False),
+    "rename": DynamicConfig(rename=True),
+    "lsq": DynamicConfig(rename=True, lsq_size=16, stlf=True),
+    "memdep": DynamicConfig(rename=True, lsq_size=16, stlf=True,
+                            memdep_speculate=True),
+    "memdep-tight": DynamicConfig(rename=True, lsq_size=4, stlf=True,
+                                  memdep_speculate=True),
+}
 
 #: deliberate bugs ``--sabotage`` can plant (self-test of the whole loop)
 SABOTAGES = {
@@ -276,12 +292,11 @@ def _shiftbuf_factory(sabotage: Optional[str]):
     return None
 
 
-def _run_dynamic_outcome(program, image, rename: bool,
+def _run_dynamic_outcome(program, image, variant: str,
                          max_cycles: int) -> RunOutcome:
-    label = "rename" if rename else "norename"
-    sim = DynamicSim(program, config=DynamicConfig(rename=rename),
+    sim = DynamicSim(program, config=DYNAMIC_FUZZ_VARIANTS[variant],
                      max_cycles=max_cycles, input_image=image)
-    outcome = RunOutcome(machine=f"dynamic/{label}")
+    outcome = RunOutcome(machine=f"dynamic/{variant}")
     try:
         sim.run()
     except Trap as trap:
@@ -299,6 +314,7 @@ def _run_dynamic_outcome(program, image, rename: bool,
 
 def _run_program(seed: int, config: GenConfig, model_keys: tuple,
                  backends: tuple, nplans: int, sabotage: Optional[str],
+                 dyn_variants: tuple = tuple(DYNAMIC_FUZZ_VARIANTS),
                  max_steps: int = _MAX_STEPS, max_cycles: int = _MAX_CYCLES,
                  wall_limit: Optional[float] = _WALL_LIMIT,
                  ) -> tuple[FuzzProgramResult, list[FuzzDivergence],
@@ -420,14 +436,14 @@ def _run_program(seed: int, config: GenConfig, model_keys: tuple,
 
         # dynamically-scheduled comparator: benign plan only (no fault port)
         if pidx == 0:
-            for rename in (True, False):
+            for variant in dyn_variants:
                 res.dynamic_cells += 1
                 res.runs += 1
-                dyn = _run_dynamic_outcome(ref, image, rename, max_cycles)
+                dyn = _run_dynamic_outcome(ref, image, variant, max_cycles)
                 divs = DifferentialChecker.compare(oracle, dyn)
                 if divs:
-                    record("dynamic", "rename" if rename else "norename",
-                           "-", plan, pidx, divs, oracle)
+                    record("dynamic", variant, "-", plan, pidx, divs,
+                           oracle)
 
     return res, divergences, errors
 
@@ -437,9 +453,9 @@ def _program_worker(task: tuple) -> tuple[FuzzProgramResult,
     """One generated program in a worker process — everything in the task
     tuple is plain data, so the same worker serves the supervised pool and
     the shard coordinator."""
-    seed, config, model_keys, backends, nplans, sabotage = task
+    seed, config, model_keys, backends, nplans, sabotage, dyn_variants = task
     return _run_program(seed, config, tuple(model_keys), tuple(backends),
-                        nplans, sabotage)
+                        nplans, sabotage, tuple(dyn_variants))
 
 
 # ------------------------------------------------------------------- campaign
@@ -455,6 +471,7 @@ class FuzzCampaign:
         backends: Optional[list[str]] = None,
         plans: int = 4,
         sabotage: Optional[str] = None,
+        dynamic_variants: Optional[list[str]] = None,
         progress: Optional[Callable[[str], None]] = None,
     ) -> None:
         from repro.hw.backend import BACKENDS
@@ -475,6 +492,13 @@ class FuzzCampaign:
         if plans < 1:
             raise ValueError("--plans must be at least 1 (the benign plan)")
         self.plans = plans
+        self.dynamic_variants = list(dynamic_variants
+                                     or DYNAMIC_FUZZ_VARIANTS)
+        bad = [v for v in self.dynamic_variants
+               if v not in DYNAMIC_FUZZ_VARIANTS]
+        if bad:
+            raise ValueError(f"unknown dynamic variant(s) {bad}; "
+                             f"available: {list(DYNAMIC_FUZZ_VARIANTS)}")
         if sabotage is not None and sabotage not in SABOTAGES:
             raise ValueError(f"unknown sabotage {sabotage!r}; "
                              f"available: {sorted(SABOTAGES)}")
@@ -499,6 +523,7 @@ class FuzzCampaign:
             "backends": list(self.backends),
             "plans": self.plans,
             "sabotage": self.sabotage or "",
+            "dynamic_variants": list(self.dynamic_variants),
         }
 
     def _seeds(self) -> list[int]:
@@ -506,7 +531,8 @@ class FuzzCampaign:
 
     def _task(self, seed: int) -> tuple:
         return (seed, self.config, tuple(self.model_keys),
-                tuple(self.backends), self.plans, self.sabotage)
+                tuple(self.backends), self.plans, self.sabotage,
+                tuple(self.dynamic_variants))
 
     @staticmethod
     def _key(seed: int) -> str:
@@ -674,9 +700,8 @@ class FuzzCampaign:
                     shiftbuf_factory=_shiftbuf_factory(self.sabotage))
                 other = checker.run_superscalar(sched, plan, image)
                 _apply_sabotage(self.sabotage, other)
-            else:  # dynamic
-                other = _run_dynamic_outcome(ref, image,
-                                             fd.model == "rename",
+            else:  # dynamic — fd.model names the variant
+                other = _run_dynamic_outcome(ref, image, fd.model,
                                              _REDUCE_CYCLES)
         except Exception:
             return None
@@ -755,6 +780,6 @@ def _write_bucket(triage_dir: Path, fd: FuzzDivergence,
     tmp.replace(bucket / "record.json")
 
 
-__all__ = ["DEFAULT_FUZZ_MODELS", "FuzzCampaign", "FuzzDivergence",
-           "FuzzProgramResult", "FuzzSummary", "SABOTAGES", "TriageEntry",
-           "fuzz_repro_cmd"]
+__all__ = ["DEFAULT_FUZZ_MODELS", "DYNAMIC_FUZZ_VARIANTS", "FuzzCampaign",
+           "FuzzDivergence", "FuzzProgramResult", "FuzzSummary", "SABOTAGES",
+           "TriageEntry", "fuzz_repro_cmd"]

@@ -86,6 +86,35 @@ def test_journal_resume_is_byte_identical(
     assert _payload(resumed) == serial_payload
 
 
+def test_lsq_counters_deterministic_and_chaos_identical(
+    shared_cache, serial_payload
+):
+    # The memory-speculation counters (docs/memory-speculation.md) ride the
+    # same repro-stats/1 payload, so they inherit the byte-identity
+    # guarantees — but assert their presence explicitly so a counter that
+    # silently stops being collected fails here, not in the CI baseline.
+    doc = json.loads(serial_payload)
+    cells = doc["workloads"]["grep"]
+    for key in ("dynamic_lsq", "dynamic_memdep"):
+        sim = cells[key]["sim"]
+        for counter in ("stlf_hits", "memdep_squashes",
+                        "memdep_stall_cycles", "lsq_high_water",
+                        "lsq_occupancy"):
+            assert counter in sim, (key, counter)
+    assert cells["dynamic_lsq"]["sim"]["lsq_high_water"] > 0
+    assert cells["dynamic_lsq"]["sim"]["memdep_squashes"] == 0
+    assert cells["dynamic"]["sim"]["lsq_high_water"] == 0
+    # Under chaos (worker kills + corrupted results, retried to clean
+    # values) the payload — counters included — must stay byte-identical.
+    from repro.harness.resilience import ChaosConfig, SupervisionPolicy
+
+    chaos = ChaosConfig(seed=5, hang=0.0)
+    policy = SupervisionPolicy(retries=3, seed=5, backoff=0.01, jitter=0.1)
+    lab = _grep_lab(shared_cache)
+    lab.populate(jobs=2, policy=policy, chaos=chaos)
+    assert _payload(lab) == serial_payload
+
+
 def test_uncollected_lab_reports_null_cells(shared_cache):
     lab = _grep_lab(shared_cache, collect_stats=False)
     doc = stats_json(lab)

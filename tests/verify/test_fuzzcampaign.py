@@ -27,7 +27,7 @@ def test_clean_mini_campaign():
     assert stats.plans == 6
     assert stats.backend_cells == 3 * 2      # translate cell per plan
     assert stats.model_cells == 3 * 2 * 2    # 1 model x 2 backends x 2 plans
-    assert stats.dynamic_cells == 3 * 2      # rename on/off, benign plan
+    assert stats.dynamic_cells == 3 * 5      # five LSQ/rename variants, benign plan
     assert stats.runs == (stats.backend_cells + stats.model_cells
                           + stats.dynamic_cells)
     text = summary.format()
